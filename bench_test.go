@@ -1,0 +1,297 @@
+package moma
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// microbenchmarks for the operators and substrates they exercise. The
+// table benchmarks run against the reduced test-scale dataset so that
+// `go test -bench=.` finishes quickly; `cmd/moma-bench` runs the same
+// experiments at the paper's full Table 1 scale. Set MOMA_BENCH_SCALE=paper
+// to run these benchmarks at full scale too.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sources"
+)
+
+var (
+	benchOnce    sync.Once
+	benchSetting *experiments.Setting
+)
+
+// benchSettingFor returns the shared experiment setting (built once).
+func benchSettingFor(b *testing.B) *experiments.Setting {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := sources.SmallConfig()
+		if os.Getenv("MOMA_BENCH_SCALE") == "paper" {
+			cfg = sources.PaperConfig()
+		}
+		benchSetting = experiments.NewSetting(cfg)
+	})
+	return benchSetting
+}
+
+// benchTable runs one table reproduction per iteration and reports a key
+// F-measure as a benchmark metric.
+func benchTable(b *testing.B, run func(*experiments.Setting) (*experiments.TableResult, error), metric string) {
+	s := benchSettingFor(b)
+	b.ResetTimer()
+	var last *experiments.TableResult
+	for i := 0; i < b.N; i++ {
+		r, err := run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if last != nil && metric != "" {
+		if res, ok := last.Metrics[metric]; ok {
+			b.ReportMetric(res.F1*100, "F1%")
+		}
+	}
+}
+
+func BenchmarkTable1Counts(b *testing.B) {
+	benchTable(b, experiments.Table1, "")
+}
+
+func BenchmarkTable2AttributeMatchers(b *testing.B) {
+	benchTable(b, experiments.Table2, "Merge")
+}
+
+func BenchmarkTable3ComposePaths(b *testing.B) {
+	benchTable(b, experiments.Table3, "GS-ACM compose")
+}
+
+func BenchmarkTable4VenueNeighborhood(b *testing.B) {
+	benchTable(b, experiments.Table4, "overall/Best-1")
+}
+
+func BenchmarkTable5PublicationNeighborhood(b *testing.B) {
+	benchTable(b, experiments.Table5, "overall/Merge")
+}
+
+func BenchmarkTable6AuthorNeighborhood(b *testing.B) {
+	benchTable(b, experiments.Table6, "Merge")
+}
+
+func BenchmarkTable7DBLPGSNeighborhood(b *testing.B) {
+	benchTable(b, experiments.Table7, "Merge")
+}
+
+func BenchmarkTable8GSACMNeighborhood(b *testing.B) {
+	benchTable(b, experiments.Table8, "Merge")
+}
+
+func BenchmarkTable9DuplicateAuthors(b *testing.B) {
+	benchTable(b, experiments.Table9, "")
+}
+
+func BenchmarkTable10Summary(b *testing.B) {
+	benchTable(b, experiments.Table10, "pubs DBLP-ACM")
+}
+
+func BenchmarkFigure4Merge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6Compose(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9Neighborhood(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8Hub(b *testing.B) {
+	benchTable(b, experiments.Figure8Hub, "via hub DBLP")
+}
+
+func BenchmarkAblationMergeMissing(b *testing.B) {
+	benchTable(b, experiments.AblationMergeMissing, "Min-0 (intersection)")
+}
+
+func BenchmarkAblationComposeAgg(b *testing.B) {
+	benchTable(b, experiments.AblationComposeAgg, "Relative")
+}
+
+func BenchmarkAblationBlocking(b *testing.B) {
+	benchTable(b, experiments.AblationBlocking, "")
+}
+
+func BenchmarkAblationHubChoice(b *testing.B) {
+	benchTable(b, experiments.AblationHubChoice, "via clean hub (DBLP)")
+}
+
+func BenchmarkExtensionGSSelfMapping(b *testing.B) {
+	benchTable(b, experiments.ExtensionGSSelfMapping, "With self-mapping")
+}
+
+func BenchmarkExtensionSelfTuning(b *testing.B) {
+	benchTable(b, experiments.ExtensionSelfTuning, "Grid best")
+}
+
+// --- Operator microbenchmarks -------------------------------------------
+
+// syntheticSame builds a same-mapping with n correspondences fanning out
+// over sqrt(n) domain objects.
+func syntheticSame(n int) *Mapping {
+	a := LDS{Source: "A", Type: Publication}
+	c := LDS{Source: "C", Type: Publication}
+	m := NewSameMapping(a, c)
+	side := 1
+	for side*side < n {
+		side++
+	}
+	for i := 0; i < n; i++ {
+		m.Add(ID(fmt.Sprintf("a%d", i%side)), ID(fmt.Sprintf("c%d", i/side)), 0.5+float64(i%50)/100)
+	}
+	return m
+}
+
+func syntheticSecond(n int) *Mapping {
+	c := LDS{Source: "C", Type: Publication}
+	b := LDS{Source: "B", Type: Publication}
+	m := NewSameMapping(c, b)
+	side := 1
+	for side*side < n {
+		side++
+	}
+	for i := 0; i < n; i++ {
+		m.Add(ID(fmt.Sprintf("c%d", i/side)), ID(fmt.Sprintf("b%d", i%side)), 0.5+float64(i%50)/100)
+	}
+	return m
+}
+
+func BenchmarkMergeOperator(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		m1 := syntheticSame(n)
+		m2 := syntheticSame(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Merge(AvgCombiner, m1, m2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkComposeOperator(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		m1 := syntheticSame(n)
+		m2 := syntheticSecond(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compose(m1, m2, MinCombiner, AggRelative); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkComposeJoinAlgorithms(b *testing.B) {
+	m1 := syntheticSame(10000)
+	m2 := syntheticSecond(10000)
+	for _, alg := range []JoinAlgorithm{HashJoin, SortMergeJoin} {
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ComposeVia(m1, m2, MinCombiner, AggRelative, alg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSelectionBestN(b *testing.B) {
+	m := syntheticSame(10000)
+	sel := BestN{N: 1, Side: DomainSide}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel.Apply(m)
+	}
+}
+
+func BenchmarkTrigram(b *testing.B) {
+	t1 := "A formal perspective on the view selection problem"
+	t2 := "A formal perspective on the view selection problem revisited"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Trigram(t1, t2)
+	}
+}
+
+func BenchmarkPersonName(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PersonName("A. Thor", "Andreas Thor")
+	}
+}
+
+func BenchmarkAttributeMatcherBlocked(b *testing.B) {
+	s := benchSettingFor(b)
+	m := &AttributeMatcher{
+		AttrA: "title", AttrB: "name", Sim: Trigram, Threshold: 0.82,
+		Blocker: TokenBlocking{AttrA: "title", AttrB: "name", MinShared: 2},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Match(s.D.DBLP.Pubs, s.D.ACM.Pubs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGSQueryCollection(b *testing.B) {
+	s := benchSettingFor(b)
+	q := NewGSQuery(s.D.GS)
+	sub := s.D.DBLP.Pubs.Subset(s.D.DBLP.Pubs.IDs()[:50])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.CollectFor(sub, "title", 10)
+	}
+}
+
+func BenchmarkScriptNhMatch(b *testing.B) {
+	s := benchSettingFor(b)
+	sys := NewSystem()
+	if err := sys.LoadSource(s.D.DBLP); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.AddMapping("DBLP.AuthorAuthor", IdentityOf(s.D.DBLP.Authors)); err != nil {
+		b.Fatal(err)
+	}
+	src := "RETURN nhMatch (DBLP.CoAuthor, DBLP.AuthorAuthor, DBLP.CoAuthor)\n"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.RunScript(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDatasetGeneration(b *testing.B) {
+	cfg := sources.SmallConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sources.Generate(cfg)
+	}
+}

@@ -1,0 +1,95 @@
+// Dedup: duplicate detection within a single source (§4.3 / Table 9). The
+// paper's script — co-author neighborhood matching merged with name
+// similarity — runs verbatim through the iFuice-style interpreter against
+// the synthetic DBLP source, and the ranked candidates are checked against
+// the generator's known duplicate authors.
+//
+// Run with:
+//
+//	go run ./examples/dedup
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	moma "repro"
+)
+
+// The paper's §4.3 listing, verbatim (DBLP.AuthorAuthor is the identity
+// same-mapping of DBLP authors).
+const dedupScript = `
+$CoAuthSim = nhMatch (DBLP.CoAuthor, DBLP.AuthorAuthor, DBLP.CoAuthor)
+$NameSim = attrMatch (DBLP.Author, DBLP.Author, Trigram, 0.5, "[name]", "[name]")
+$Merged = merge ($CoAuthSim, $NameSim, Average)
+$Result = select ($Merged, "[domain.id]<>[range.id]")
+RETURN $Result
+`
+
+func main() {
+	d := moma.GenerateDataset(moma.SmallConfig())
+	fmt.Printf("DBLP: %d author instances, %d known duplicate pairs\n\n",
+		d.DBLP.Authors.Len(), d.Perfect.AuthorDupsDBLP.Len()/2)
+
+	sys := moma.NewSystem()
+	if err := sys.LoadSource(d.DBLP); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.AddMapping("DBLP.AuthorAuthor", moma.IdentityOf(d.DBLP.Authors)); err != nil {
+		log.Fatal(err)
+	}
+
+	v, err := sys.RunScript(dedupScript)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result := v.Mapping
+
+	// Rank undirected candidate pairs that carry both co-author and name
+	// evidence, exactly like the paper's Table 9.
+	coAuth, _ := sys.MappingByName("Cache.CoAuthSim")
+	nameSim, _ := sys.MappingByName("Cache.NameSim")
+	type cand struct {
+		a, b   moma.ID
+		merged float64
+	}
+	seen := map[[2]moma.ID]bool{}
+	var cands []cand
+	result.Each(func(c moma.Correspondence) {
+		if !coAuth.Has(c.Domain, c.Range) || !nameSim.Has(c.Domain, c.Range) {
+			return
+		}
+		key := [2]moma.ID{c.Domain, c.Range}
+		if key[1] < key[0] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		cands = append(cands, cand{a: c.Domain, b: c.Range, merged: c.Sim})
+	})
+	sort.Slice(cands, func(i, j int) bool { return cands[i].merged > cands[j].merged })
+	if len(cands) > 8 {
+		cands = cands[:8]
+	}
+
+	fmt.Println("top duplicate candidates (co-author overlap averaged with name similarity):")
+	fmt.Printf("%-22s %-22s %-9s %-7s %-6s %s\n", "Author", "Author'", "Co-Auth", "Name", "Merge", "true dup?")
+	for _, c := range cands {
+		co, _ := coAuth.Sim(c.a, c.b)
+		nm, _ := nameSim.Sim(c.a, c.b)
+		fmt.Printf("%-22s %-22s %8.1f%% %5.1f%% %5.1f%% %v\n",
+			d.DBLP.Authors.Get(c.a).Attr("name"),
+			d.DBLP.Authors.Get(c.b).Attr("name"),
+			100*co, 100*nm, 100*c.merged,
+			d.Perfect.AuthorDupsDBLP.Has(c.a, c.b))
+	}
+
+	// The hard cases at the bottom of the list mirror the paper's
+	// "Catalina Fan vs Catalina Wei" example: same co-authors, similar
+	// names, and genuinely undecidable from the data alone.
+	fmt.Println("\ncandidates sharing co-authors AND a similar name are flagged for review —")
+	fmt.Println("exactly how the paper surfaced its Trigoni / Zarkesh / Fan-Wei cases.")
+}

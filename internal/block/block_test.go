@@ -1,0 +1,168 @@
+package block
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+var (
+	dblpPub = model.LDS{Source: "DBLP", Type: model.Publication}
+	acmPub  = model.LDS{Source: "ACM", Type: model.Publication}
+)
+
+func blockFixture() (*model.ObjectSet, *model.ObjectSet) {
+	a := model.NewObjectSet(dblpPub)
+	a.AddNew("a1", map[string]string{"title": "generic schema matching with cupid"})
+	a.AddNew("a2", map[string]string{"title": "a formal perspective on the view selection problem"})
+	a.AddNew("a3", map[string]string{"title": "data integration"})
+	b := model.NewObjectSet(acmPub)
+	b.AddNew("b1", map[string]string{"title": "generic schema matching with cupid"})
+	b.AddNew("b2", map[string]string{"title": "the view selection problem"})
+	b.AddNew("b3", map[string]string{"title": "completely unrelated entry"})
+	return a, b
+}
+
+func TestCrossProduct(t *testing.T) {
+	a, b := blockFixture()
+	pairs := CrossProduct{}.Pairs(a, b)
+	if len(pairs) != 9 {
+		t.Fatalf("pairs = %d, want 9", len(pairs))
+	}
+	if pairs[0] != (Pair{"a1", "b1"}) {
+		t.Errorf("first pair = %v", pairs[0])
+	}
+}
+
+func TestTokenBlockingFindsSharedTokens(t *testing.T) {
+	a, b := blockFixture()
+	pairs := TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 2}.Pairs(a, b)
+	set := map[Pair]bool{}
+	for _, p := range pairs {
+		set[p] = true
+	}
+	if !set[Pair{"a1", "b1"}] {
+		t.Error("identical titles must be candidates")
+	}
+	if !set[Pair{"a2", "b2"}] {
+		t.Error("titles sharing 'view selection problem' must be candidates")
+	}
+	if set[Pair{"a3", "b3"}] {
+		t.Error("unrelated titles must not be candidates")
+	}
+	if len(pairs) >= 9 {
+		t.Errorf("token blocking should prune the cross product, got %d pairs", len(pairs))
+	}
+}
+
+func TestTokenBlockingMinSharedClamp(t *testing.T) {
+	a, b := blockFixture()
+	got := TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 0}.Pairs(a, b)
+	want := TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 1}.Pairs(a, b)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("MinShared<1 should behave like 1")
+	}
+}
+
+func TestTokenBlockingMissingAttr(t *testing.T) {
+	a := model.NewObjectSet(dblpPub)
+	a.AddNew("a1", nil)
+	b := model.NewObjectSet(acmPub)
+	b.AddNew("b1", map[string]string{"title": "x"})
+	if got := (TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 1}).Pairs(a, b); len(got) != 0 {
+		t.Errorf("instances without the attribute yield no candidates, got %v", got)
+	}
+}
+
+func TestSortedNeighborhood(t *testing.T) {
+	a, b := blockFixture()
+	pairs := SortedNeighborhood{AttrA: "title", AttrB: "title", Window: 3}.Pairs(a, b)
+	set := map[Pair]bool{}
+	for _, p := range pairs {
+		set[p] = true
+		// Orientation: A side must come from set a.
+		if p.A[0] != 'a' || p.B[0] != 'b' {
+			t.Errorf("pair orientation wrong: %v", p)
+		}
+	}
+	if !set[Pair{"a1", "b1"}] {
+		t.Error("adjacent identical titles must pair within the window")
+	}
+}
+
+func TestSortedNeighborhoodWindowClamp(t *testing.T) {
+	a, b := blockFixture()
+	got := SortedNeighborhood{AttrA: "title", AttrB: "title", Window: 0}.Pairs(a, b)
+	want := SortedNeighborhood{AttrA: "title", AttrB: "title", Window: 2}.Pairs(a, b)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("Window<2 should behave like 2")
+	}
+}
+
+func TestSortedNeighborhoodFullWindowIsCrossProduct(t *testing.T) {
+	a, b := blockFixture()
+	pairs := SortedNeighborhood{AttrA: "title", AttrB: "title", Window: 6}.Pairs(a, b)
+	if len(Dedup(pairs)) != 9 {
+		t.Errorf("window covering everything should produce all 9 pairs, got %d", len(pairs))
+	}
+}
+
+func TestDedup(t *testing.T) {
+	in := []Pair{{"a", "b"}, {"a", "b"}, {"c", "d"}}
+	got := Dedup(in)
+	if len(got) != 2 || got[0] != (Pair{"a", "b"}) || got[1] != (Pair{"c", "d"}) {
+		t.Errorf("Dedup = %v", got)
+	}
+}
+
+func TestReductionRatio(t *testing.T) {
+	a, b := blockFixture()
+	if r := ReductionRatio(make([]Pair, 3), a, b); r < 0.66 || r > 0.67 {
+		t.Errorf("reduction = %v, want ~2/3", r)
+	}
+	if r := ReductionRatio(make([]Pair, 99), a, b); r != 0 {
+		t.Errorf("overfull candidate set should clamp to 0, got %v", r)
+	}
+	empty := model.NewObjectSet(dblpPub)
+	if ReductionRatio(nil, empty, empty) != 0 {
+		t.Error("empty inputs should be 0")
+	}
+}
+
+func TestPairCompleteness(t *testing.T) {
+	pairs := []Pair{{"a1", "b1"}, {"a2", "b2"}}
+	truth := []Pair{{"a1", "b1"}, {"a3", "b3"}}
+	if pc := PairCompleteness(pairs, truth); pc != 0.5 {
+		t.Errorf("completeness = %v, want 0.5", pc)
+	}
+	if PairCompleteness(pairs, nil) != 1 {
+		t.Error("empty truth should be 1")
+	}
+}
+
+func TestBlockerStrings(t *testing.T) {
+	if (CrossProduct{}).String() != "cross-product" {
+		t.Error("cross product name")
+	}
+	if s := (TokenBlocking{AttrA: "t", AttrB: "t", MinShared: 2}).String(); s == "" {
+		t.Error("token blocking name")
+	}
+	if s := (SortedNeighborhood{AttrA: "t", AttrB: "t", Window: 5}).String(); s == "" {
+		t.Error("sorted neighborhood name")
+	}
+}
+
+func TestTokenBlockingRecallVsCross(t *testing.T) {
+	// Token blocking with MinShared=1 must retain every cross-product pair
+	// that shares at least one token — a recall guarantee.
+	a, b := blockFixture()
+	tb := TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 1}.Pairs(a, b)
+	set := map[Pair]bool{}
+	for _, p := range tb {
+		set[p] = true
+	}
+	if !set[Pair{"a2", "b2"}] || !set[Pair{"a1", "b1"}] {
+		t.Error("token blocking dropped a sharing pair")
+	}
+}

@@ -1,0 +1,136 @@
+// Package cluster groups instances connected by same-mappings into
+// duplicate clusters via union-find, and converts clusters back into
+// transitively-closed self-mappings.
+//
+// The paper's outlook (§5.6) proposes representing the duplicates within a
+// dirty source like Google Scholar as self-mappings — "identifying clusters
+// of duplicate entries" — which can then be composed with cross-source
+// same-mappings to find more correspondences; this package provides that
+// machinery.
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+// UnionFind is a disjoint-set forest over instance ids with union by rank
+// and path compression.
+type UnionFind struct {
+	parent map[model.ID]model.ID
+	rank   map[model.ID]int
+	count  int
+}
+
+// NewUnionFind returns an empty forest.
+func NewUnionFind() *UnionFind {
+	return &UnionFind{parent: make(map[model.ID]model.ID), rank: make(map[model.ID]int)}
+}
+
+// Add ensures id is present as a singleton set.
+func (u *UnionFind) Add(id model.ID) {
+	if _, ok := u.parent[id]; !ok {
+		u.parent[id] = id
+		u.count++
+	}
+}
+
+// Find returns the representative of id's set, adding id if unknown.
+func (u *UnionFind) Find(id model.ID) model.ID {
+	u.Add(id)
+	root := id
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[id] != root {
+		u.parent[id], id = root, u.parent[id]
+	}
+	return root
+}
+
+// Union merges the sets of a and b; it reports whether a merge happened
+// (false when already joined).
+func (u *UnionFind) Union(a, b model.ID) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.count--
+	return true
+}
+
+// Connected reports whether a and b are in the same set.
+func (u *UnionFind) Connected(a, b model.ID) bool { return u.Find(a) == u.Find(b) }
+
+// Sets returns the number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.count }
+
+// Cluster is one duplicate cluster: ids sorted ascending.
+type Cluster []model.ID
+
+// FromMapping unions all correspondence endpoints of a self-mapping (or any
+// same-mapping within one LDS) with similarity >= minSim and returns the
+// clusters of size >= 2, ordered by their smallest member.
+func FromMapping(m *mapping.Mapping, minSim float64) []Cluster {
+	u := NewUnionFind()
+	m.Each(func(c mapping.Correspondence) {
+		if c.Sim >= minSim {
+			u.Union(c.Domain, c.Range)
+		}
+	})
+	groups := make(map[model.ID][]model.ID)
+	for id := range u.parent {
+		root := u.Find(id)
+		groups[root] = append(groups[root], id)
+	}
+	var out []Cluster
+	for _, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, Cluster(members))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// SelfMapping expands clusters into a transitively closed self-mapping on
+// lds: every ordered pair of distinct cluster members becomes a
+// correspondence with similarity 1. This is the representation of source
+// duplicates the paper composes with cross-source same-mappings.
+func SelfMapping(lds model.LDS, clusters []Cluster) *mapping.Mapping {
+	m := mapping.NewSame(lds, lds)
+	for _, cl := range clusters {
+		for i := 0; i < len(cl); i++ {
+			for j := 0; j < len(cl); j++ {
+				if i != j {
+					m.Add(cl[i], cl[j], 1)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// TransitiveClosure returns the same-mapping closed under transitivity: if
+// the input connects a-b and b-c (at >= minSim), the output also connects
+// a-c. Similarities in the output are 1 within a cluster, reflecting the
+// hard duplicate decision. Below-threshold correspondences are dropped.
+func TransitiveClosure(m *mapping.Mapping, minSim float64) *mapping.Mapping {
+	if m.Domain() != m.Range() {
+		// Cross-source closure is the compose operator's job; here we only
+		// close self-mappings.
+		return m.Clone()
+	}
+	return SelfMapping(m.Domain(), FromMapping(m, minSim))
+}

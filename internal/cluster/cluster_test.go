@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+var gsPub = model.LDS{Source: "GS", Type: model.Publication}
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind()
+	u.Add("a")
+	u.Add("b")
+	u.Add("c")
+	if u.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", u.Sets())
+	}
+	if !u.Union("a", "b") {
+		t.Error("first union should merge")
+	}
+	if u.Union("a", "b") {
+		t.Error("repeated union should not merge")
+	}
+	if !u.Connected("a", "b") || u.Connected("a", "c") {
+		t.Error("connectivity wrong")
+	}
+	if u.Sets() != 2 {
+		t.Errorf("Sets = %d, want 2", u.Sets())
+	}
+}
+
+func TestUnionFindTransitivity(t *testing.T) {
+	u := NewUnionFind()
+	u.Union("a", "b")
+	u.Union("b", "c")
+	u.Union("x", "y")
+	if !u.Connected("a", "c") {
+		t.Error("a~b~c should connect a and c")
+	}
+	if u.Connected("a", "x") {
+		t.Error("separate components must stay apart")
+	}
+}
+
+func TestUnionFindEquivalenceProperty(t *testing.T) {
+	// Union is symmetric and Find is stable: after any union sequence,
+	// Connected is an equivalence relation consistent with the unions.
+	f := func(ops [][2]uint8) bool {
+		u := NewUnionFind()
+		naive := make(map[model.ID]model.ID) // naive forest for comparison
+		find := func(id model.ID) model.ID {
+			for naive[id] != "" && naive[id] != id {
+				id = naive[id]
+			}
+			return id
+		}
+		ids := func(x uint8) model.ID { return model.ID(rune('a' + x%10)) }
+		for _, op := range ops {
+			a, b := ids(op[0]), ids(op[1])
+			u.Union(a, b)
+			ra, rb := find(a), find(b)
+			if ra == "" {
+				naive[a] = a
+				ra = a
+			}
+			if rb == "" {
+				naive[b] = b
+				rb = b
+			}
+			if ra != rb {
+				naive[ra] = rb
+			}
+		}
+		for x := 0; x < 10; x++ {
+			for y := 0; y < 10; y++ {
+				a, b := ids(uint8(x)), ids(uint8(y))
+				_, aKnown := naive[a]
+				_, bKnown := naive[b]
+				if !aKnown || !bKnown {
+					continue
+				}
+				if u.Connected(a, b) != (find(a) == find(b)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clusterFixture() *mapping.Mapping {
+	m := mapping.NewSame(gsPub, gsPub)
+	m.Add("g1", "g2", 0.9)
+	m.Add("g2", "g3", 0.8)
+	m.Add("g4", "g5", 0.95)
+	m.Add("g6", "g7", 0.3) // below typical threshold
+	return m
+}
+
+func TestFromMapping(t *testing.T) {
+	clusters := FromMapping(clusterFixture(), 0.5)
+	want := []Cluster{{"g1", "g2", "g3"}, {"g4", "g5"}}
+	if !reflect.DeepEqual(clusters, want) {
+		t.Errorf("clusters = %v, want %v", clusters, want)
+	}
+}
+
+func TestFromMappingThreshold(t *testing.T) {
+	clusters := FromMapping(clusterFixture(), 0.85)
+	// Only g1-g2 (0.9) and g4-g5 (0.95) survive; g2-g3 link broken.
+	want := []Cluster{{"g1", "g2"}, {"g4", "g5"}}
+	if !reflect.DeepEqual(clusters, want) {
+		t.Errorf("clusters = %v, want %v", clusters, want)
+	}
+}
+
+func TestSelfMapping(t *testing.T) {
+	sm := SelfMapping(gsPub, []Cluster{{"a", "b", "c"}})
+	if sm.Len() != 6 { // 3*2 ordered pairs
+		t.Fatalf("Len = %d, want 6", sm.Len())
+	}
+	if !sm.Has("a", "c") || !sm.Has("c", "a") {
+		t.Error("self-mapping must be symmetric and transitive")
+	}
+	if sm.Has("a", "a") {
+		t.Error("diagonal must be excluded")
+	}
+	for _, c := range sm.Correspondences() {
+		if c.Sim != 1 {
+			t.Errorf("cluster pairs should have sim 1, got %v", c.Sim)
+		}
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	m := clusterFixture()
+	tc := TransitiveClosure(m, 0.5)
+	if !tc.Has("g1", "g3") {
+		t.Error("closure should connect g1 and g3")
+	}
+	if tc.Has("g6", "g7") {
+		t.Error("below-threshold pairs must be dropped")
+	}
+	// Closure is idempotent.
+	tc2 := TransitiveClosure(tc, 0.5)
+	if !tc.Equal(tc2, 0) {
+		t.Error("closure should be idempotent")
+	}
+}
+
+func TestTransitiveClosureCrossSourceNoop(t *testing.T) {
+	m := mapping.NewSame(gsPub, model.LDS{Source: "ACM", Type: model.Publication})
+	m.Add("g1", "p1", 0.9)
+	got := TransitiveClosure(m, 0.5)
+	if !got.Equal(m, 0) {
+		t.Error("cross-source mapping should pass through unchanged")
+	}
+}
+
+func TestFromMappingEmpty(t *testing.T) {
+	m := mapping.NewSame(gsPub, gsPub)
+	if got := FromMapping(m, 0.5); len(got) != 0 {
+		t.Errorf("empty mapping should have no clusters, got %v", got)
+	}
+}

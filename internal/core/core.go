@@ -1,0 +1,59 @@
+// Package core anchors the paper's primary contribution — mapping-based
+// object matching — by re-exporting the operator layer (instance-level
+// mappings with merge, compose and selection, §3) together with the match
+// strategies built on it (§4: independent-matcher merging, same-mapping
+// composition, the neighborhood matcher, self-mapping duplicate
+// detection).
+//
+// The implementation lives in the focused sibling packages:
+//
+//   - repro/internal/mapping — mappings and the §3 operators
+//   - repro/internal/match   — the matcher library incl. nhMatch (§4.2)
+//   - repro/internal/workflow — match workflows (§2.2, Figure 3)
+//
+// Code inside this module normally imports those packages directly; core
+// exists so that the conceptual core of the reproduction has a single
+// addressable home mirroring DESIGN.md's system inventory.
+package core
+
+import (
+	"repro/internal/mapping"
+	"repro/internal/match"
+	"repro/internal/workflow"
+)
+
+// The instance-mapping model and the three §3 operator families.
+type (
+	// Mapping is a fuzzy instance-level mapping (Definition 1).
+	Mapping = mapping.Mapping
+	// Correspondence is one (domain, range, similarity) row.
+	Correspondence = mapping.Correspondence
+	// Combiner is the similarity combination function f (§3.1).
+	Combiner = mapping.Combiner
+	// PathAgg is the compose path aggregation g (§3.2).
+	PathAgg = mapping.PathAgg
+	// Selection filters correspondences (§3.3).
+	Selection = mapping.Selection
+)
+
+// Operators.
+var (
+	// Merge unifies n same-type mappings under f (§3.1).
+	Merge = mapping.Merge
+	// Compose derives A->B from A->C and C->B (§3.2).
+	Compose = mapping.Compose
+	// NhMatch is the neighborhood matcher procedure (§4.2).
+	NhMatch = match.NhMatch
+	// NhMatchAgg is NhMatch with an explicit final aggregation.
+	NhMatchAgg = match.NhMatchAgg
+)
+
+// Matcher and workflow surfaces.
+type (
+	// Matcher produces a same-mapping between two object sets.
+	Matcher = match.Matcher
+	// Workflow is a sequence of match steps (§2.2).
+	Workflow = workflow.Workflow
+	// Engine executes workflows against repository and cache.
+	Engine = workflow.Engine
+)

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+// TestCoreSurface exercises the re-exported contribution end to end: the
+// Figure 6 composition through the core aliases.
+func TestCoreSurface(t *testing.T) {
+	ven := model.LDS{Source: "DBLP", Type: model.Venue}
+	pub := model.LDS{Source: "ACM", Type: model.Publication}
+	venACM := model.LDS{Source: "ACM", Type: model.Venue}
+
+	var m1 *Mapping = mapping.New(ven, pub, "VenuePub")
+	m1.Add("v1", "p1", 1)
+	m1.Add("v1", "p2", 1)
+	m1.Add("v1", "p3", 0.6)
+	m1.Add("v2", "p2", 0.6)
+	m1.Add("v2", "p3", 1)
+	var m2 *Mapping = mapping.New(pub, venACM, "PubVenue")
+	m2.Add("p1", "v'1", 1)
+	m2.Add("p2", "v'1", 1)
+	m2.Add("p3", "v'2", 1)
+
+	got, err := Compose(m1, m2, mapping.MinCombiner, mapping.AggRelative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := got.Sim("v1", "v'1"); math.Abs(s-0.8) > 1e-9 {
+		t.Errorf("core compose sim = %v, want 0.8", s)
+	}
+
+	merged, err := Merge(mapping.MaxCombiner, got)
+	if err != nil || merged.Len() != got.Len() {
+		t.Errorf("core merge failed: %v", err)
+	}
+
+	nh, err := NhMatch(m1, mapping.Identity(rangeSet(m1)), m2)
+	if err != nil || nh.Len() == 0 {
+		t.Errorf("core nhMatch failed: %v", err)
+	}
+}
+
+// rangeSet builds an object set covering a mapping's range ids.
+func rangeSet(m *Mapping) *model.ObjectSet {
+	set := model.NewObjectSet(m.Range())
+	for _, id := range m.RangeIDs() {
+		set.AddNew(id, nil)
+	}
+	return set
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/eval"
+	"repro/internal/mapping"
+	"repro/internal/match"
+	"repro/internal/sim"
+)
+
+// Ablations for the design choices DESIGN.md calls out. They are not paper
+// tables but quantify the decisions the paper discusses qualitatively.
+
+// AblationMergeMissing compares the treatments of missing correspondences
+// in the Table 2 merge (§3.1: ignore vs assume-zero vs weighted).
+func AblationMergeMissing(s *Setting) (*TableResult, error) {
+	title, err := s.PubSameTitleDBLPACM()
+	if err != nil {
+		return nil, err
+	}
+	author, err := s.authorMatcherDBLPACM().Match(s.D.DBLP.Pubs, s.D.ACM.Pubs)
+	if err != nil {
+		return nil, err
+	}
+	year, err := s.yearMatcherDBLPACM().Match(s.D.DBLP.Pubs, s.D.ACM.Pubs)
+	if err != nil {
+		return nil, err
+	}
+	perfect := s.D.Perfect.PubDBLPACM
+	variants := []struct {
+		label string
+		comb  mapping.Combiner
+		thr   float64
+	}{
+		{"Avg (ignore missing)", mapping.AvgCombiner, 0.8},
+		{"Avg-0 (missing=0)", mapping.Avg0Combiner, 0.55},
+		{"Min-0 (intersection)", mapping.Min0Combiner, 0.5},
+		{"Weighted-0 3:1:1", mapping.Combiner{Kind: mapping.Weighted, Weights: []float64{3, 1, 1}, MissingAsZero: true}, 0.8},
+	}
+	t := &TableResult{
+		ID:      "Ablation A1",
+		Title:   "Merge missing-value handling (Table 2 inputs)",
+		Columns: []string{"Variant", "Precision", "Recall", "F-Measure"},
+		Metrics: map[string]eval.Result{},
+	}
+	for _, v := range variants {
+		merged, err := mapping.Merge(v.comb, title, author, year)
+		if err != nil {
+			return nil, err
+		}
+		r := eval.Compare(mapping.Threshold{T: v.thr}.Apply(merged), perfect)
+		t.Metrics[v.label] = r
+		t.Rows = append(t.Rows, []string{v.label, eval.Pct(r.Precision), eval.Pct(r.Recall), eval.Pct(r.F1)})
+	}
+	return t, nil
+}
+
+// AblationComposeAgg compares the path-aggregation functions of the
+// author-based neighborhood matcher on dirty GS data (§5.4.3 motivates
+// RelativeLeft over the symmetric Relative when the right association is
+// incomplete).
+func AblationComposeAgg(s *Setting) (*TableResult, error) {
+	authorSame, err := s.gsAuthorSame()
+	if err != nil {
+		return nil, err
+	}
+	perfect := s.perfectDBLPGSWorking()
+	t := &TableResult{
+		ID:      "Ablation A2",
+		Title:   "Neighborhood path aggregation on incomplete GS author lists",
+		Columns: []string{"g", "Precision", "Recall", "F-Measure"},
+		Metrics: map[string]eval.Result{},
+	}
+	for _, g := range []mapping.PathAgg{mapping.AggRelative, mapping.AggRelativeLeft, mapping.AggRelativeRight, mapping.AggMax} {
+		nh, err := match.NhMatchAgg(s.D.DBLP.PubAuthor, authorSame, s.D.GS.AuthorPub, g)
+		if err != nil {
+			return nil, err
+		}
+		nh = nh.Filter(func(c mapping.Correspondence) bool { return s.GSWork.Has(c.Range) })
+		nh = mapping.Threshold{T: 0.75}.Apply(nh)
+		r := eval.Compare(nh, perfect)
+		t.Metrics[g.String()] = r
+		t.Rows = append(t.Rows, []string{g.String(), eval.Pct(r.Precision), eval.Pct(r.Recall), eval.Pct(r.F1)})
+	}
+	return t, nil
+}
+
+// AblationBlocking compares candidate-generation strategies for the
+// DBLP-ACM title matcher: pair counts, reduction ratio, completeness and
+// resulting match quality.
+func AblationBlocking(s *Setting) (*TableResult, error) {
+	perfect := s.D.Perfect.PubDBLPACM
+	var truth []block.Pair
+	perfect.Each(func(c mapping.Correspondence) {
+		truth = append(truth, block.Pair{A: c.Domain, B: c.Range})
+	})
+	blockers := []block.Blocker{
+		block.TokenBlocking{AttrA: "title", AttrB: "name", MinShared: 2},
+		block.TokenBlocking{AttrA: "title", AttrB: "name", MinShared: 3},
+		block.SortedNeighborhood{AttrA: "title", AttrB: "name", Window: 10},
+	}
+	// The full cross product is included only at small scale; at paper
+	// scale it is the quadratic baseline the others avoid.
+	if s.D.DBLP.Pubs.Len() <= 500 {
+		blockers = append([]block.Blocker{block.CrossProduct{}}, blockers...)
+	}
+	t := &TableResult{
+		ID:      "Ablation A3",
+		Title:   "Blocking strategies for the DBLP-ACM title matcher",
+		Columns: []string{"Blocker", "Pairs", "Reduction", "Completeness", "F-Measure"},
+		Metrics: map[string]eval.Result{},
+	}
+	for _, b := range blockers {
+		pairs := b.Pairs(s.D.DBLP.Pubs, s.D.ACM.Pubs)
+		m := &match.Attribute{
+			AttrA: "title", AttrB: "name", Sim: sim.Trigram, Threshold: titleThreshold, Blocker: b,
+		}
+		got, err := m.Match(s.D.DBLP.Pubs, s.D.ACM.Pubs)
+		if err != nil {
+			return nil, err
+		}
+		r := eval.Compare(got, perfect)
+		t.Metrics[b.String()] = r
+		t.Rows = append(t.Rows, []string{
+			b.String(),
+			fmt.Sprint(len(pairs)),
+			fmt.Sprintf("%.3f", block.ReductionRatio(pairs, s.D.DBLP.Pubs, s.D.ACM.Pubs)),
+			fmt.Sprintf("%.3f", block.PairCompleteness(pairs, truth)),
+			eval.Pct(r.F1),
+		})
+	}
+	return t, nil
+}
+
+// AblationHubChoice quantifies Figure 8's hub argument: composing GS-ACM
+// via the curated DBLP hub versus composing DBLP-ACM via the dirty GS
+// source.
+func AblationHubChoice(s *Setting) (*TableResult, error) {
+	t3, err := Table3(s)
+	if err != nil {
+		return nil, err
+	}
+	t := &TableResult{
+		ID:      "Ablation A4",
+		Title:   "Hub choice for compose paths",
+		Columns: []string{"Path", "F-Measure", "Assessment"},
+		Metrics: map[string]eval.Result{
+			"via clean hub (DBLP)": t3.Metrics["GS-ACM compose"],
+			"via dirty hub (GS)":   t3.Metrics["DBLP-ACM compose"],
+		},
+	}
+	clean := t3.Metrics["GS-ACM compose"]
+	dirty := t3.Metrics["DBLP-ACM compose"]
+	assess := func(f float64) string {
+		if f >= 0.8 {
+			return "good"
+		}
+		if f >= 0.5 {
+			return "degraded"
+		}
+		return "poor"
+	}
+	t.Rows = append(t.Rows,
+		[]string{"GS-ACM via DBLP (clean hub)", eval.Pct(clean.F1), assess(clean.F1)},
+		[]string{"DBLP-ACM via GS (dirty hub)", eval.Pct(dirty.F1), assess(dirty.F1)},
+	)
+	return t, nil
+}

@@ -1,0 +1,225 @@
+// Package index provides an inverted-index search store with TF-IDF ranked
+// top-k retrieval.
+//
+// It simulates the access characteristics of web data sources like Google
+// Scholar, which "do not support downloading all their data but only
+// support querying selected subsets" (§2.1): the experiment harness obtains
+// GS publications exclusively through keyword queries over this index,
+// mirroring how the paper generated its GS dataset by sending title and
+// venue queries. The same index powers token blocking for the attribute
+// matchers.
+package index
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// posting records one document containing a token.
+type posting struct {
+	doc model.ID
+	tf  int
+}
+
+// Index is an inverted index over the text of object instances. The zero
+// value is not usable; call New.
+type Index struct {
+	postings map[string][]posting
+	docLen   map[model.ID]int
+	docs     int
+	frozen   bool
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		postings: make(map[string][]posting),
+		docLen:   make(map[model.ID]int),
+	}
+}
+
+// Add indexes the given text under the document id. Adding the same id
+// again extends its token set (e.g. title plus author fields). Add panics
+// after Freeze, which would invalidate served queries.
+func (ix *Index) Add(id model.ID, text string) {
+	if ix.frozen {
+		panic("index: Add after Freeze")
+	}
+	toks := sim.Tokens(text)
+	if _, seen := ix.docLen[id]; !seen {
+		ix.docs++
+	}
+	ix.docLen[id] += len(toks)
+	counts := make(map[string]int, len(toks))
+	for _, tok := range toks {
+		counts[tok]++
+	}
+	for tok, tf := range counts {
+		list := ix.postings[tok]
+		// Merge with an existing posting for this doc if present (same doc
+		// indexed in several Add calls).
+		merged := false
+		for i := range list {
+			if list[i].doc == id {
+				list[i].tf += tf
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			list = append(list, posting{doc: id, tf: tf})
+		}
+		ix.postings[tok] = list
+	}
+}
+
+// AddInstance indexes the named attributes of an instance.
+func (ix *Index) AddInstance(in *model.Instance, attrs ...string) {
+	for _, a := range attrs {
+		if v := in.Attr(a); v != "" {
+			ix.Add(in.ID, v)
+		}
+	}
+}
+
+// Freeze sorts all postings lists for deterministic retrieval and marks the
+// index read-only. Queries work before freezing too, but frozen indexes
+// guarantee stable result order.
+func (ix *Index) Freeze() {
+	for tok, list := range ix.postings {
+		sort.Slice(list, func(i, j int) bool { return list[i].doc < list[j].doc })
+		ix.postings[tok] = list
+	}
+	ix.frozen = true
+}
+
+// Docs returns the number of indexed documents.
+func (ix *Index) Docs() int { return ix.docs }
+
+// Terms returns the number of distinct tokens.
+func (ix *Index) Terms() int { return len(ix.postings) }
+
+// DocFreq returns the number of documents containing the token.
+func (ix *Index) DocFreq(token string) int { return len(ix.postings[token]) }
+
+// Hit is one search result.
+type Hit struct {
+	ID    model.ID
+	Score float64
+}
+
+// resultHeap is a min-heap of hits used for top-k selection: the weakest
+// hit sits at the root and is evicted first.
+type resultHeap []Hit
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].ID > h[j].ID // prefer smaller ids on equal score
+}
+func (h resultHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)   { *h = append(*h, x.(Hit)) }
+func (h *resultHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h resultHeap) betterThanRoot(hit Hit) bool {
+	if hit.Score != h[0].Score {
+		return hit.Score > h[0].Score
+	}
+	return hit.ID < h[0].ID
+}
+
+// Search returns the top-k documents for the query under TF-IDF scoring
+// with document-length normalization, ranked by descending score (ties by
+// ascending id). k <= 0 returns nil.
+func (ix *Index) Search(query string, k int) []Hit {
+	if k <= 0 || ix.docs == 0 {
+		return nil
+	}
+	toks := sim.Tokens(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	qCounts := make(map[string]int, len(toks))
+	for _, tok := range toks {
+		qCounts[tok]++
+	}
+	scores := make(map[model.ID]float64)
+	for tok, qtf := range qCounts {
+		list := ix.postings[tok]
+		if len(list) == 0 {
+			continue
+		}
+		idf := math.Log(1 + float64(ix.docs)/float64(len(list)))
+		qw := (1 + math.Log(float64(qtf))) * idf
+		for _, p := range list {
+			dw := (1 + math.Log(float64(p.tf))) * idf
+			scores[p.doc] += qw * dw
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	h := make(resultHeap, 0, k)
+	heap.Init(&h)
+	// Iterate docs in sorted order for full determinism even among equal
+	// scores beyond the heap boundary.
+	ids := make([]model.ID, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		norm := math.Sqrt(float64(ix.docLen[id]) + 1)
+		hit := Hit{ID: id, Score: scores[id] / norm}
+		if len(h) < k {
+			heap.Push(&h, hit)
+		} else if h.betterThanRoot(hit) {
+			h[0] = hit
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Hit, len(h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Hit)
+	}
+	return out
+}
+
+// CandidatesSharing returns the ids of documents sharing at least
+// minShared query tokens, unranked. It is the primitive behind token
+// blocking: a cheap recall-oriented candidate generator.
+func (ix *Index) CandidatesSharing(query string, minShared int) []model.ID {
+	if minShared < 1 {
+		minShared = 1
+	}
+	counts := make(map[model.ID]int)
+	seen := make(map[string]bool)
+	for _, tok := range sim.Tokens(query) {
+		if seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		for _, p := range ix.postings[tok] {
+			counts[p.doc]++
+		}
+	}
+	var out []model.ID
+	for id, c := range counts {
+		if c >= minShared {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String summarizes the index.
+func (ix *Index) String() string {
+	return fmt.Sprintf("index{docs: %d, terms: %d}", ix.docs, len(ix.postings))
+}

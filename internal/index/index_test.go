@@ -1,0 +1,180 @@
+package index
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func sampleIndex() *Index {
+	ix := New()
+	ix.Add("p1", "a formal perspective on the view selection problem")
+	ix.Add("p2", "generic schema matching with cupid")
+	ix.Add("p3", "the view selection problem revisited")
+	ix.Add("p4", "data integration on the web")
+	ix.Add("p5", "schema matching a survey")
+	ix.Freeze()
+	return ix
+}
+
+func TestSearchRanking(t *testing.T) {
+	ix := sampleIndex()
+	hits := ix.Search("view selection problem", 3)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	top := map[model.ID]bool{hits[0].ID: true}
+	if len(hits) > 1 {
+		top[hits[1].ID] = true
+	}
+	if !top["p1"] || !top["p3"] {
+		t.Errorf("top hits should include p1 and p3, got %v", hits)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Errorf("hits not sorted: %v", hits)
+		}
+	}
+}
+
+func TestSearchTopKBound(t *testing.T) {
+	ix := sampleIndex()
+	if got := ix.Search("the schema view data", 2); len(got) > 2 {
+		t.Errorf("k=2 returned %d hits", len(got))
+	}
+	if got := ix.Search("view", 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := ix.Search("", 5); got != nil {
+		t.Error("empty query should return nil")
+	}
+	if got := ix.Search("zzz qqq", 5); got != nil {
+		t.Error("no matching token should return nil")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	ix := sampleIndex()
+	a := ix.Search("schema matching", 5)
+	b := ix.Search("schema matching", 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("search must be deterministic")
+	}
+}
+
+func TestRareTokenBeatsStopword(t *testing.T) {
+	ix := sampleIndex()
+	hits := ix.Search("cupid", 5)
+	if len(hits) != 1 || hits[0].ID != "p2" {
+		t.Errorf("cupid should hit only p2, got %v", hits)
+	}
+}
+
+func TestMultiFieldAdd(t *testing.T) {
+	ix := New()
+	in := model.NewInstance("p1", map[string]string{"title": "schema matching", "authors": "Erhard Rahm"})
+	ix.AddInstance(in, "title", "authors", "missing")
+	ix.Freeze()
+	if ix.Docs() != 1 {
+		t.Errorf("Docs = %d, want 1 (same id, two fields)", ix.Docs())
+	}
+	if hits := ix.Search("rahm", 1); len(hits) != 1 || hits[0].ID != "p1" {
+		t.Errorf("author token should hit, got %v", hits)
+	}
+	if hits := ix.Search("schema", 1); len(hits) != 1 {
+		t.Errorf("title token should hit, got %v", hits)
+	}
+}
+
+func TestAddSameDocTwiceMergesPostings(t *testing.T) {
+	ix := New()
+	ix.Add("p1", "schema")
+	ix.Add("p1", "schema matching")
+	if ix.DocFreq("schema") != 1 {
+		t.Errorf("DocFreq(schema) = %d, want 1", ix.DocFreq("schema"))
+	}
+	if ix.Docs() != 1 {
+		t.Errorf("Docs = %d, want 1", ix.Docs())
+	}
+}
+
+func TestAddAfterFreezePanics(t *testing.T) {
+	ix := sampleIndex()
+	defer func() {
+		if recover() == nil {
+			t.Error("Add after Freeze must panic")
+		}
+	}()
+	ix.Add("p9", "too late")
+}
+
+func TestCandidatesSharing(t *testing.T) {
+	ix := sampleIndex()
+	got := ix.CandidatesSharing("view selection problem", 2)
+	want := []model.ID{"p1", "p3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CandidatesSharing = %v, want %v", got, want)
+	}
+	all := ix.CandidatesSharing("the view", 1)
+	if len(all) < 3 {
+		t.Errorf("minShared=1 should be permissive, got %v", all)
+	}
+	if got := ix.CandidatesSharing("zzz", 1); got != nil {
+		t.Errorf("no shared tokens should return nil, got %v", got)
+	}
+	if got := ix.CandidatesSharing("view", 0); got == nil {
+		t.Error("minShared<1 should clamp to 1")
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	ix := sampleIndex()
+	if ix.Docs() != 5 {
+		t.Errorf("Docs = %d", ix.Docs())
+	}
+	if ix.Terms() == 0 {
+		t.Error("Terms = 0")
+	}
+	if ix.DocFreq("schema") != 2 {
+		t.Errorf("DocFreq(schema) = %d, want 2", ix.DocFreq("schema"))
+	}
+	if s := ix.String(); s == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSearchTopKSubsetProperty(t *testing.T) {
+	// Top-k results are a prefix of top-(k+5) results.
+	ix := New()
+	for i := 0; i < 50; i++ {
+		ix.Add(model.ID(fmt.Sprintf("d%02d", i)), fmt.Sprintf("token%d shared common text %d", i%7, i%3))
+	}
+	ix.Freeze()
+	f := func(kRaw uint8) bool {
+		k := int(kRaw%10) + 1
+		small := ix.Search("shared common token1", k)
+		big := ix.Search("shared common token1", k+5)
+		if len(small) > k {
+			return false
+		}
+		for i := range small {
+			if big[i] != small[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyIndexSearch(t *testing.T) {
+	ix := New()
+	if got := ix.Search("anything", 5); got != nil {
+		t.Errorf("empty index should return nil, got %v", got)
+	}
+}

@@ -1,0 +1,248 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// PathAgg enumerates the aggregation functions g of §3.2 that fold the
+// per-path similarities of all compose paths (a, c_i, b) into the final
+// similarity of the output correspondence (a, b).
+type PathAgg int
+
+// Aggregation functions for compose. With the auxiliary values of Figure 5
+// — n(a) the number of correspondences of a in map1, n(b) the number of
+// correspondences of b in map2, and s(a,b) the sum of all compose-path
+// similarities — the Relative family is:
+//
+//	RelativeLeft  = s(a,b) / n(a)
+//	RelativeRight = s(a,b) / n(b)
+//	Relative      = 2*s(a,b) / (n(a)+n(b))
+//
+// Relative prefers correspondences reached via multiple compose paths; the
+// paper's neighborhood matcher uses it to reward venues sharing many
+// matched publications (Figure 6). RelativeLeft is the asymmetric variant
+// the evaluation uses when the right-hand association is incomplete
+// (missing Google Scholar authors, §5.4.3).
+const (
+	AggAvg PathAgg = iota
+	AggMin
+	AggMax
+	AggRelativeLeft
+	AggRelativeRight
+	AggRelative
+)
+
+// String names the aggregation as in the paper.
+func (g PathAgg) String() string {
+	switch g {
+	case AggAvg:
+		return "Average"
+	case AggMin:
+		return "Min"
+	case AggMax:
+		return "Max"
+	case AggRelativeLeft:
+		return "RelativeLeft"
+	case AggRelativeRight:
+		return "RelativeRight"
+	case AggRelative:
+		return "Relative"
+	default:
+		return fmt.Sprintf("PathAgg(%d)", int(g))
+	}
+}
+
+// ParsePathAgg resolves the paper's textual names (case-insensitive).
+func ParsePathAgg(name string) (PathAgg, error) {
+	switch lower(name) {
+	case "avg", "average":
+		return AggAvg, nil
+	case "min":
+		return AggMin, nil
+	case "max":
+		return AggMax, nil
+	case "relativeleft":
+		return AggRelativeLeft, nil
+	case "relativeright":
+		return AggRelativeRight, nil
+	case "relative":
+		return AggRelative, nil
+	default:
+		return 0, fmt.Errorf("mapping: unknown path aggregation %q", name)
+	}
+}
+
+// ParseCombinerKind resolves the paper's textual names for the combination
+// function f (case-insensitive). PreferMap requires the index to be set by
+// the caller.
+func ParseCombinerKind(name string) (CombinerKind, error) {
+	switch lower(name) {
+	case "avg", "average":
+		return Avg, nil
+	case "min":
+		return Min, nil
+	case "max":
+		return Max, nil
+	case "weighted":
+		return Weighted, nil
+	case "prefer", "prefermap", "prefermap1":
+		return Prefer, nil
+	default:
+		return 0, fmt.Errorf("mapping: unknown combiner %q", name)
+	}
+}
+
+func lower(s string) string { return strings.ToLower(s) }
+
+// PathCombine applies the per-path combination function f to the two
+// similarities of one compose path; exported for alternative compose
+// implementations (e.g. the store package's join-based compose).
+func PathCombine(f Combiner, s1, s2 float64) float64 { return pathCombine(f, s1, s2) }
+
+// pathCombine applies the per-path combination function f to the two
+// similarities of one compose path. Per §3.2 the alternatives are the same
+// as for merge; both values are always present on a path, so MissingAsZero
+// is irrelevant, Weighted uses the first two weights, and Prefer picks the
+// similarity of the preferred mapping (index 0 = left input).
+func pathCombine(f Combiner, s1, s2 float64) float64 {
+	switch f.Kind {
+	case Min:
+		if s1 < s2 {
+			return s1
+		}
+		return s2
+	case Max:
+		if s1 > s2 {
+			return s1
+		}
+		return s2
+	case Avg:
+		return (s1 + s2) / 2
+	case Weighted:
+		if len(f.Weights) >= 2 && f.Weights[0]+f.Weights[1] > 0 {
+			return (f.Weights[0]*s1 + f.Weights[1]*s2) / (f.Weights[0] + f.Weights[1])
+		}
+		return (s1 + s2) / 2
+	case Prefer:
+		if f.PreferIndex == 1 {
+			return s2
+		}
+		return s1
+	default:
+		return 0
+	}
+}
+
+// Compose implements the composition operator of §3.2. Given map1 from
+// LDSA to LDSC and map2 from LDSC to LDSB it derives a mapping from LDSA to
+// LDSB. For each output pair (a, b) every shared middle object c_i yields a
+// compose path whose two similarities are combined with f; the per-path
+// values are then aggregated with g.
+//
+// The middle sources must agree. The output's semantic type is "same" when
+// both inputs are same-mappings, otherwise the concatenation of the input
+// types (a derived association).
+//
+// The implementation is a hash join on the middle ids, as the paper notes
+// composition "can be computed very efficiently ... by joining the mapping
+// tables" (§5.3).
+func Compose(map1, map2 *Mapping, f Combiner, g PathAgg) (*Mapping, error) {
+	if map1.Range() != map2.Domain() {
+		return nil, fmt.Errorf("mapping: Compose middle sources differ: %s vs %s", map1.Range(), map2.Domain())
+	}
+	outType := map1.Type()
+	if !(map1.IsSame() && map2.IsSame()) {
+		outType = map1.Type() + "." + map2.Type()
+	}
+	out := New(map1.Domain(), map2.Range(), outType)
+
+	// Accumulate per output pair: sum, min, max and count of path sims.
+	type agg struct {
+		sum, min, max float64
+		paths         int
+	}
+	accum := make(map[pair]*agg)
+	var order []pair
+	for _, c1 := range map1.corrs {
+		for _, i2 := range map2.byDomain[c1.Range] {
+			c2 := map2.corrs[i2]
+			ps := pathCombine(f, c1.Sim, c2.Sim)
+			key := pair{c1.Domain, c2.Range}
+			a, ok := accum[key]
+			if !ok {
+				a = &agg{min: ps, max: ps}
+				accum[key] = a
+				order = append(order, key)
+			} else {
+				if ps < a.min {
+					a.min = ps
+				}
+				if ps > a.max {
+					a.max = ps
+				}
+			}
+			a.sum += ps
+			a.paths++
+		}
+	}
+	for _, key := range order {
+		a := accum[key]
+		var s float64
+		switch g {
+		case AggAvg:
+			s = a.sum / float64(a.paths)
+		case AggMin:
+			s = a.min
+		case AggMax:
+			s = a.max
+		case AggRelativeLeft:
+			s = a.sum / float64(map1.DomainCount(key.d))
+		case AggRelativeRight:
+			s = a.sum / float64(map2.RangeCount(key.r))
+		case AggRelative:
+			s = 2 * a.sum / float64(map1.DomainCount(key.d)+map2.RangeCount(key.r))
+		default:
+			return nil, fmt.Errorf("mapping: unknown path aggregation %d", int(g))
+		}
+		if s > 0 {
+			out.Add(key.d, key.r, s)
+		}
+	}
+	return out, nil
+}
+
+// ComposeChain composes a sequence of mappings left to right with the same
+// f and g at every step, e.g. for multi-hop compose paths via a hub source
+// (Figure 8).
+func ComposeChain(f Combiner, g PathAgg, maps ...*Mapping) (*Mapping, error) {
+	if len(maps) == 0 {
+		return nil, fmt.Errorf("mapping: ComposeChain needs at least one mapping")
+	}
+	cur := maps[0]
+	for _, next := range maps[1:] {
+		var err error
+		cur, err = Compose(cur, next, f, g)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// NumPaths returns, for one output pair (a, b) of Compose(map1, map2), the
+// number of compose paths — the paper reports this alongside similarity in
+// its duplicate-author analysis (Table 9, "number of shared co-authors").
+func NumPaths(map1, map2 *Mapping, a, b model.ID) int {
+	n := 0
+	for _, c1 := range map1.ForDomain(a) {
+		for _, i2 := range map2.byDomain[c1.Range] {
+			if map2.corrs[i2].Range == b {
+				n++
+			}
+		}
+	}
+	return n
+}

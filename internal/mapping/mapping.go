@@ -1,0 +1,384 @@
+// Package mapping implements MOMA's core abstraction: instance-level
+// mappings and the operators that combine them (§2.1 and §3 of the paper).
+//
+// A mapping between two logical data sources LDSA and LDSB is a set of
+// correspondences {(a, b, s)} with a ∈ LDSA, b ∈ LDSB and similarity
+// s ∈ [0,1] (Definition 1). Same-mappings connect instances of the same
+// object type and express semantic equality; every other mapping is an
+// association mapping (publications of an author, venue of a publication,
+// ...). Mappings are represented as three-column mapping tables.
+//
+// The package provides the paper's three combination operators:
+//
+//   - Merge (§3.1): n-ary union of same-type mappings under a combination
+//     function (Avg, Min, Max, Weighted, PreferMap) with configurable
+//     treatment of missing correspondences.
+//   - Compose (§3.2): relational composition of two mappings with a path
+//     combination function f and a path aggregation function g (Avg, Min,
+//     Max, RelativeLeft, RelativeRight, Relative).
+//   - Selection (§3.3): Threshold, Best-n, Best-1+Delta and object-value
+//     constraints.
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Correspondence relates a domain object to a range object with a
+// similarity (confidence) value in [0,1].
+type Correspondence struct {
+	Domain model.ID
+	Range  model.ID
+	Sim    float64
+}
+
+type pair struct{ d, r model.ID }
+
+// Mapping is a fuzzy instance-level mapping between two logical data
+// sources, stored as a mapping table. The zero value is not usable; create
+// mappings with New or NewSame.
+type Mapping struct {
+	domLDS model.LDS
+	rngLDS model.LDS
+	mtype  model.MappingType
+
+	corrs    []Correspondence
+	index    map[pair]int
+	byDomain map[model.ID][]int
+	byRange  map[model.ID][]int
+}
+
+// New returns an empty mapping of the given semantic type between the two
+// logical sources.
+func New(domain, rng model.LDS, mtype model.MappingType) *Mapping {
+	return &Mapping{
+		domLDS:   domain,
+		rngLDS:   rng,
+		mtype:    mtype,
+		index:    make(map[pair]int),
+		byDomain: make(map[model.ID][]int),
+		byRange:  make(map[model.ID][]int),
+	}
+}
+
+// NewSame returns an empty same-mapping between two sources of the same
+// object type. It panics if the object types differ, which is a programming
+// error by Definition 1.
+func NewSame(domain, rng model.LDS) *Mapping {
+	if !domain.SameType(rng) {
+		panic(fmt.Sprintf("mapping: same-mapping requires equal object types, got %s and %s", domain, rng))
+	}
+	return New(domain, rng, model.SameMappingType)
+}
+
+// Domain returns the domain LDS.
+func (m *Mapping) Domain() model.LDS { return m.domLDS }
+
+// Range returns the range LDS.
+func (m *Mapping) Range() model.LDS { return m.rngLDS }
+
+// Type returns the semantic mapping type.
+func (m *Mapping) Type() model.MappingType { return m.mtype }
+
+// IsSame reports whether this is a same-mapping.
+func (m *Mapping) IsSame() bool { return m.mtype == model.SameMappingType }
+
+// Len returns the number of correspondences.
+func (m *Mapping) Len() int { return len(m.corrs) }
+
+// clampSim forces s into [0,1].
+func clampSim(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Add inserts the correspondence (a, b, s), replacing the similarity of an
+// existing (a, b) pair. Similarities are clamped to [0,1].
+func (m *Mapping) Add(a, b model.ID, s float64) {
+	s = clampSim(s)
+	key := pair{a, b}
+	if i, ok := m.index[key]; ok {
+		m.corrs[i].Sim = s
+		return
+	}
+	i := len(m.corrs)
+	m.corrs = append(m.corrs, Correspondence{Domain: a, Range: b, Sim: s})
+	m.index[key] = i
+	m.byDomain[a] = append(m.byDomain[a], i)
+	m.byRange[b] = append(m.byRange[b], i)
+}
+
+// AddMax inserts (a, b, s) keeping the maximum similarity if the pair
+// already exists. Useful when several evidence paths produce the same pair.
+func (m *Mapping) AddMax(a, b model.ID, s float64) {
+	s = clampSim(s)
+	if i, ok := m.index[pair{a, b}]; ok {
+		if s > m.corrs[i].Sim {
+			m.corrs[i].Sim = s
+		}
+		return
+	}
+	m.Add(a, b, s)
+}
+
+// AddCorrespondences inserts all given correspondences via Add.
+func (m *Mapping) AddCorrespondences(cs []Correspondence) {
+	for _, c := range cs {
+		m.Add(c.Domain, c.Range, c.Sim)
+	}
+}
+
+// Sim returns the similarity of (a, b) and whether the pair is present.
+func (m *Mapping) Sim(a, b model.ID) (float64, bool) {
+	if i, ok := m.index[pair{a, b}]; ok {
+		return m.corrs[i].Sim, true
+	}
+	return 0, false
+}
+
+// Has reports whether the pair (a, b) is present.
+func (m *Mapping) Has(a, b model.ID) bool {
+	_, ok := m.index[pair{a, b}]
+	return ok
+}
+
+// Correspondences returns a copy of all correspondences in insertion order.
+func (m *Mapping) Correspondences() []Correspondence {
+	out := make([]Correspondence, len(m.corrs))
+	copy(out, m.corrs)
+	return out
+}
+
+// Each calls fn for every correspondence in insertion order.
+func (m *Mapping) Each(fn func(Correspondence)) {
+	for _, c := range m.corrs {
+		fn(c)
+	}
+}
+
+// ForDomain returns the correspondences of domain object a.
+func (m *Mapping) ForDomain(a model.ID) []Correspondence {
+	idxs := m.byDomain[a]
+	out := make([]Correspondence, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, m.corrs[i])
+	}
+	return out
+}
+
+// ForRange returns the correspondences of range object b.
+func (m *Mapping) ForRange(b model.ID) []Correspondence {
+	idxs := m.byRange[b]
+	out := make([]Correspondence, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, m.corrs[i])
+	}
+	return out
+}
+
+// DomainCount returns n(a): the number of correspondences of domain object
+// a (Figure 5).
+func (m *Mapping) DomainCount(a model.ID) int { return len(m.byDomain[a]) }
+
+// RangeCount returns n(b): the number of correspondences of range object b.
+func (m *Mapping) RangeCount(b model.ID) int { return len(m.byRange[b]) }
+
+// DomainIDs returns the distinct domain ids in first-seen order.
+func (m *Mapping) DomainIDs() []model.ID {
+	seen := make(map[model.ID]bool, len(m.byDomain))
+	var out []model.ID
+	for _, c := range m.corrs {
+		if !seen[c.Domain] {
+			seen[c.Domain] = true
+			out = append(out, c.Domain)
+		}
+	}
+	return out
+}
+
+// RangeIDs returns the distinct range ids in first-seen order.
+func (m *Mapping) RangeIDs() []model.ID {
+	seen := make(map[model.ID]bool, len(m.byRange))
+	var out []model.ID
+	for _, c := range m.corrs {
+		if !seen[c.Range] {
+			seen[c.Range] = true
+			out = append(out, c.Range)
+		}
+	}
+	return out
+}
+
+// Inverse returns the mapping with domain and range swapped. The semantic
+// type is preserved; callers give the inverse its own name in the
+// repository (e.g. VenuePub vs PubVenue).
+func (m *Mapping) Inverse() *Mapping {
+	inv := New(m.rngLDS, m.domLDS, m.mtype)
+	for _, c := range m.corrs {
+		inv.Add(c.Range, c.Domain, c.Sim)
+	}
+	return inv
+}
+
+// Clone returns a deep copy.
+func (m *Mapping) Clone() *Mapping {
+	cp := New(m.domLDS, m.rngLDS, m.mtype)
+	cp.AddCorrespondences(m.corrs)
+	return cp
+}
+
+// Filter returns a new mapping keeping only correspondences for which keep
+// returns true.
+func (m *Mapping) Filter(keep func(Correspondence) bool) *Mapping {
+	out := New(m.domLDS, m.rngLDS, m.mtype)
+	for _, c := range m.corrs {
+		if keep(c) {
+			out.Add(c.Domain, c.Range, c.Sim)
+		}
+	}
+	return out
+}
+
+// WithoutDiagonal drops correspondences whose domain and range ids are
+// equal — the paper's select($Merged, "[domain.id]<>[range.id]") step that
+// removes trivial duplicates from self-mappings (§4.3).
+func (m *Mapping) WithoutDiagonal() *Mapping {
+	return m.Filter(func(c Correspondence) bool { return c.Domain != c.Range })
+}
+
+// Sorted returns the correspondences sorted canonically: domain ascending,
+// similarity descending, range ascending. It does not mutate the mapping.
+func (m *Mapping) Sorted() []Correspondence {
+	out := m.Correspondences()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Domain != out[j].Domain {
+			return out[i].Domain < out[j].Domain
+		}
+		if out[i].Sim != out[j].Sim {
+			return out[i].Sim > out[j].Sim
+		}
+		return out[i].Range < out[j].Range
+	})
+	return out
+}
+
+// Identity returns the identity same-mapping over the ids of the given
+// object set: every instance corresponds to itself with similarity 1. The
+// paper uses it as the trivial same-mapping for single-source neighborhood
+// matching (§4.3).
+func Identity(set *model.ObjectSet) *Mapping {
+	m := NewSame(set.LDS(), set.LDS())
+	for _, id := range set.IDs() {
+		m.Add(id, id, 1)
+	}
+	return m
+}
+
+// Equal reports whether two mappings have the same endpoints, type and the
+// same correspondence set with similarities equal within eps.
+func (m *Mapping) Equal(o *Mapping, eps float64) bool {
+	if m.domLDS != o.domLDS || m.rngLDS != o.rngLDS || m.mtype != o.mtype || len(m.corrs) != len(o.corrs) {
+		return false
+	}
+	for _, c := range m.corrs {
+		s, ok := o.Sim(c.Domain, c.Range)
+		if !ok {
+			return false
+		}
+		d := c.Sim - s
+		if d < -eps || d > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats summarizes a mapping for reports and self-tuning.
+type Stats struct {
+	Corrs      int
+	DomainObjs int
+	RangeObjs  int
+	AvgSim     float64
+	MinSim     float64
+	MaxSim     float64
+	AvgFanOut  float64 // correspondences per distinct domain object
+}
+
+// Summarize computes mapping statistics.
+func (m *Mapping) Summarize() Stats {
+	st := Stats{Corrs: len(m.corrs), DomainObjs: len(m.byDomain), RangeObjs: len(m.byRange)}
+	if len(m.corrs) == 0 {
+		return st
+	}
+	st.MinSim = m.corrs[0].Sim
+	st.MaxSim = m.corrs[0].Sim
+	var sum float64
+	for _, c := range m.corrs {
+		sum += c.Sim
+		if c.Sim < st.MinSim {
+			st.MinSim = c.Sim
+		}
+		if c.Sim > st.MaxSim {
+			st.MaxSim = c.Sim
+		}
+	}
+	st.AvgSim = sum / float64(len(m.corrs))
+	st.AvgFanOut = float64(len(m.corrs)) / float64(len(m.byDomain))
+	return st
+}
+
+// Cardinality classifies the observed cardinality of the mapping as in
+// Figure 10: 1:1, 1:n, n:1 or n:m, based on the maximum fan-out on each
+// side. An empty mapping is CardUnknown.
+func (m *Mapping) Cardinality() model.Cardinality {
+	if len(m.corrs) == 0 {
+		return model.CardUnknown
+	}
+	maxDom, maxRng := 0, 0
+	for _, idxs := range m.byDomain {
+		if len(idxs) > maxDom {
+			maxDom = len(idxs)
+		}
+	}
+	for _, idxs := range m.byRange {
+		if len(idxs) > maxRng {
+			maxRng = len(idxs)
+		}
+	}
+	switch {
+	case maxDom <= 1 && maxRng <= 1:
+		return model.CardOneToOne
+	case maxRng <= 1:
+		// A domain object fans out to several range objects while every
+		// range object has a single domain object: venue -> publications.
+		return model.CardOneToMany
+	case maxDom <= 1:
+		// The mirror image: publication -> venue.
+		return model.CardManyToOne
+	default:
+		return model.CardManyToMany
+	}
+}
+
+// String renders the mapping table (sorted canonically), capped at 20 rows.
+func (m *Mapping) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s -> %s (%s), %d correspondences\n", m.domLDS, m.rngLDS, m.mtype, len(m.corrs))
+	for i, c := range m.Sorted() {
+		if i == 20 {
+			fmt.Fprintf(&b, "  ... %d more\n", len(m.corrs)-20)
+			break
+		}
+		fmt.Fprintf(&b, "  %-28s %-28s %.3f\n", c.Domain, c.Range, c.Sim)
+	}
+	return b.String()
+}

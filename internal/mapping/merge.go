@@ -1,0 +1,267 @@
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// CombinerKind enumerates the similarity combination functions of §3.1.
+type CombinerKind int
+
+// Combination functions for merge (and for the per-path function f of
+// compose).
+const (
+	Avg CombinerKind = iota
+	Min
+	Max
+	Weighted
+	Prefer
+)
+
+// String names the combiner kind as in the paper.
+func (k CombinerKind) String() string {
+	switch k {
+	case Avg:
+		return "Avg"
+	case Min:
+		return "Min"
+	case Max:
+		return "Max"
+	case Weighted:
+		return "Weighted"
+	case Prefer:
+		return "PreferMap"
+	default:
+		return fmt.Sprintf("CombinerKind(%d)", int(k))
+	}
+}
+
+// Combiner configures the similarity combination function f of the merge
+// and compose operators.
+//
+// MissingAsZero selects between the two treatments of correspondences
+// missing from some input mappings (§3.1): the default (false) ignores
+// missing values and combines only the available similarities, which lets
+// incomplete mappings contribute matches without dragging scores down; true
+// assumes similarity 0 for missing correspondences, improving precision.
+// With kind Min and MissingAsZero the merge has intersection semantics
+// (Min-0 in Figure 4).
+type Combiner struct {
+	Kind          CombinerKind
+	MissingAsZero bool
+	// Weights applies to Weighted; one weight per input mapping. Missing or
+	// extra weights are an error at merge time.
+	Weights []float64
+	// PreferIndex selects the preferred input mapping for Prefer.
+	PreferIndex int
+}
+
+// Common combiner shorthands matching the paper's notation.
+var (
+	AvgCombiner  = Combiner{Kind: Avg}
+	Avg0Combiner = Combiner{Kind: Avg, MissingAsZero: true}
+	MinCombiner  = Combiner{Kind: Min}
+	Min0Combiner = Combiner{Kind: Min, MissingAsZero: true}
+	MaxCombiner  = Combiner{Kind: Max}
+)
+
+// PreferCombiner returns the PreferMap_i combiner.
+func PreferCombiner(i int) Combiner { return Combiner{Kind: Prefer, PreferIndex: i} }
+
+// WeightedCombiner returns a weighted-average combiner with the given
+// per-mapping weights.
+func WeightedCombiner(weights ...float64) Combiner {
+	return Combiner{Kind: Weighted, Weights: weights}
+}
+
+// combine folds the similarity values of one (a,b) pair across n input
+// mappings. present[i] reports whether input i contained the pair; sims[i]
+// is meaningful only when present[i]. It returns the combined similarity
+// and whether the correspondence should appear in the output at all.
+func (c Combiner) combine(sims []float64, present []bool) (float64, bool) {
+	n := len(sims)
+	switch c.Kind {
+	case Max:
+		best, any := 0.0, false
+		for i := 0; i < n; i++ {
+			if present[i] {
+				if !any || sims[i] > best {
+					best = sims[i]
+				}
+				any = true
+			}
+		}
+		return best, any
+	case Min:
+		if c.MissingAsZero {
+			// Intersection semantics: any missing input kills the pair.
+			low, first := 0.0, true
+			for i := 0; i < n; i++ {
+				if !present[i] {
+					return 0, false
+				}
+				if first || sims[i] < low {
+					low = sims[i]
+					first = false
+				}
+			}
+			return low, !first
+		}
+		low, any := 0.0, false
+		for i := 0; i < n; i++ {
+			if present[i] {
+				if !any || sims[i] < low {
+					low = sims[i]
+				}
+				any = true
+			}
+		}
+		return low, any
+	case Avg:
+		var sum float64
+		cnt := 0
+		for i := 0; i < n; i++ {
+			if present[i] {
+				sum += sims[i]
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0, false
+		}
+		if c.MissingAsZero {
+			return sum / float64(n), true
+		}
+		return sum / float64(cnt), true
+	case Weighted:
+		var sum, wsum float64
+		for i := 0; i < n; i++ {
+			w := c.Weights[i]
+			if present[i] {
+				sum += w * sims[i]
+				wsum += w
+			} else if c.MissingAsZero {
+				wsum += w
+			}
+		}
+		if wsum == 0 {
+			return 0, false
+		}
+		return sum / wsum, true
+	default:
+		return 0, false
+	}
+}
+
+// validateForMerge checks combiner configuration against the number of
+// input mappings.
+func (c Combiner) validateForMerge(n int) error {
+	switch c.Kind {
+	case Weighted:
+		if len(c.Weights) != n {
+			return fmt.Errorf("mapping: Weighted combiner has %d weights for %d mappings", len(c.Weights), n)
+		}
+		var pos bool
+		for _, w := range c.Weights {
+			if w < 0 {
+				return fmt.Errorf("mapping: negative weight %v", w)
+			}
+			if w > 0 {
+				pos = true
+			}
+		}
+		if !pos {
+			return fmt.Errorf("mapping: Weighted combiner needs at least one positive weight")
+		}
+	case Prefer:
+		if c.PreferIndex < 0 || c.PreferIndex >= n {
+			return fmt.Errorf("mapping: PreferIndex %d out of range for %d mappings", c.PreferIndex, n)
+		}
+	case Avg, Min, Max:
+	default:
+		return fmt.Errorf("mapping: unknown combiner kind %d", int(c.Kind))
+	}
+	return nil
+}
+
+// Merge implements the n-ary merge operator of §3.1: it unifies the
+// correspondences of n mappings between the same pair of logical sources
+// under the combination function f. Output correspondences whose combined
+// similarity is 0 are dropped (as in Figure 4, where Min-0 keeps only pairs
+// present in every input).
+//
+// The PreferMap function is handled per domain instance as described in the
+// paper: the preferred mapping contributes all of its correspondences, and
+// the other mappings contribute only correspondences for domain objects the
+// preferred mapping does not cover.
+func Merge(f Combiner, maps ...*Mapping) (*Mapping, error) {
+	if len(maps) == 0 {
+		return nil, fmt.Errorf("mapping: Merge needs at least one input mapping")
+	}
+	first := maps[0]
+	for _, m := range maps[1:] {
+		if m.Domain() != first.Domain() || m.Range() != first.Range() {
+			return nil, fmt.Errorf("mapping: Merge inputs must connect the same sources, got %s->%s and %s->%s",
+				first.Domain(), first.Range(), m.Domain(), m.Range())
+		}
+	}
+	if !first.Domain().SameType(first.Range()) {
+		return nil, fmt.Errorf("mapping: Merge requires mappings between sources of the same object type, got %s->%s",
+			first.Domain(), first.Range())
+	}
+	if err := f.validateForMerge(len(maps)); err != nil {
+		return nil, err
+	}
+
+	out := New(first.Domain(), first.Range(), first.Type())
+
+	if f.Kind == Prefer {
+		pref := maps[f.PreferIndex]
+		covered := make(map[model.ID]bool, pref.Len())
+		for _, c := range pref.corrs {
+			out.Add(c.Domain, c.Range, c.Sim)
+			covered[c.Domain] = true
+		}
+		for i, m := range maps {
+			if i == f.PreferIndex {
+				continue
+			}
+			for _, c := range m.corrs {
+				if !covered[c.Domain] {
+					out.AddMax(c.Domain, c.Range, c.Sim)
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Collect the union of pairs, then fold each pair across the inputs.
+	type slot struct {
+		sims    []float64
+		present []bool
+	}
+	acc := make(map[pair]*slot)
+	var order []pair
+	for i, m := range maps {
+		for _, c := range m.corrs {
+			key := pair{c.Domain, c.Range}
+			s, ok := acc[key]
+			if !ok {
+				s = &slot{sims: make([]float64, len(maps)), present: make([]bool, len(maps))}
+				acc[key] = s
+				order = append(order, key)
+			}
+			s.sims[i] = c.Sim
+			s.present[i] = true
+		}
+	}
+	for _, key := range order {
+		s := acc[key]
+		v, keep := f.combine(s.sims, s.present)
+		if keep && v > 0 {
+			out.Add(key.d, key.r, v)
+		}
+	}
+	return out, nil
+}

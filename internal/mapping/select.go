@@ -1,0 +1,283 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Selection filters the correspondences of a mapping to the most likely
+// ones (§3.3). Selections compose: apply them in sequence.
+type Selection interface {
+	// Apply returns a new mapping containing the selected correspondences.
+	Apply(m *Mapping) *Mapping
+	// String describes the selection for logs and workflow listings.
+	String() string
+}
+
+// Side selects which end of the mapping a per-instance selection (Best-n,
+// Best-1+Delta) groups by.
+type Side int
+
+// Grouping sides. BothSides keeps a correspondence only if it survives the
+// selection grouped by domain AND grouped by range.
+const (
+	DomainSide Side = iota
+	RangeSide
+	BothSides
+)
+
+// String names the side.
+func (s Side) String() string {
+	switch s {
+	case DomainSide:
+		return "domain"
+	case RangeSide:
+		return "range"
+	case BothSides:
+		return "both"
+	default:
+		return fmt.Sprintf("Side(%d)", int(s))
+	}
+}
+
+// Threshold keeps correspondences with similarity >= T.
+type Threshold struct{ T float64 }
+
+// Apply implements Selection.
+func (t Threshold) Apply(m *Mapping) *Mapping {
+	return m.Filter(func(c Correspondence) bool { return c.Sim >= t.T })
+}
+
+func (t Threshold) String() string { return fmt.Sprintf("Threshold(%.2f)", t.T) }
+
+// BestN keeps, for each instance of the configured side, the N
+// correspondences with the highest similarity. Ties at the cut-off are
+// broken deterministically by the other end's id.
+type BestN struct {
+	N    int
+	Side Side
+}
+
+// Apply implements Selection.
+func (b BestN) Apply(m *Mapping) *Mapping {
+	if b.N <= 0 {
+		return New(m.Domain(), m.Range(), m.Type())
+	}
+	switch b.Side {
+	case DomainSide:
+		return selectPerGroup(m, true, func(cs []Correspondence) []Correspondence {
+			if len(cs) > b.N {
+				return cs[:b.N]
+			}
+			return cs
+		})
+	case RangeSide:
+		return selectPerGroup(m, false, func(cs []Correspondence) []Correspondence {
+			if len(cs) > b.N {
+				return cs[:b.N]
+			}
+			return cs
+		})
+	case BothSides:
+		dom := BestN{N: b.N, Side: DomainSide}.Apply(m)
+		rng := BestN{N: b.N, Side: RangeSide}.Apply(m)
+		return dom.Filter(func(c Correspondence) bool { return rng.Has(c.Domain, c.Range) })
+	default:
+		return m.Clone()
+	}
+}
+
+func (b BestN) String() string { return fmt.Sprintf("Best-%d(%s)", b.N, b.Side) }
+
+// Best1Delta keeps, per instance of the configured side, the correspondence
+// with maximal similarity plus all correspondences within a tolerance d of
+// it. With Relative true the tolerance is relative: sims >= best*(1-D);
+// otherwise absolute: sims >= best-D (§3.3).
+type Best1Delta struct {
+	D        float64
+	Relative bool
+	Side     Side
+}
+
+// Apply implements Selection.
+func (b Best1Delta) Apply(m *Mapping) *Mapping {
+	cut := func(cs []Correspondence) []Correspondence {
+		if len(cs) == 0 {
+			return cs
+		}
+		best := cs[0].Sim
+		limit := best - b.D
+		if b.Relative {
+			limit = best * (1 - b.D)
+		}
+		keep := cs[:0:0]
+		for _, c := range cs {
+			if c.Sim >= limit {
+				keep = append(keep, c)
+			}
+		}
+		return keep
+	}
+	switch b.Side {
+	case DomainSide:
+		return selectPerGroup(m, true, cut)
+	case RangeSide:
+		return selectPerGroup(m, false, cut)
+	case BothSides:
+		dom := Best1Delta{D: b.D, Relative: b.Relative, Side: DomainSide}.Apply(m)
+		rng := Best1Delta{D: b.D, Relative: b.Relative, Side: RangeSide}.Apply(m)
+		return dom.Filter(func(c Correspondence) bool { return rng.Has(c.Domain, c.Range) })
+	default:
+		return m.Clone()
+	}
+}
+
+func (b Best1Delta) String() string {
+	mode := "abs"
+	if b.Relative {
+		mode = "rel"
+	}
+	return fmt.Sprintf("Best-1+%.2f(%s,%s)", b.D, mode, b.Side)
+}
+
+// selectPerGroup groups correspondences by domain (or range), sorts each
+// group by similarity descending (ties by the other id ascending), applies
+// cut to the sorted group and collects the survivors.
+func selectPerGroup(m *Mapping, byDomain bool, cut func([]Correspondence) []Correspondence) *Mapping {
+	groups := make(map[model.ID][]Correspondence)
+	var order []model.ID
+	for _, c := range m.corrs {
+		key := c.Domain
+		if !byDomain {
+			key = c.Range
+		}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], c)
+	}
+	out := New(m.Domain(), m.Range(), m.Type())
+	for _, key := range order {
+		cs := groups[key]
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].Sim != cs[j].Sim {
+				return cs[i].Sim > cs[j].Sim
+			}
+			if byDomain {
+				return cs[i].Range < cs[j].Range
+			}
+			return cs[i].Domain < cs[j].Domain
+		})
+		for _, c := range cut(cs) {
+			out.Add(c.Domain, c.Range, c.Sim)
+		}
+	}
+	return out
+}
+
+// ConstraintFunc decides whether a correspondence between two concrete
+// instances satisfies a domain-specific condition. Either instance may be
+// nil when its object set does not contain the id.
+type ConstraintFunc func(domain, rng *model.Instance, sim float64) bool
+
+// Constraint applies an object-value constraint (§3.3): only
+// correspondences whose instances fulfil the predicate survive. The two
+// object sets provide attribute access; correspondences whose ids are
+// missing from the sets are dropped unless KeepUnresolved is set.
+type Constraint struct {
+	Name           string
+	DomainSet      *model.ObjectSet
+	RangeSet       *model.ObjectSet
+	Pred           ConstraintFunc
+	KeepUnresolved bool
+}
+
+// Apply implements Selection.
+func (c Constraint) Apply(m *Mapping) *Mapping {
+	return m.Filter(func(corr Correspondence) bool {
+		var din, rin *model.Instance
+		if c.DomainSet != nil {
+			din = c.DomainSet.Get(corr.Domain)
+		}
+		if c.RangeSet != nil {
+			rin = c.RangeSet.Get(corr.Range)
+		}
+		if din == nil || rin == nil {
+			return c.KeepUnresolved
+		}
+		return c.Pred(din, rin, corr.Sim)
+	})
+}
+
+func (c Constraint) String() string {
+	if c.Name != "" {
+		return "Constraint(" + c.Name + ")"
+	}
+	return "Constraint"
+}
+
+// YearConstraint returns the paper's example constraint: the publication
+// years of matching objects must not differ by more than maxDiff (§2.2,
+// §3.3). Instances without a parseable year pass (Google Scholar's year is
+// optional; dropping those pairs would destroy recall).
+func YearConstraint(attr string, maxDiff int, domainSet, rangeSet *model.ObjectSet) Constraint {
+	return Constraint{
+		Name:      fmt.Sprintf("|%s| diff <= %d", attr, maxDiff),
+		DomainSet: domainSet,
+		RangeSet:  rangeSet,
+		Pred: func(d, r *model.Instance, _ float64) bool {
+			yd, okD := d.IntAttr(attr)
+			yr, okR := r.IntAttr(attr)
+			if !okD || !okR {
+				return true
+			}
+			diff := yd - yr
+			if diff < 0 {
+				diff = -diff
+			}
+			return diff <= maxDiff
+		},
+	}
+}
+
+// NotEqualIDs is the selection used to eliminate "trivial duplicates" from
+// self-mappings: select($Merged, "[domain.id]<>[range.id]") in §4.3.
+type NotEqualIDs struct{}
+
+// Apply implements Selection.
+func (NotEqualIDs) Apply(m *Mapping) *Mapping { return m.WithoutDiagonal() }
+
+func (NotEqualIDs) String() string { return "[domain.id]<>[range.id]" }
+
+// Chain applies selections left to right.
+type Chain []Selection
+
+// Apply implements Selection.
+func (ch Chain) Apply(m *Mapping) *Mapping {
+	cur := m
+	for _, s := range ch {
+		cur = s.Apply(cur)
+	}
+	return cur
+}
+
+func (ch Chain) String() string {
+	parts := make([]string, len(ch))
+	for i, s := range ch {
+		parts[i] = s.String()
+	}
+	return "Chain(" + joinComma(parts) + ")"
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}

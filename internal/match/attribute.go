@@ -1,0 +1,211 @@
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Attribute is the paper's generic attribute matcher (§2.2): it is
+// "provided with a pair of attributes to be matched, a similarity function
+// to be evaluated (e.g. n-gram, TF/IDF or affix) and a similarity threshold
+// to be exceeded by result correspondences".
+type Attribute struct {
+	// MatcherName identifies the configuration, e.g. "title-trigram".
+	MatcherName string
+	// AttrA and AttrB name the attributes on the two inputs.
+	AttrA, AttrB string
+	// Sim scores an attribute-value pair.
+	Sim sim.Func
+	// Threshold is the minimum similarity for a correspondence.
+	Threshold float64
+	// Blocker generates candidate pairs; nil means the full cross product.
+	Blocker block.Blocker
+	// SkipMissing drops pairs where either attribute is absent or empty
+	// instead of scoring them (they would usually score 0 anyway).
+	SkipMissing bool
+	// Workers sets the scoring parallelism; 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// Name implements Matcher.
+func (m *Attribute) Name() string {
+	if m.MatcherName != "" {
+		return m.MatcherName
+	}
+	return fmt.Sprintf("attr(%s~%s)", m.AttrA, m.AttrB)
+}
+
+// Match implements Matcher.
+func (m *Attribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
+	if err := requireSameType(a, b); err != nil {
+		return nil, err
+	}
+	if m.Sim == nil {
+		return nil, fmt.Errorf("match: %s has no similarity function", m.Name())
+	}
+	blocker := m.Blocker
+	if blocker == nil {
+		blocker = block.CrossProduct{}
+	}
+	pairs := blocker.Pairs(a, b)
+	scored := scorePairs(pairs, m.Workers, func(p block.Pair) (float64, bool) {
+		va := a.Get(p.A).Attr(m.AttrA)
+		vb := b.Get(p.B).Attr(m.AttrB)
+		if m.SkipMissing && (va == "" || vb == "") {
+			return 0, false
+		}
+		s := m.Sim(va, vb)
+		return s, s >= m.Threshold
+	})
+	out := mapping.NewSame(a.LDS(), b.LDS())
+	for _, sp := range scored {
+		if sp.keep {
+			out.AddMax(sp.pair.A, sp.pair.B, sp.sim)
+		}
+	}
+	return out, nil
+}
+
+// AttrPair configures one attribute comparison of the multi-attribute
+// matcher.
+type AttrPair struct {
+	AttrA, AttrB string
+	Sim          sim.Func
+	Weight       float64
+}
+
+// MultiAttribute is the paper's multi-attribute matcher: it "directly
+// evaluates and combines the similarity for multiple attribute pairs, e.g.,
+// for publication title and publication year" (§2.2). Per-pair similarities
+// are combined as a weighted average.
+type MultiAttribute struct {
+	MatcherName string
+	Pairs       []AttrPair
+	Threshold   float64
+	Blocker     block.Blocker
+	Workers     int
+}
+
+// Name implements Matcher.
+func (m *MultiAttribute) Name() string {
+	if m.MatcherName != "" {
+		return m.MatcherName
+	}
+	return fmt.Sprintf("multiattr(%d pairs)", len(m.Pairs))
+}
+
+// Match implements Matcher.
+func (m *MultiAttribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
+	if err := requireSameType(a, b); err != nil {
+		return nil, err
+	}
+	if len(m.Pairs) == 0 {
+		return nil, fmt.Errorf("match: %s has no attribute pairs", m.Name())
+	}
+	var totalWeight float64
+	for i, p := range m.Pairs {
+		if p.Sim == nil {
+			return nil, fmt.Errorf("match: %s pair %d has no similarity function", m.Name(), i)
+		}
+		w := p.Weight
+		if w < 0 {
+			return nil, fmt.Errorf("match: %s pair %d has negative weight", m.Name(), i)
+		}
+		totalWeight += w
+	}
+	if totalWeight == 0 {
+		return nil, fmt.Errorf("match: %s has zero total weight", m.Name())
+	}
+	blocker := m.Blocker
+	if blocker == nil {
+		blocker = block.CrossProduct{}
+	}
+	pairs := blocker.Pairs(a, b)
+	scored := scorePairs(pairs, m.Workers, func(p block.Pair) (float64, bool) {
+		ia, ib := a.Get(p.A), b.Get(p.B)
+		var sum float64
+		for _, ap := range m.Pairs {
+			sum += ap.Weight * ap.Sim(ia.Attr(ap.AttrA), ib.Attr(ap.AttrB))
+		}
+		s := sum / totalWeight
+		return s, s >= m.Threshold
+	})
+	out := mapping.NewSame(a.LDS(), b.LDS())
+	for _, sp := range scored {
+		if sp.keep {
+			out.AddMax(sp.pair.A, sp.pair.B, sp.sim)
+		}
+	}
+	return out, nil
+}
+
+// TFIDFAttribute matches one attribute pair under TF-IDF cosine similarity,
+// building the corpus from the attribute values of both inputs at match
+// time (document statistics depend on the data being matched).
+type TFIDFAttribute struct {
+	MatcherName  string
+	AttrA, AttrB string
+	Threshold    float64
+	Blocker      block.Blocker
+	Workers      int
+}
+
+// Name implements Matcher.
+func (m *TFIDFAttribute) Name() string {
+	if m.MatcherName != "" {
+		return m.MatcherName
+	}
+	return fmt.Sprintf("tfidf(%s~%s)", m.AttrA, m.AttrB)
+}
+
+// Match implements Matcher.
+func (m *TFIDFAttribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
+	corpus := sim.NewTFIDF()
+	corpus.AddAll(sortedAttrValues(a, m.AttrA))
+	corpus.AddAll(sortedAttrValues(b, m.AttrB))
+	inner := &Attribute{
+		MatcherName: m.Name(),
+		AttrA:       m.AttrA,
+		AttrB:       m.AttrB,
+		Sim:         corpus.Cosine,
+		Threshold:   m.Threshold,
+		Blocker:     m.Blocker,
+		Workers:     m.Workers,
+	}
+	return inner.Match(a, b)
+}
+
+// ExistingMapping exposes a pre-existing mapping as a matcher; the paper
+// re-uses mappings that "already exist in data sources" (e.g. Google
+// Scholar's links to ACM, §5.3). Match restricts the stored mapping to the
+// ids present in the inputs.
+type ExistingMapping struct {
+	MatcherName string
+	M           *mapping.Mapping
+}
+
+// Name implements Matcher.
+func (m *ExistingMapping) Name() string {
+	if m.MatcherName != "" {
+		return m.MatcherName
+	}
+	return "existing"
+}
+
+// Match implements Matcher.
+func (m *ExistingMapping) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
+	if m.M == nil {
+		return nil, fmt.Errorf("match: %s has no mapping", m.Name())
+	}
+	if m.M.Domain() != a.LDS() || m.M.Range() != b.LDS() {
+		return nil, fmt.Errorf("match: %s connects %s->%s, inputs are %s->%s",
+			m.Name(), m.M.Domain(), m.M.Range(), a.LDS(), b.LDS())
+	}
+	return m.M.Filter(func(c mapping.Correspondence) bool {
+		return a.Has(c.Domain) && b.Has(c.Range)
+	}), nil
+}

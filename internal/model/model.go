@@ -1,0 +1,246 @@
+// Package model defines MOMA's object model: physical and logical data
+// sources, semantic object types, and object instances.
+//
+// Following the paper (§2.1), a physical data source (PDS) such as DBLP or
+// Google Scholar hosts one or more logical data sources (LDS). Each LDS
+// contains the instances of exactly one semantic object type (Publication,
+// Author, Venue, ...). Every instance is identified by an ID that is unique
+// within its LDS and carries a flat bag of attribute values.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ObjectType names a semantic object type such as "Publication".
+type ObjectType string
+
+// Common object types of the bibliographic domain used throughout the
+// paper's examples and evaluation.
+const (
+	Publication ObjectType = "Publication"
+	Author      ObjectType = "Author"
+	Venue       ObjectType = "Venue"
+)
+
+// PDS names a physical data source, e.g. "DBLP".
+type PDS string
+
+// LDS identifies a logical data source: the instances of one object type
+// within one physical data source, e.g. Publication@DBLP.
+type LDS struct {
+	Source PDS
+	Type   ObjectType
+}
+
+// String renders the LDS in the paper's Type@Source notation.
+func (l LDS) String() string { return string(l.Type) + "@" + string(l.Source) }
+
+// SameType reports whether both logical sources hold the same object type,
+// the precondition for same-mappings and for the merge operator.
+func (l LDS) SameType(o LDS) bool { return l.Type == o.Type }
+
+// ParseLDS parses the Type@Source notation produced by LDS.String.
+func ParseLDS(s string) (LDS, error) {
+	at := strings.IndexByte(s, '@')
+	if at <= 0 || at == len(s)-1 {
+		return LDS{}, fmt.Errorf("model: invalid LDS %q, want Type@Source", s)
+	}
+	return LDS{Source: PDS(s[at+1:]), Type: ObjectType(s[:at])}, nil
+}
+
+// ID identifies an object instance within its LDS.
+type ID string
+
+// Instance is a single object instance: an ID plus attribute values.
+// Attribute values are kept as strings, matching the paper's setting of
+// matching real, possibly schema-poor web data; typed accessors convert on
+// demand.
+type Instance struct {
+	ID    ID
+	Attrs map[string]string
+}
+
+// NewInstance returns an instance with the given id and a copy of attrs.
+func NewInstance(id ID, attrs map[string]string) *Instance {
+	cp := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		cp[k] = v
+	}
+	return &Instance{ID: id, Attrs: cp}
+}
+
+// Attr returns the value of the named attribute, or "" if absent.
+func (in *Instance) Attr(name string) string {
+	if in == nil || in.Attrs == nil {
+		return ""
+	}
+	return in.Attrs[name]
+}
+
+// HasAttr reports whether the named attribute is present (even if empty).
+func (in *Instance) HasAttr(name string) bool {
+	if in == nil || in.Attrs == nil {
+		return false
+	}
+	_, ok := in.Attrs[name]
+	return ok
+}
+
+// IntAttr returns the attribute parsed as an integer. ok is false when the
+// attribute is missing or not an integer; the paper's sources have optional
+// numeric attributes (e.g. publication year in Google Scholar).
+func (in *Instance) IntAttr(name string) (v int, ok bool) {
+	s := in.Attr(name)
+	if s == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// SetAttr sets an attribute value, allocating the map if needed.
+func (in *Instance) SetAttr(name, value string) {
+	if in.Attrs == nil {
+		in.Attrs = make(map[string]string)
+	}
+	in.Attrs[name] = value
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	return NewInstance(in.ID, in.Attrs)
+}
+
+// String renders the instance as id{k=v, ...} with sorted keys, for logs and
+// test failure messages.
+func (in *Instance) String() string {
+	if in == nil {
+		return "<nil>"
+	}
+	keys := make([]string, 0, len(in.Attrs))
+	for k := range in.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(string(in.ID))
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", k, in.Attrs[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ObjectSet is the set of instances of one LDS (or a subset of it: the
+// paper's match inputs "need not be entire LDS but only subsets", §2.1).
+// Iteration order is insertion order, which keeps runs deterministic.
+type ObjectSet struct {
+	lds   LDS
+	byID  map[ID]*Instance
+	order []ID
+}
+
+// NewObjectSet returns an empty object set for the given LDS.
+func NewObjectSet(lds LDS) *ObjectSet {
+	return &ObjectSet{lds: lds, byID: make(map[ID]*Instance)}
+}
+
+// LDS returns the logical data source this set draws from.
+func (s *ObjectSet) LDS() LDS { return s.lds }
+
+// Len returns the number of instances in the set.
+func (s *ObjectSet) Len() int { return len(s.order) }
+
+// Add inserts or replaces an instance. Replacing keeps the original
+// position so iteration order stays stable.
+func (s *ObjectSet) Add(in *Instance) {
+	if _, exists := s.byID[in.ID]; !exists {
+		s.order = append(s.order, in.ID)
+	}
+	s.byID[in.ID] = in
+}
+
+// AddNew is a convenience for Add(NewInstance(id, attrs)).
+func (s *ObjectSet) AddNew(id ID, attrs map[string]string) *Instance {
+	in := NewInstance(id, attrs)
+	s.Add(in)
+	return in
+}
+
+// Get returns the instance with the given id, or nil.
+func (s *ObjectSet) Get(id ID) *Instance { return s.byID[id] }
+
+// Has reports whether an instance with the given id is present.
+func (s *ObjectSet) Has(id ID) bool { _, ok := s.byID[id]; return ok }
+
+// IDs returns the instance ids in insertion order. The returned slice is a
+// copy and safe to mutate.
+func (s *ObjectSet) IDs() []ID {
+	ids := make([]ID, len(s.order))
+	copy(ids, s.order)
+	return ids
+}
+
+// Instances returns all instances in insertion order.
+func (s *ObjectSet) Instances() []*Instance {
+	out := make([]*Instance, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.byID[id])
+	}
+	return out
+}
+
+// Each calls fn for every instance in insertion order, stopping early when
+// fn returns false.
+func (s *ObjectSet) Each(fn func(*Instance) bool) {
+	for _, id := range s.order {
+		if !fn(s.byID[id]) {
+			return
+		}
+	}
+}
+
+// Filter returns a new object set over the same LDS containing only the
+// instances for which keep returns true.
+func (s *ObjectSet) Filter(keep func(*Instance) bool) *ObjectSet {
+	out := NewObjectSet(s.lds)
+	for _, id := range s.order {
+		if in := s.byID[id]; keep(in) {
+			out.Add(in)
+		}
+	}
+	return out
+}
+
+// Subset returns a new object set containing the instances with the given
+// ids, skipping unknown ids. It models querying a web source for selected
+// objects rather than downloading the full LDS.
+func (s *ObjectSet) Subset(ids []ID) *ObjectSet {
+	out := NewObjectSet(s.lds)
+	for _, id := range ids {
+		if in, ok := s.byID[id]; ok {
+			out.Add(in)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the set (instances are cloned too).
+func (s *ObjectSet) Clone() *ObjectSet {
+	out := NewObjectSet(s.lds)
+	for _, id := range s.order {
+		out.Add(s.byID[id].Clone())
+	}
+	return out
+}

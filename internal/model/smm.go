@@ -1,0 +1,237 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MappingType names the semantics of a mapping, e.g. "PubAuthor" for
+// "publications of author / authors of publication". Same-mappings use
+// SameMappingType.
+type MappingType string
+
+// SameMappingType is the reserved semantic type of same-mappings, which
+// connect instances of the same object type and represent semantic equality
+// (§2.1, Definition 1).
+const SameMappingType MappingType = "same"
+
+// MappingDecl declares, at the schema level, that mappings of the given
+// semantic type exist between two logical sources. Cardinality documents the
+// semantic cardinality of the association (§4.2, Fig. 10), which drives how
+// promising the neighborhood matcher is.
+type MappingDecl struct {
+	Name        string
+	Type        MappingType
+	Domain      LDS
+	Range       LDS
+	Cardinality Cardinality
+}
+
+// Cardinality classifies the semantic cardinality of an association mapping.
+type Cardinality int
+
+// Cardinality values as discussed in §4.2 / Figure 10.
+const (
+	CardUnknown Cardinality = iota
+	CardOneToOne
+	CardOneToMany // e.g. venue -> publications
+	CardManyToOne // e.g. publication -> venue
+	CardManyToMany
+)
+
+// String renders the cardinality in the paper's notation.
+func (c Cardinality) String() string {
+	switch c {
+	case CardOneToOne:
+		return "1:1"
+	case CardOneToMany:
+		return "1:n"
+	case CardManyToOne:
+		return "n:1"
+	case CardManyToMany:
+		return "n:m"
+	default:
+		return "?"
+	}
+}
+
+// Inverse returns the cardinality of the inverse mapping.
+func (c Cardinality) Inverse() Cardinality {
+	switch c {
+	case CardOneToMany:
+		return CardManyToOne
+	case CardManyToOne:
+		return CardOneToMany
+	default:
+		return c
+	}
+}
+
+// SMM is the source-mapping model (§2.1, Fig. 2): the registry of physical
+// sources, logical sources and declared mapping types of a domain.
+type SMM struct {
+	pds      map[PDS]bool
+	lds      map[LDS]bool
+	mappings map[string]MappingDecl
+	order    []string
+}
+
+// NewSMM returns an empty source-mapping model.
+func NewSMM() *SMM {
+	return &SMM{
+		pds:      make(map[PDS]bool),
+		lds:      make(map[LDS]bool),
+		mappings: make(map[string]MappingDecl),
+	}
+}
+
+// AddPDS registers a physical data source.
+func (m *SMM) AddPDS(p PDS) { m.pds[p] = true }
+
+// AddLDS registers a logical data source (and its physical source).
+func (m *SMM) AddLDS(l LDS) {
+	m.pds[l.Source] = true
+	m.lds[l] = true
+}
+
+// HasLDS reports whether the logical source is registered.
+func (m *SMM) HasLDS(l LDS) bool { return m.lds[l] }
+
+// PhysicalSources returns all registered physical sources, sorted.
+func (m *SMM) PhysicalSources() []PDS {
+	out := make([]PDS, 0, len(m.pds))
+	for p := range m.pds {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LogicalSources returns all registered logical sources, sorted by their
+// string form.
+func (m *SMM) LogicalSources() []LDS {
+	out := make([]LDS, 0, len(m.lds))
+	for l := range m.lds {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// DeclareMapping registers a mapping declaration under its name. Both
+// endpoints are registered as logical sources as a side effect. Declaring a
+// same-mapping between different object types is an error.
+func (m *SMM) DeclareMapping(d MappingDecl) error {
+	if d.Name == "" {
+		return fmt.Errorf("model: mapping declaration needs a name")
+	}
+	if d.Type == SameMappingType && !d.Domain.SameType(d.Range) {
+		return fmt.Errorf("model: same-mapping %s must connect equal object types, got %s and %s",
+			d.Name, d.Domain, d.Range)
+	}
+	if _, dup := m.mappings[d.Name]; dup {
+		return fmt.Errorf("model: duplicate mapping declaration %q", d.Name)
+	}
+	m.AddLDS(d.Domain)
+	m.AddLDS(d.Range)
+	m.mappings[d.Name] = d
+	m.order = append(m.order, d.Name)
+	return nil
+}
+
+// Mapping returns the declaration registered under name.
+func (m *SMM) Mapping(name string) (MappingDecl, bool) {
+	d, ok := m.mappings[name]
+	return d, ok
+}
+
+// Mappings returns all declarations in declaration order.
+func (m *SMM) Mappings() []MappingDecl {
+	out := make([]MappingDecl, 0, len(m.order))
+	for _, n := range m.order {
+		out = append(out, m.mappings[n])
+	}
+	return out
+}
+
+// MappingsBetween returns the declarations connecting the two logical
+// sources in either direction.
+func (m *SMM) MappingsBetween(a, b LDS) []MappingDecl {
+	var out []MappingDecl
+	for _, n := range m.order {
+		d := m.mappings[n]
+		if (d.Domain == a && d.Range == b) || (d.Domain == b && d.Range == a) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// PossibleSameMappings returns the unordered LDS pairs of equal object type,
+// i.e. all places where a same-mapping could be established. §2.1 notes the
+// bibliographic SMM of Fig. 2 admits up to 8 of them.
+func (m *SMM) PossibleSameMappings() [][2]LDS {
+	lds := m.LogicalSources()
+	var out [][2]LDS
+	for i := 0; i < len(lds); i++ {
+		for j := i + 1; j < len(lds); j++ {
+			if lds[i].SameType(lds[j]) {
+				out = append(out, [2]LDS{lds[i], lds[j]})
+			}
+		}
+	}
+	return out
+}
+
+// String renders a compact multi-line description of the model.
+func (m *SMM) String() string {
+	var b strings.Builder
+	b.WriteString("SMM{\n")
+	for _, p := range m.PhysicalSources() {
+		fmt.Fprintf(&b, "  PDS %s\n", p)
+	}
+	for _, l := range m.LogicalSources() {
+		fmt.Fprintf(&b, "  LDS %s\n", l)
+	}
+	for _, d := range m.Mappings() {
+		fmt.Fprintf(&b, "  MAP %s: %s -> %s (%s, %s)\n", d.Name, d.Domain, d.Range, d.Type, d.Cardinality)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// BibliographicSMM builds the source-mapping model of Figure 2: DBLP with
+// publications, authors and venues; ACM with the same three types; Google
+// Scholar with publications only; and the association mapping types
+// publications-of-author, venue-of-publication and co-authors.
+func BibliographicSMM() *SMM {
+	m := NewSMM()
+	dblpPub := LDS{"DBLP", Publication}
+	dblpAut := LDS{"DBLP", Author}
+	dblpVen := LDS{"DBLP", Venue}
+	acmPub := LDS{"ACM", Publication}
+	acmAut := LDS{"ACM", Author}
+	acmVen := LDS{"ACM", Venue}
+	gsPub := LDS{"GS", Publication}
+
+	decls := []MappingDecl{
+		{Name: "DBLP.AuthorPub", Type: "AuthorPub", Domain: dblpAut, Range: dblpPub, Cardinality: CardManyToMany},
+		{Name: "DBLP.PubAuthor", Type: "PubAuthor", Domain: dblpPub, Range: dblpAut, Cardinality: CardManyToMany},
+		{Name: "DBLP.VenuePub", Type: "VenuePub", Domain: dblpVen, Range: dblpPub, Cardinality: CardOneToMany},
+		{Name: "DBLP.PubVenue", Type: "PubVenue", Domain: dblpPub, Range: dblpVen, Cardinality: CardManyToOne},
+		{Name: "DBLP.CoAuthor", Type: "CoAuthor", Domain: dblpAut, Range: dblpAut, Cardinality: CardManyToMany},
+		{Name: "ACM.AuthorPub", Type: "AuthorPub", Domain: acmAut, Range: acmPub, Cardinality: CardManyToMany},
+		{Name: "ACM.PubAuthor", Type: "PubAuthor", Domain: acmPub, Range: acmAut, Cardinality: CardManyToMany},
+		{Name: "ACM.VenuePub", Type: "VenuePub", Domain: acmVen, Range: acmPub, Cardinality: CardOneToMany},
+		{Name: "ACM.PubVenue", Type: "PubVenue", Domain: acmPub, Range: acmVen, Cardinality: CardManyToOne},
+		{Name: "ACM.CoAuthor", Type: "CoAuthor", Domain: acmAut, Range: acmAut, Cardinality: CardManyToMany},
+	}
+	for _, d := range decls {
+		if err := m.DeclareMapping(d); err != nil {
+			panic(err) // static table; cannot fail
+		}
+	}
+	m.AddLDS(gsPub)
+	return m
+}

@@ -1,0 +1,181 @@
+package script
+
+import (
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+func evalConstraint(t *testing.T, src string, corr mapping.Correspondence, d, r *model.Instance) bool {
+	t.Helper()
+	c, err := ParseConstraint(src)
+	if err != nil {
+		t.Fatalf("ParseConstraint(%q): %v", src, err)
+	}
+	got, err := c.Eval(corr, d, r)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return got
+}
+
+func TestConstraintIDInequality(t *testing.T) {
+	corr := mapping.Correspondence{Domain: "a", Range: "b", Sim: 0.9}
+	if !evalConstraint(t, "[domain.id]<>[range.id]", corr, nil, nil) {
+		t.Error("a <> b should hold")
+	}
+	same := mapping.Correspondence{Domain: "a", Range: "a", Sim: 1}
+	if evalConstraint(t, "[domain.id]<>[range.id]", same, nil, nil) {
+		t.Error("a <> a should not hold")
+	}
+}
+
+func TestConstraintYearDifference(t *testing.T) {
+	d := model.NewInstance("p", map[string]string{"year": "2001"})
+	r1 := model.NewInstance("q", map[string]string{"year": "2002"})
+	r2 := model.NewInstance("q", map[string]string{"year": "2005"})
+	corr := mapping.Correspondence{Domain: "p", Range: "q", Sim: 1}
+	src := "abs([domain.year]-[range.year])<=1"
+	if !evalConstraint(t, src, corr, d, r1) {
+		t.Error("diff 1 should pass")
+	}
+	if evalConstraint(t, src, corr, d, r2) {
+		t.Error("diff 4 should fail")
+	}
+}
+
+func TestConstraintStringComparison(t *testing.T) {
+	d := model.NewInstance("p", map[string]string{"kind": "conference"})
+	corr := mapping.Correspondence{Domain: "p", Range: "q"}
+	if !evalConstraint(t, "[domain.kind]='conference'", corr, d, nil) {
+		t.Error("string equality failed")
+	}
+	if evalConstraint(t, "[domain.kind]='journal'", corr, d, nil) {
+		t.Error("string inequality failed")
+	}
+}
+
+func TestConstraintAndOr(t *testing.T) {
+	d := model.NewInstance("p", map[string]string{"year": "2001", "kind": "conference"})
+	r := model.NewInstance("q", map[string]string{"year": "2001"})
+	corr := mapping.Correspondence{Domain: "p", Range: "q"}
+	if !evalConstraint(t, "[domain.kind]='conference' AND [domain.year]=[range.year]", corr, d, r) {
+		t.Error("AND failed")
+	}
+	if !evalConstraint(t, "[domain.kind]='journal' OR [domain.year]=2001", corr, d, r) {
+		t.Error("OR failed")
+	}
+	if evalConstraint(t, "[domain.kind]='journal' AND [domain.year]=2001", corr, d, r) {
+		t.Error("AND short-circuit failed")
+	}
+}
+
+func TestConstraintSimReference(t *testing.T) {
+	corr := mapping.Correspondence{Domain: "a", Range: "b", Sim: 0.75}
+	if !evalConstraint(t, "[domain.sim]>=0.5", corr, nil, nil) {
+		t.Error("sim reference failed")
+	}
+	if evalConstraint(t, "[range.sim]>0.8", corr, nil, nil) {
+		t.Error("sim threshold failed")
+	}
+}
+
+func TestConstraintParenthesesAndArithmetic(t *testing.T) {
+	d := model.NewInstance("p", map[string]string{"a": "5"})
+	r := model.NewInstance("q", map[string]string{"b": "3"})
+	corr := mapping.Correspondence{Domain: "p", Range: "q"}
+	if !evalConstraint(t, "([domain.a]-[range.b])+1=3", corr, d, r) {
+		t.Error("arithmetic failed")
+	}
+}
+
+func TestConstraintParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"[domain]<>[range.id]",
+		"[middle.id]=1",
+		"[domain.id",
+		"abs[domain.year]<=1",
+		"abs([domain.year]<=1",
+		"'unterminated",
+		"[domain.id]=1 trailing",
+		"[domain.id]=)",
+	}
+	for _, src := range bad {
+		if _, err := ParseConstraint(src); err == nil {
+			t.Errorf("ParseConstraint(%q) should fail", src)
+		}
+	}
+}
+
+func TestConstraintEvalErrors(t *testing.T) {
+	corr := mapping.Correspondence{Domain: "a", Range: "b"}
+	// AND over non-booleans.
+	c, err := ParseConstraint("([domain.id]) AND ([range.id])")
+	if err == nil {
+		if _, err = c.Eval(corr, nil, nil); err == nil {
+			t.Error("AND over strings should fail at eval")
+		}
+	}
+	// Constraint must be boolean.
+	c2, err := ParseConstraint("[domain.id]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Eval(corr, nil, nil); err == nil {
+		t.Error("non-boolean constraint should fail")
+	}
+	// abs on non-number.
+	c3, err := ParseConstraint("abs([domain.id])=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c3.Eval(corr, nil, nil); err == nil {
+		t.Error("abs on string id should fail")
+	}
+	// Arithmetic on strings.
+	c4, err := ParseConstraint("[domain.id]+1=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c4.Eval(corr, nil, nil); err == nil {
+		t.Error("arithmetic on non-numeric id should fail")
+	}
+}
+
+func TestConstraintSelection(t *testing.T) {
+	dSet := model.NewObjectSet(dblpPub)
+	dSet.AddNew("p1", map[string]string{"year": "2001"})
+	dSet.AddNew("p2", map[string]string{"year": "1995"})
+	rSet := model.NewObjectSet(acmPub)
+	rSet.AddNew("q1", map[string]string{"year": "2002"})
+	rSet.AddNew("q2", map[string]string{"year": "2002"})
+
+	m := mapping.NewSame(dblpPub, acmPub)
+	m.Add("p1", "q1", 0.9)
+	m.Add("p2", "q2", 0.9)
+
+	c, err := ParseConstraint("abs([domain.year]-[range.year])<=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Selection(dSet, rSet).Apply(m)
+	if got.Len() != 1 || !got.Has("p1", "q1") {
+		t.Errorf("selection = %v", got.Correspondences())
+	}
+	if c.Selection(dSet, rSet).(*constraintSelection).String() == "" {
+		t.Error("selection should describe itself")
+	}
+	if c.String() != "abs([domain.year]-[range.year])<=1" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestConstraintMissingAttributeComparesEmpty(t *testing.T) {
+	corr := mapping.Correspondence{Domain: "a", Range: "b"}
+	d := model.NewInstance("a", nil)
+	if !evalConstraint(t, "[domain.missing]=''", corr, d, nil) {
+		t.Error("missing attribute should compare as empty string")
+	}
+}

@@ -1,0 +1,200 @@
+// Package script implements the iFuice-style script language MOMA uses to
+// express match workflows (§4). It covers the constructs appearing in the
+// paper verbatim:
+//
+//	PROCEDURE nhMatch ( $Asso1, $Same, $Asso2 )
+//	   $Temp   = compose ( $Asso1, $Same, Min, Average )
+//	   $Result = compose ( $Temp, $Asso2, Min, Relative )
+//	   RETURN $Result
+//	END
+//
+//	$CoAuthSim = nhMatch (DBLP.CoAuthor, DBLP.AuthorAuthor, DBLP.CoAuthor)
+//	$NameSim   = attrMatch (DBLP.Author, DBLP.Author, Trigram, 0.5, "[name]", "[name]")
+//	$Merged    = merge ($CoAuthSim, $NameSim, Average)
+//	$Result    = select ($Merged, "[domain.id]<>[range.id]")
+//
+// plus threshold/best-n selections, inverse, identity and user procedures.
+// The interpreter resolves source references (DBLP.Author) and pre-existing
+// mappings (DBLP.CoAuthor) through an Env, typically backed by the mapping
+// repository.
+package script
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNewline
+	tokIdent  // compose, DBLP, Min
+	tokVar    // $Result
+	tokNumber // 0.5
+	tokString // "[name]"
+	tokLParen
+	tokRParen
+	tokComma
+	tokAssign // =
+	tokDot    // .
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of script"
+	case tokNewline:
+		return "end of line"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokAssign:
+		return "'='"
+	case tokDot:
+		return "'.'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source line for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lexer tokenizes a script. Newlines are emitted as statement separators
+// only at parenthesis depth zero, so argument lists may span lines as they
+// do in the paper's listings.
+type lexer struct {
+	src   []rune
+	pos   int
+	line  int
+	depth int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+// lex tokenizes the entire input.
+func (lx *lexer) lex() ([]token, error) {
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) peekRune() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		r := lx.src[lx.pos]
+		switch {
+		case r == '\n':
+			lx.pos++
+			lx.line++
+			if lx.depth == 0 {
+				return token{kind: tokNewline, line: lx.line - 1}, nil
+			}
+		case unicode.IsSpace(r):
+			lx.pos++
+		case r == '#' || (r == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/'):
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case r == '(':
+			lx.pos++
+			lx.depth++
+			return token{kind: tokLParen, line: lx.line}, nil
+		case r == ')':
+			lx.pos++
+			if lx.depth > 0 {
+				lx.depth--
+			}
+			return token{kind: tokRParen, line: lx.line}, nil
+		case r == ',':
+			lx.pos++
+			return token{kind: tokComma, line: lx.line}, nil
+		case r == '=':
+			lx.pos++
+			return token{kind: tokAssign, line: lx.line}, nil
+		case r == '.':
+			lx.pos++
+			return token{kind: tokDot, line: lx.line}, nil
+		case r == '$':
+			start := lx.pos
+			lx.pos++
+			for lx.pos < len(lx.src) && isIdentRune(lx.src[lx.pos]) {
+				lx.pos++
+			}
+			if lx.pos == start+1 {
+				return token{}, fmt.Errorf("script: line %d: '$' must begin a variable name", lx.line)
+			}
+			return token{kind: tokVar, text: string(lx.src[start+1 : lx.pos]), line: lx.line}, nil
+		case r == '"':
+			lx.pos++
+			var b strings.Builder
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
+				if lx.src[lx.pos] == '\n' {
+					return token{}, fmt.Errorf("script: line %d: unterminated string", lx.line)
+				}
+				b.WriteRune(lx.src[lx.pos])
+				lx.pos++
+			}
+			if lx.pos >= len(lx.src) {
+				return token{}, fmt.Errorf("script: line %d: unterminated string", lx.line)
+			}
+			lx.pos++
+			return token{kind: tokString, text: b.String(), line: lx.line}, nil
+		case unicode.IsDigit(r):
+			start := lx.pos
+			for lx.pos < len(lx.src) && (unicode.IsDigit(lx.src[lx.pos]) || lx.src[lx.pos] == '.') {
+				lx.pos++
+			}
+			return token{kind: tokNumber, text: string(lx.src[start:lx.pos]), line: lx.line}, nil
+		case isIdentRune(r):
+			start := lx.pos
+			for lx.pos < len(lx.src) && isIdentRune(lx.src[lx.pos]) {
+				lx.pos++
+			}
+			return token{kind: tokIdent, text: string(lx.src[start:lx.pos]), line: lx.line}, nil
+		default:
+			return token{}, fmt.Errorf("script: line %d: unexpected character %q", lx.line, string(r))
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+}
+
+// isIdentRune reports identifier characters (letters, digits, underscore,
+// dash — mapping names like DBLP-ACM appear in repositories).
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}

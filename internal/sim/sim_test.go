@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// allFuncs lists every built-in measure for property tests.
+func allFuncs() map[string]Func {
+	r := NewRegistry()
+	out := make(map[string]Func)
+	for _, name := range r.Names() {
+		fn, _ := r.Lookup(name)
+		out[name] = fn
+	}
+	return out
+}
+
+func TestRegistryLookup(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Lookup("Trigram"); !ok {
+		t.Error("Trigram should be registered")
+	}
+	if _, ok := r.Lookup("trigram"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Error("unknown name should miss")
+	}
+}
+
+func TestRegistryRegisterErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("", Equal); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := r.Register("X", nil); err == nil {
+		t.Error("nil func should fail")
+	}
+	if err := r.Register("TRIGRAM", Equal); err == nil {
+		t.Error("case-insensitive duplicate should fail")
+	}
+	if err := r.Register("custom", Equal); err != nil {
+		t.Errorf("fresh name should register: %v", err)
+	}
+}
+
+func TestRegistryNamesOrder(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	if len(names) == 0 || names[0] != "Equal" {
+		t.Errorf("Names()[0] = %v, want Equal first", names)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Generic Schema Matching with Cupid", "generic schema matching with cupid"},
+		{"  A  Formal   Perspective ", "a formal perspective"},
+		{"VLDB-2002", "vldb 2002"},
+		{"CIDR'07!", "cidr07"},
+		{"Müller, J.", "müller j"},
+		{"", ""},
+		{"---", ""},
+	}
+	for _, tc := range tests {
+		if got := Normalize(tc.in); got != tc.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTokens(t *testing.T) {
+	got := Tokens("A Formal Perspective on the View!")
+	want := []string{"a", "formal", "perspective", "on", "the", "view"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokens = %v, want %v", got, want)
+	}
+	if Tokens("") != nil {
+		t.Error("Tokens of empty should be nil")
+	}
+}
+
+func TestRangeInvariant(t *testing.T) {
+	inputs := []string{"", "a", "ab", "abc", "hello world", "VLDB 2002",
+		"28th International Conference on Very Large Data Bases",
+		"éàü", "x y z", "1234", "Catalina Fan", "C. Fan"}
+	for name, fn := range allFuncs() {
+		for _, a := range inputs {
+			for _, b := range inputs {
+				s := fn(a, b)
+				if s < 0 || s > 1 || math.IsNaN(s) {
+					t.Errorf("%s(%q, %q) = %v out of [0,1]", name, a, b, s)
+				}
+			}
+		}
+	}
+}
+
+func TestIdentityInvariant(t *testing.T) {
+	// Every measure must score a non-empty normalizable string 1 against
+	// itself.
+	inputs := []string{"hello", "Data Integration", "Catalina Fan", "1999"}
+	for name, fn := range allFuncs() {
+		if name == "Year" || name == "YearExact" {
+			continue // only defined on numeric input; tested separately
+		}
+		for _, a := range inputs {
+			if name == "Soundex" && a == "1999" {
+				continue // Soundex is only defined on alphabetic tokens
+			}
+			if s := fn(a, a); s != 1 {
+				t.Errorf("%s(%q, %q) = %v, want 1", name, a, a, s)
+			}
+		}
+	}
+}
+
+func TestSymmetryProperty(t *testing.T) {
+	symmetric := []string{"Equal", "EqualFold", "Trigram", "Bigram",
+		"NGramJaccard", "Levenshtein", "Jaro", "JaroWinkler", "Affix",
+		"Prefix", "Suffix", "TokenJaccard", "TokenDice", "MongeElkan",
+		"Soundex", "Year", "YearExact"}
+	r := NewRegistry()
+	f := func(a, b string) bool {
+		for _, name := range symmetric {
+			fn, _ := r.Lookup(name)
+			if math.Abs(fn(a, b)-fn(b, a)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeProperty(t *testing.T) {
+	fns := allFuncs()
+	f := func(a, b string) bool {
+		for _, fn := range fns {
+			s := fn(a, b)
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualFold(t *testing.T) {
+	if EqualFold("VLDB  2002", "vldb 2002") != 1 {
+		t.Error("EqualFold should normalize whitespace and case")
+	}
+	if EqualFold("VLDB", "SIGMOD") != 0 {
+		t.Error("different strings should be 0")
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// TFIDF holds corpus statistics for the TF/IDF cosine measure named in §2.2.
+// Build it once from the attribute values of both match inputs, then use
+// Cosine (or the Func adapter) to score pairs. Rare tokens then weigh more
+// than stop-words, which is what makes TF/IDF effective on titles.
+type TFIDF struct {
+	docFreq map[string]int
+	docs    int
+}
+
+// NewTFIDF returns an empty corpus model.
+func NewTFIDF() *TFIDF {
+	return &TFIDF{docFreq: make(map[string]int)}
+}
+
+// Add registers one document (attribute value) with the corpus.
+func (t *TFIDF) Add(doc string) {
+	t.docs++
+	for _, tok := range uniqueSorted(Tokens(doc)) {
+		t.docFreq[tok]++
+	}
+}
+
+// AddAll registers many documents.
+func (t *TFIDF) AddAll(docs []string) {
+	for _, d := range docs {
+		t.Add(d)
+	}
+}
+
+// Docs returns the number of registered documents.
+func (t *TFIDF) Docs() int { return t.docs }
+
+// idf returns the smoothed inverse document frequency of a token. Unknown
+// tokens get the maximal weight (as if they occurred in one document).
+func (t *TFIDF) idf(token string) float64 {
+	df := t.docFreq[token]
+	if df < 1 {
+		df = 1
+	}
+	return math.Log(1 + float64(t.docs)/float64(df))
+}
+
+// vector builds the tf-idf weight vector (sorted by token) of a document.
+func (t *TFIDF) vector(doc string) ([]string, []float64) {
+	toks := Tokens(doc)
+	if len(toks) == 0 {
+		return nil, nil
+	}
+	counts := make(map[string]int, len(toks))
+	for _, tok := range toks {
+		counts[tok]++
+	}
+	terms := make([]string, 0, len(counts))
+	for tok := range counts {
+		terms = append(terms, tok)
+	}
+	sort.Strings(terms)
+	weights := make([]float64, len(terms))
+	for i, tok := range terms {
+		tf := 1 + math.Log(float64(counts[tok]))
+		weights[i] = tf * t.idf(tok)
+	}
+	return terms, weights
+}
+
+// Cosine returns the cosine similarity of the tf-idf vectors of a and b.
+func (t *TFIDF) Cosine(a, b string) float64 {
+	ta, wa := t.vector(a)
+	tb, wb := t.vector(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	i, j := 0, 0
+	for i < len(ta) && j < len(tb) {
+		switch {
+		case ta[i] == tb[j]:
+			dot += wa[i] * wb[j]
+			i++
+			j++
+		case ta[i] < tb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	for _, w := range wa {
+		na += w * w
+	}
+	for _, w := range wb {
+		nb += w * w
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return clamp01(dot / (math.Sqrt(na) * math.Sqrt(nb)))
+}
+
+// Func adapts the corpus model to the sim.Func interface.
+func (t *TFIDF) Func() Func { return t.Cosine }

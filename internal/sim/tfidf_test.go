@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func corpusModel() *TFIDF {
+	t := NewTFIDF()
+	t.AddAll([]string{
+		"a formal perspective on the view selection problem",
+		"generic schema matching with cupid",
+		"the view selection problem revisited",
+		"data integration on the web",
+		"schema matching survey",
+		"query processing on the web",
+	})
+	return t
+}
+
+func TestTFIDFIdentity(t *testing.T) {
+	m := corpusModel()
+	if got := m.Cosine("generic schema matching with cupid", "generic schema matching with cupid"); math.Abs(got-1) > 1e-9 {
+		t.Errorf("self similarity = %v, want 1", got)
+	}
+}
+
+func TestTFIDFRareTokensDominate(t *testing.T) {
+	m := corpusModel()
+	// "cupid" is rare, "the/on" are common: sharing the rare token must
+	// outscore sharing only stop-words.
+	rare := m.Cosine("cupid matching", "generic schema matching with cupid")
+	common := m.Cosine("on the", "a formal perspective on the view selection problem")
+	if rare <= common {
+		t.Errorf("rare overlap (%v) should outscore stop-word overlap (%v)", rare, common)
+	}
+}
+
+func TestTFIDFEmpty(t *testing.T) {
+	m := corpusModel()
+	if m.Cosine("", "") != 1 {
+		t.Error("both empty should be 1")
+	}
+	if m.Cosine("x", "") != 0 {
+		t.Error("one empty should be 0")
+	}
+}
+
+func TestTFIDFUnknownTokens(t *testing.T) {
+	m := corpusModel()
+	got := m.Cosine("zebra quagga", "zebra quagga")
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("unknown-token self similarity = %v, want 1", got)
+	}
+	if m.Cosine("zebra", "quagga") != 0 {
+		t.Error("disjoint unknown tokens should be 0")
+	}
+}
+
+func TestTFIDFRange(t *testing.T) {
+	m := corpusModel()
+	pairs := [][2]string{
+		{"schema matching", "generic schema matching with cupid"},
+		{"view selection", "the view selection problem revisited"},
+		{"web data", "data integration on the web"},
+	}
+	for _, p := range pairs {
+		s := m.Cosine(p[0], p[1])
+		if s <= 0 || s > 1 {
+			t.Errorf("Cosine(%q,%q) = %v, want in (0,1]", p[0], p[1], s)
+		}
+	}
+}
+
+func TestTFIDFDocs(t *testing.T) {
+	m := corpusModel()
+	if m.Docs() != 6 {
+		t.Errorf("Docs = %d, want 6", m.Docs())
+	}
+}
+
+func TestTFIDFFuncAdapter(t *testing.T) {
+	m := corpusModel()
+	fn := m.Func()
+	if fn("schema", "schema") != m.Cosine("schema", "schema") {
+		t.Error("Func adapter should delegate to Cosine")
+	}
+}

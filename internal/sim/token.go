@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Token-level and domain-specific measures.
+
+// TokenJaccard is |A∩B| / |A∪B| over the normalized token sets.
+func TokenJaccard(a, b string) float64 {
+	ta := uniqueSorted(Tokens(a))
+	tb := uniqueSorted(Tokens(b))
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	inter := overlap(ta, tb)
+	union := len(ta) + len(tb) - inter
+	return clamp01(float64(inter) / float64(union))
+}
+
+// TokenDice is 2·|A∩B| / (|A|+|B|) over the normalized token sets.
+func TokenDice(a, b string) float64 {
+	ta := uniqueSorted(Tokens(a))
+	tb := uniqueSorted(Tokens(b))
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	return clamp01(2 * float64(overlap(ta, tb)) / float64(len(ta)+len(tb)))
+}
+
+// YearExact returns 1 when both strings parse as the same integer year.
+// Either side failing to parse yields 0 (the paper notes Google Scholar's
+// optional year attribute).
+func YearExact(a, b string) float64 {
+	ya, errA := strconv.Atoi(strings.TrimSpace(a))
+	yb, errB := strconv.Atoi(strings.TrimSpace(b))
+	if errA != nil || errB != nil {
+		return 0
+	}
+	if ya == yb {
+		return 1
+	}
+	return 0
+}
+
+// YearSim returns 1 for equal years, 0.5 for years differing by one (the
+// paper's domain constraint "must not differ by more than one year"), and 0
+// otherwise or when either side does not parse.
+func YearSim(a, b string) float64 {
+	ya, errA := strconv.Atoi(strings.TrimSpace(a))
+	yb, errB := strconv.Atoi(strings.TrimSpace(b))
+	if errA != nil || errB != nil {
+		return 0
+	}
+	switch d := ya - yb; {
+	case d == 0:
+		return 1
+	case d == 1 || d == -1:
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+// NumericProximity returns a similarity for numeric strings that decays
+// linearly with |a-b| / scale, clamped to [0,1]. Non-numeric input gives 0.
+func NumericProximity(scale float64) Func {
+	return func(a, b string) float64 {
+		if scale <= 0 {
+			return 0
+		}
+		fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+		fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+		if errA != nil || errB != nil {
+			return 0
+		}
+		return clamp01(1 - math.Abs(fa-fb)/scale)
+	}
+}
+
+// Soundex computes the classic 4-character Soundex code of the first token
+// of the normalized string. Empty input yields "".
+func Soundex(s string) string {
+	toks := Tokens(s)
+	if len(toks) == 0 {
+		return ""
+	}
+	w := toks[0]
+	code := func(r rune) byte {
+		switch r {
+		case 'b', 'f', 'p', 'v':
+			return '1'
+		case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+			return '2'
+		case 'd', 't':
+			return '3'
+		case 'l':
+			return '4'
+		case 'm', 'n':
+			return '5'
+		case 'r':
+			return '6'
+		default:
+			return 0 // vowels, h, w, y and non-letters
+		}
+	}
+	runes := []rune(w)
+	first := runes[0]
+	if first < 'a' || first > 'z' {
+		return ""
+	}
+	out := []byte{byte(first - 'a' + 'A')}
+	prev := code(first)
+	for _, r := range runes[1:] {
+		c := code(r)
+		if c != 0 && c != prev {
+			out = append(out, c)
+			if len(out) == 4 {
+				break
+			}
+		}
+		if r != 'h' && r != 'w' {
+			prev = c
+		}
+	}
+	for len(out) < 4 {
+		out = append(out, '0')
+	}
+	return string(out)
+}
+
+// SoundexSim returns 1 when the Soundex codes of the first tokens agree and
+// both are non-empty, else 0.
+func SoundexSim(a, b string) float64 {
+	ca, cb := Soundex(a), Soundex(b)
+	if ca == "" || cb == "" {
+		return 0
+	}
+	if ca == cb {
+		return 1
+	}
+	return 0
+}
+
+// PersonName compares person names with awareness of initial-only given
+// names, the Google Scholar convention the paper calls out ("GS reduces
+// authors' first names to their first letter"). The last tokens (surnames)
+// are compared with Jaro-Winkler; the remaining given-name tokens are
+// aligned pairwise, where an initial matches any name starting with it.
+func PersonName(a, b string) float64 {
+	ta, tb := Tokens(a), Tokens(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	lastA, lastB := ta[len(ta)-1], tb[len(tb)-1]
+	surname := JaroWinkler(lastA, lastB)
+	givenA, givenB := ta[:len(ta)-1], tb[:len(tb)-1]
+	if len(givenA) == 0 && len(givenB) == 0 {
+		return surname
+	}
+	if len(givenA) == 0 || len(givenB) == 0 {
+		// One side has only a surname: surname similarity dominates but is
+		// discounted for the missing evidence.
+		return clamp01(0.75 * surname)
+	}
+	n := len(givenA)
+	if len(givenB) < n {
+		n = len(givenB)
+	}
+	var given float64
+	for i := 0; i < n; i++ {
+		given += givenTokenSim(givenA[i], givenB[i])
+	}
+	given /= float64(n)
+	return clamp01(0.6*surname + 0.4*given)
+}
+
+// givenTokenSim compares two given-name tokens, treating single letters as
+// initials that match any name sharing that first letter.
+func givenTokenSim(x, y string) float64 {
+	if x == y {
+		return 1
+	}
+	if len(x) == 0 || len(y) == 0 {
+		return 0
+	}
+	if len([]rune(x)) == 1 || len([]rune(y)) == 1 {
+		if []rune(x)[0] == []rune(y)[0] {
+			return 0.9 // initial matches, slightly below full-name evidence
+		}
+		return 0
+	}
+	return JaroWinkler(x, y)
+}

@@ -1,0 +1,130 @@
+// Package sources generates the deterministic synthetic bibliographic world
+// substituting for the paper's DBLP / ACM Digital Library / Google Scholar
+// datasets (§5.1), including per-source dirtiness and the perfect mappings
+// used by the evaluation. See DESIGN.md §3 for the substitution rationale.
+package sources
+
+// Config controls world generation. All randomness derives from Seed, so a
+// given configuration reproduces the identical world, sources and perfect
+// mappings on every run.
+type Config struct {
+	Seed int64
+
+	// YearStart..YearEnd is the covered publication period; the paper uses
+	// database publications from 1994 to 2003.
+	YearStart, YearEnd int
+
+	// Conferences and Journals name the venue series. Issue counts per
+	// journal year follow JournalIssues (parallel to Journals).
+	Conferences   []string
+	Journals      []string
+	JournalIssues []int
+
+	// Conference paper counts are drawn uniformly from this range; the
+	// paper reports "about 60-120" per conference (§5.4.1).
+	ConfPapersMin, ConfPapersMax int
+	// Journal issue paper counts; "2-26 per issue" with small average.
+	JournalPapersMin, JournalPapersMax int
+	// TargetPublications trims/pads the final count to hit Table 1 exactly
+	// (0 disables).
+	TargetPublications int
+
+	// TruthAuthors is the distinct real-person pool size; DupAuthorPairs of
+	// them additionally appear in DBLP under a second spelling (Table 9),
+	// and ACMVariantAuthors appear in ACM under a second name variant
+	// (inflating ACM's author count as in Table 1).
+	TruthAuthors      int
+	DupAuthorPairs    int
+	ACMVariantAuthors int
+	// CommunitySize controls co-author clustering (authors per community).
+	CommunitySize int
+	// MaxAuthorsPerPub bounds author lists; the paper saw 1 to 27.
+	MaxAuthorsPerPub int
+
+	// TwinProbability is the chance that a conference paper also gets a
+	// journal version with an identical title (the Figure 7 hazard).
+	TwinProbability float64
+
+	// RecurringColumnIssueRate is the fraction of SIGMOD-Record-style
+	// journal issues carrying each recurring column title (§5.4.2).
+	RecurringColumnIssueRate float64
+
+	// ACM dirtiness.
+	ACMDropVLDBYears []int   // conference years missing entirely (2002/2003)
+	ACMExtraDropRate float64 // additional random publication loss (used when no target)
+	ACMTitleTypoRate float64 // probability of a corrupted ACM title
+	// ACMTargetPublications trims ACM's publication count exactly (Table 1:
+	// 2294); 0 falls back to ACMExtraDropRate.
+	ACMTargetPublications int
+
+	// GS dirtiness.
+	GSEntriesMin, GSEntriesMax int     // duplicate entries per publication
+	GSTitleTypoRate            float64 // heavy extraction noise per entry
+	GSTokenDropRate            float64 // chance of losing a title token
+	GSTitleTruncateRate        float64 // chance the extractor caught only a title prefix
+	GSMissingYearRate          float64 // optional year attribute
+	GSAuthorTruncateRate       float64 // chance of truncating the author list
+	GSMergeTwinRate            float64 // chance GS merges title twins into one entry
+	GSNoiseDocs                int     // unrelated crawled documents
+	GSTargetPublications       int     // pad/trim GS size (0 disables)
+	GSLinkRecall               float64 // recall of the existing GS->ACM links (§5.3)
+}
+
+// PaperConfig reproduces the scale of the paper's evaluation setting
+// (Table 1: DBLP 130 venues / 2616 publications / 3319 authors, ACM 128 /
+// 2294 / 3547, GS 64263 publications).
+func PaperConfig() Config {
+	return Config{
+		Seed:      20070107, // CIDR 2007 opening day
+		YearStart: 1994, YearEnd: 2003,
+		Conferences:   []string{"VLDB", "SIGMOD"},
+		Journals:      []string{"TODS", "VLDB Journal", "SIGMOD Record"},
+		JournalIssues: []int{4, 3, 4},
+		ConfPapersMin: 60, ConfPapersMax: 120,
+		JournalPapersMin: 2, JournalPapersMax: 14,
+		TargetPublications: 2616,
+		TruthAuthors:       3309,
+		DupAuthorPairs:     10,
+		ACMVariantAuthors:  238,
+		CommunitySize:      24,
+		MaxAuthorsPerPub:   27,
+		TwinProbability:    0.04,
+
+		RecurringColumnIssueRate: 0.18,
+
+		ACMDropVLDBYears:      []int{2002, 2003},
+		ACMExtraDropRate:      0.031,
+		ACMTitleTypoRate:      0.03,
+		ACMTargetPublications: 2294,
+
+		GSEntriesMin: 1, GSEntriesMax: 3,
+		GSTitleTypoRate:      0.45,
+		GSTokenDropRate:      0.12,
+		GSTitleTruncateRate:  0.15,
+		GSMissingYearRate:    0.30,
+		GSAuthorTruncateRate: 0.25,
+		GSMergeTwinRate:      0.6,
+		GSNoiseDocs:          58000,
+		GSTargetPublications: 64263,
+		GSLinkRecall:         0.216,
+	}
+}
+
+// SmallConfig is a fast, reduced world for unit and integration tests: same
+// mechanisms, roughly 1/12 the size.
+func SmallConfig() Config {
+	c := PaperConfig()
+	c.Seed = 42
+	c.YearStart, c.YearEnd = 2000, 2002
+	c.ConfPapersMin, c.ConfPapersMax = 10, 20
+	c.JournalPapersMin, c.JournalPapersMax = 2, 6
+	c.TargetPublications = 0
+	c.TwinProbability = 0.1
+	c.TruthAuthors = 260
+	c.DupAuthorPairs = 4
+	c.ACMVariantAuthors = 20
+	c.ACMTargetPublications = 0
+	c.GSNoiseDocs = 300
+	c.GSTargetPublications = 0
+	return c
+}

@@ -1,0 +1,143 @@
+package sources
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Corruption operators modelling the dirtiness of the derived sources:
+// light curation noise for ACM DL and heavy automatic-extraction noise for
+// Google Scholar ("GS automatically extracts the bibliographic data from
+// the reference sections of the documents which may lead to quality
+// problems", §5.1).
+
+// typo applies one random character edit (substitute, delete, transpose) to
+// s. Empty strings pass through.
+func typo(rng *rand.Rand, s string) string {
+	runes := []rune(s)
+	if len(runes) < 2 {
+		return s
+	}
+	pos := rng.Intn(len(runes) - 1)
+	switch rng.Intn(3) {
+	case 0: // substitute
+		runes[pos] = rune('a' + rng.Intn(26))
+	case 1: // delete
+		runes = append(runes[:pos], runes[pos+1:]...)
+	default: // transpose
+		runes[pos], runes[pos+1] = runes[pos+1], runes[pos]
+	}
+	return string(runes)
+}
+
+// typos applies n random edits.
+func typos(rng *rand.Rand, s string, n int) string {
+	for i := 0; i < n; i++ {
+		s = typo(rng, s)
+	}
+	return s
+}
+
+// truncateTokens keeps only the first keep tokens of s.
+func truncateTokens(s string, keep int) string {
+	fields := strings.Fields(s)
+	if keep >= len(fields) {
+		return s
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	return strings.Join(fields[:keep], " ")
+}
+
+// dropToken removes one random interior token, a typical reference-string
+// extraction error.
+func dropToken(rng *rand.Rand, s string) string {
+	fields := strings.Fields(s)
+	if len(fields) < 3 {
+		return s
+	}
+	pos := 1 + rng.Intn(len(fields)-2)
+	return strings.Join(append(fields[:pos:pos], fields[pos+1:]...), " ")
+}
+
+// ocrNoise applies OCR-style character confusions.
+func ocrNoise(rng *rand.Rand, s string) string {
+	confusions := map[rune]rune{'l': '1', 'o': '0', 'e': 'c', 'm': 'n', 'i': 'l', 'u': 'v'}
+	runes := []rune(s)
+	changed := false
+	for i, r := range runes {
+		if repl, ok := confusions[r]; ok && rng.Float64() < 0.08 {
+			runes[i] = repl
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(runes)
+}
+
+// corruptACMTitle produces ACM's light curation noise: usually a subtle
+// typo; the heavily corrupted cases (truncation) are what push a trigram
+// matcher below its threshold and cost recall.
+func corruptACMTitle(rng *rand.Rand, title string) string {
+	if rng.Float64() < 0.5 {
+		return typos(rng, title, 1+rng.Intn(2))
+	}
+	fields := strings.Fields(title)
+	return truncateTokens(title, 1+len(fields)/3)
+}
+
+// corruptGSTitle produces Google-Scholar-style extraction noise. The
+// truncation branch models the extractor catching only a prefix of the
+// title — entries a trigram matcher cannot recover, but the author-based
+// neighborhood matcher can (§5.4.3's recall argument).
+func corruptGSTitle(rng *rand.Rand, title string, cfg Config) string {
+	out := title
+	if rng.Float64() < cfg.GSTitleTruncateRate {
+		fields := strings.Fields(out)
+		if len(fields) > 3 {
+			out = truncateTokens(out, 2+rng.Intn(2))
+		}
+	}
+	if rng.Float64() < cfg.GSTitleTypoRate {
+		out = typos(rng, out, 1+rng.Intn(3))
+	}
+	if rng.Float64() < cfg.GSTokenDropRate {
+		out = dropToken(rng, out)
+	}
+	if rng.Float64() < 0.1 {
+		out = ocrNoise(rng, out)
+	}
+	return out
+}
+
+// gsAuthorName reduces a name to GS's "first-initial surname" convention
+// ("GS reduces authors' first names to their first letter", §5.4.3).
+func gsAuthorName(name string) string {
+	fields := strings.Fields(name)
+	if len(fields) < 2 {
+		return name
+	}
+	last := fields[len(fields)-1]
+	return string([]rune(fields[0])[0]) + " " + last
+}
+
+// mangleVenue produces the garbled venue strings found in extracted
+// references ("CIDR 2007" vs "3rd Biennial Conference on ...").
+func mangleVenue(rng *rand.Rand, v *VenueTruth) string {
+	switch rng.Intn(4) {
+	case 0:
+		return v.DBLPName()
+	case 1:
+		return v.ACMName()
+	case 2:
+		return strings.ToUpper(strings.ReplaceAll(v.DBLPName(), " ", ""))
+	default:
+		if v.Kind == Conference {
+			return "Proc. " + v.Series + " Conf."
+		}
+		return v.Series
+	}
+}

@@ -1,0 +1,139 @@
+package sources
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func corruptRng() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+func TestTypoChangesString(t *testing.T) {
+	rng := corruptRng()
+	in := "generic schema matching with cupid"
+	changed := 0
+	for i := 0; i < 50; i++ {
+		if typo(rng, in) != in {
+			changed++
+		}
+	}
+	if changed < 45 {
+		t.Errorf("typo changed only %d/50 strings", changed)
+	}
+	if typo(rng, "a") != "a" || typo(rng, "") != "" {
+		t.Error("short strings must pass through unchanged")
+	}
+}
+
+func TestTypoKeepsSimilarityHigh(t *testing.T) {
+	rng := corruptRng()
+	in := "a formal perspective on the view selection problem"
+	for i := 0; i < 30; i++ {
+		out := typos(rng, in, 2)
+		if s := sim.Trigram(in, out); s < 0.75 {
+			t.Errorf("2 typos dropped trigram to %v for %q", s, out)
+		}
+	}
+}
+
+func TestTruncateTokens(t *testing.T) {
+	in := "one two three four"
+	if got := truncateTokens(in, 2); got != "one two" {
+		t.Errorf("truncate 2 = %q", got)
+	}
+	if got := truncateTokens(in, 10); got != in {
+		t.Errorf("truncate beyond length = %q", got)
+	}
+	if got := truncateTokens(in, 0); got != "one" {
+		t.Errorf("truncate 0 clamps to 1, got %q", got)
+	}
+}
+
+func TestDropToken(t *testing.T) {
+	rng := corruptRng()
+	in := "alpha beta gamma delta"
+	out := dropToken(rng, in)
+	if len(strings.Fields(out)) != 3 {
+		t.Errorf("dropToken = %q, want 3 tokens", out)
+	}
+	// First and last tokens survive (interior drop only).
+	if !strings.HasPrefix(out, "alpha") || !strings.HasSuffix(out, "delta") {
+		t.Errorf("dropToken must keep the ends, got %q", out)
+	}
+	if got := dropToken(rng, "a b"); got != "a b" {
+		t.Errorf("two-token strings pass through, got %q", got)
+	}
+}
+
+func TestOcrNoiseOnlyConfusions(t *testing.T) {
+	rng := corruptRng()
+	in := "similarity selection illusion"
+	for i := 0; i < 20; i++ {
+		out := ocrNoise(rng, in)
+		if len(out) != len(in) {
+			t.Fatalf("ocrNoise changed length: %q", out)
+		}
+	}
+}
+
+func TestCorruptGSTitleProperty(t *testing.T) {
+	cfg := PaperConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := "adaptive query processing for streaming tuples"
+		out := corruptGSTitle(rng, in, cfg)
+		// Corruption never empties a title and never grows it absurdly.
+		return out != "" && len(out) <= len(in)+4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorruptACMTitleStaysRelated(t *testing.T) {
+	rng := corruptRng()
+	in := "incremental view selection for olap cubes"
+	for i := 0; i < 30; i++ {
+		out := corruptACMTitle(rng, in)
+		if out == "" {
+			t.Fatal("ACM corruption emptied the title")
+		}
+	}
+}
+
+func TestMangleVenueVariants(t *testing.T) {
+	rng := corruptRng()
+	v := &VenueTruth{Series: "VLDB", Kind: Conference, Year: 2001}
+	seen := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		seen[mangleVenue(rng, v)] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("mangleVenue produced only %d variants", len(seen))
+	}
+	j := &VenueTruth{Series: "TODS", Kind: Journal, Year: 1999, Volume: 24, Issue: 2}
+	if mangleVenue(rng, j) == "" {
+		t.Error("journal mangle empty")
+	}
+}
+
+func TestNoiseTitleDisjointVocabulary(t *testing.T) {
+	// Noise titles must rarely collide with database-domain titles above a
+	// matcher threshold — that is their whole purpose.
+	rng := corruptRng()
+	w := &World{Cfg: PaperConfig()}
+	high := 0
+	for i := 0; i < 200; i++ {
+		noise := noiseTitle(rng)
+		real := w.randomTitle(rng)
+		if sim.Trigram(noise, real) >= 0.6 {
+			high++
+		}
+	}
+	if high > 2 {
+		t.Errorf("%d/200 noise titles collide with real titles at >= 0.6", high)
+	}
+}

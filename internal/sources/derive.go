@@ -1,0 +1,545 @@
+package sources
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+// Source bundles one physical data source: its object sets plus the
+// association mappings that "already exist in data sources and can thus be
+// utilized for object matching" (§2.2) — publication lists per venue and
+// author, and the co-author relationship.
+type Source struct {
+	Name    model.PDS
+	Pubs    *model.ObjectSet
+	Authors *model.ObjectSet
+	Venues  *model.ObjectSet // nil for Google Scholar
+
+	VenuePub  *mapping.Mapping // nil for Google Scholar
+	PubVenue  *mapping.Mapping // nil for Google Scholar
+	AuthorPub *mapping.Mapping
+	PubAuthor *mapping.Mapping
+	CoAuthor  *mapping.Mapping // nil for Google Scholar
+}
+
+// Perfect holds the ground-truth same-mappings the evaluation compares
+// against — the generator's replacement for the paper's "manually
+// determined perfect mappings" (§5.1).
+type Perfect struct {
+	PubDBLPACM     *mapping.Mapping
+	PubDBLPGS      *mapping.Mapping
+	PubGSACM       *mapping.Mapping
+	VenueDBLPACM   *mapping.Mapping
+	AuthorDBLPACM  *mapping.Mapping
+	AuthorDupsDBLP *mapping.Mapping
+}
+
+// Dataset is the full generated evaluation setting.
+type Dataset struct {
+	Cfg   Config
+	World *World
+
+	DBLP *Source
+	ACM  *Source
+	GS   *Source
+
+	// GSLinksACM is the pre-existing low-recall GS->ACM link mapping
+	// ("Google Scholar links its publications to ACM", §2.2/§5.3).
+	GSLinksACM *mapping.Mapping
+
+	Perfect Perfect
+}
+
+// Standard logical sources of the generated world.
+var (
+	DBLPPub = model.LDS{Source: "DBLP", Type: model.Publication}
+	DBLPAut = model.LDS{Source: "DBLP", Type: model.Author}
+	DBLPVen = model.LDS{Source: "DBLP", Type: model.Venue}
+	ACMPub  = model.LDS{Source: "ACM", Type: model.Publication}
+	ACMAut  = model.LDS{Source: "ACM", Type: model.Author}
+	ACMVen  = model.LDS{Source: "ACM", Type: model.Venue}
+	GSPub   = model.LDS{Source: "GS", Type: model.Publication}
+	GSAut   = model.LDS{Source: "GS", Type: model.Author}
+)
+
+// Generate builds the world for cfg and derives the three sources with
+// their dirtiness plus all perfect mappings.
+func Generate(cfg Config) *Dataset {
+	return Derive(GenerateWorld(cfg))
+}
+
+// Derive derives the physical sources from a generated world. Derivation
+// uses its own rng stream (Seed+1) so world generation stays independent of
+// dirtiness decisions.
+func Derive(w *World) *Dataset {
+	rng := rand.New(rand.NewSource(w.Cfg.Seed + 1))
+	d := &Dataset{Cfg: w.Cfg, World: w}
+	dd := newDeriver(w, rng)
+	d.DBLP = dd.deriveDBLP()
+	d.ACM = dd.deriveACM()
+	d.GS, d.GSLinksACM = dd.deriveGS()
+	d.Perfect = dd.perfect
+	return d
+}
+
+// deriver carries the shared id bookkeeping between source derivations.
+type deriver struct {
+	w   *World
+	rng *rand.Rand
+
+	// id lookups: truth index -> instance id per source.
+	dblpPubID map[int]model.ID
+	dblpVenID map[int]model.ID
+	dblpAutID map[int]model.ID // primary spelling
+	dblpAltID map[int]model.ID // duplicate spelling
+	acmPubID  map[int]model.ID
+	acmVenID  map[int]model.ID
+	acmAutID  map[int]model.ID
+	acmVarID  map[int]model.ID
+	acmHasPub map[int]bool
+
+	perfect Perfect
+}
+
+func newDeriver(w *World, rng *rand.Rand) *deriver {
+	return &deriver{
+		w: w, rng: rng,
+		dblpPubID: make(map[int]model.ID),
+		dblpVenID: make(map[int]model.ID),
+		dblpAutID: make(map[int]model.ID),
+		dblpAltID: make(map[int]model.ID),
+		acmPubID:  make(map[int]model.ID),
+		acmVenID:  make(map[int]model.ID),
+		acmAutID:  make(map[int]model.ID),
+		acmVarID:  make(map[int]model.ID),
+		acmHasPub: make(map[int]bool),
+	}
+}
+
+// venueDBLPID builds DBLP's hierarchical venue keys.
+func venueDBLPID(v *VenueTruth) model.ID {
+	if v.Kind == Conference {
+		return model.ID(fmt.Sprintf("conf/%s/%d", v.slug(), v.Year))
+	}
+	return model.ID(fmt.Sprintf("journals/%s/%d-%d", v.slug(), v.Volume, v.Issue))
+}
+
+// renderAuthors joins author display names.
+func renderAuthors(names []string) string { return strings.Join(names, ", ") }
+
+// deriveDBLP materializes the curated, complete DBLP source.
+func (dd *deriver) deriveDBLP() *Source {
+	w := dd.w
+	s := &Source{
+		Name:      "DBLP",
+		Pubs:      model.NewObjectSet(DBLPPub),
+		Authors:   model.NewObjectSet(DBLPAut),
+		Venues:    model.NewObjectSet(DBLPVen),
+		VenuePub:  mapping.New(DBLPVen, DBLPPub, "VenuePub"),
+		PubVenue:  mapping.New(DBLPPub, DBLPVen, "PubVenue"),
+		AuthorPub: mapping.New(DBLPAut, DBLPPub, "AuthorPub"),
+		PubAuthor: mapping.New(DBLPPub, DBLPAut, "PubAuthor"),
+		CoAuthor:  mapping.New(DBLPAut, DBLPAut, "CoAuthor"),
+	}
+	for _, v := range w.Venues {
+		id := venueDBLPID(v)
+		dd.dblpVenID[v.Idx] = id
+		s.Venues.AddNew(id, map[string]string{
+			"name":   v.DBLPName(),
+			"kind":   string(v.Kind),
+			"series": v.Series,
+			"year":   fmt.Sprint(v.Year),
+		})
+	}
+	for _, a := range w.Authors {
+		id := model.ID(fmt.Sprintf("dblp:a:%05d", a.Idx))
+		dd.dblpAutID[a.Idx] = id
+		s.Authors.AddNew(id, map[string]string{"name": a.Name()})
+		if a.DupSpelling != "" {
+			alt := model.ID(fmt.Sprintf("dblp:a:%05db", a.Idx))
+			dd.dblpAltID[a.Idx] = alt
+			s.Authors.AddNew(alt, map[string]string{"name": a.DupSpelling})
+		}
+	}
+	perVenue := make(map[int]int)
+	dupSeen := make(map[int]int) // alternating spelling assignment per dup author
+	for _, p := range w.Pubs {
+		venID := dd.dblpVenID[p.Venue.Idx]
+		perVenue[p.Venue.Idx]++
+		id := model.ID(fmt.Sprintf("%s/p%d", venID, perVenue[p.Venue.Idx]))
+		dd.dblpPubID[p.Idx] = id
+
+		// Choose the spelling each duplicate author uses on this paper.
+		// Alternating guarantees both spellings actually occur, which is
+		// what makes duplicates detectable via shared co-authors.
+		var names []string
+		var autIDs []model.ID
+		for _, a := range p.Authors {
+			autID := dd.dblpAutID[a.Idx]
+			name := a.Name()
+			if a.DupSpelling != "" {
+				if dupSeen[a.Idx]%2 == 1 {
+					autID = dd.dblpAltID[a.Idx]
+					name = a.DupSpelling
+				}
+				dupSeen[a.Idx]++
+			}
+			names = append(names, name)
+			autIDs = append(autIDs, autID)
+		}
+		s.Pubs.AddNew(id, map[string]string{
+			"title":   p.Title,
+			"year":    fmt.Sprint(p.Year),
+			"pages":   fmt.Sprintf("%d-%d", p.PageFrom, p.PageTo),
+			"authors": renderAuthors(names),
+			"venue":   p.Venue.DBLPName(),
+			"kind":    string(p.Venue.Kind),
+		})
+		s.VenuePub.Add(venID, id, 1)
+		s.PubVenue.Add(id, venID, 1)
+		for i, autID := range autIDs {
+			s.AuthorPub.Add(autID, id, 1)
+			s.PubAuthor.Add(id, autID, 1)
+			for j, other := range autIDs {
+				if i != j && autID != other {
+					s.CoAuthor.AddMax(autID, other, 1)
+				}
+			}
+		}
+	}
+	// Perfect duplicate-author mapping (Table 9 ground truth), symmetric.
+	dups := mapping.NewSame(DBLPAut, DBLPAut)
+	for idx, alt := range dd.dblpAltID {
+		prim := dd.dblpAutID[idx]
+		dups.Add(prim, alt, 1)
+		dups.Add(alt, prim, 1)
+	}
+	dd.perfect.AuthorDupsDBLP = dups
+	return s
+}
+
+// deriveACM materializes ACM DL: complete per-venue lists but missing the
+// configured VLDB years, an exact-count random trim, light title noise and
+// author name variants.
+func (dd *deriver) deriveACM() *Source {
+	w := dd.w
+	s := &Source{
+		Name:      "ACM",
+		Pubs:      model.NewObjectSet(ACMPub),
+		Authors:   model.NewObjectSet(ACMAut),
+		Venues:    model.NewObjectSet(ACMVen),
+		VenuePub:  mapping.New(ACMVen, ACMPub, "VenuePub"),
+		PubVenue:  mapping.New(ACMPub, ACMVen, "PubVenue"),
+		AuthorPub: mapping.New(ACMAut, ACMPub, "AuthorPub"),
+		PubAuthor: mapping.New(ACMPub, ACMAut, "PubAuthor"),
+		CoAuthor:  mapping.New(ACMAut, ACMAut, "CoAuthor"),
+	}
+	droppedYear := make(map[int]bool)
+	for _, y := range w.Cfg.ACMDropVLDBYears {
+		droppedYear[y] = true
+	}
+	venueDropped := func(v *VenueTruth) bool {
+		return v.Kind == Conference && v.Series == "VLDB" && droppedYear[v.Year]
+	}
+	for _, v := range w.Venues {
+		if venueDropped(v) {
+			continue
+		}
+		id := model.ID(fmt.Sprintf("V-%06d", 600000+v.Idx))
+		dd.acmVenID[v.Idx] = id
+		s.Venues.AddNew(id, map[string]string{
+			"name":   v.ACMName(),
+			"kind":   string(v.Kind),
+			"series": v.Series,
+			"year":   fmt.Sprint(v.Year),
+		})
+	}
+	for _, a := range w.Authors {
+		id := model.ID(fmt.Sprintf("A-%05d", a.Idx))
+		dd.acmAutID[a.Idx] = id
+		s.Authors.AddNew(id, map[string]string{"name": a.Name()})
+		if a.ACMVariant != "" {
+			vid := model.ID(fmt.Sprintf("A-%05dv", a.Idx))
+			dd.acmVarID[a.Idx] = vid
+			s.Authors.AddNew(vid, map[string]string{"name": a.ACMVariant})
+		}
+	}
+
+	// Select included publications: everything outside dropped venues,
+	// then trim randomly to the exact target.
+	var included []*PubTruth
+	for _, p := range w.Pubs {
+		if !venueDropped(p.Venue) {
+			included = append(included, p)
+		}
+	}
+	if target := w.Cfg.ACMTargetPublications; target > 0 && len(included) > target {
+		dd.rng.Shuffle(len(included), func(i, j int) { included[i], included[j] = included[j], included[i] })
+		included = included[:target]
+		sort.Slice(included, func(i, j int) bool { return included[i].Idx < included[j].Idx })
+	} else if w.Cfg.ACMTargetPublications == 0 && w.Cfg.ACMExtraDropRate > 0 {
+		kept := included[:0]
+		for _, p := range included {
+			if dd.rng.Float64() >= w.Cfg.ACMExtraDropRate {
+				kept = append(kept, p)
+			}
+		}
+		included = kept
+	}
+
+	for _, p := range included {
+		id := model.ID(fmt.Sprintf("P-%06d", 600000+p.Idx))
+		dd.acmPubID[p.Idx] = id
+		dd.acmHasPub[p.Idx] = true
+		title := p.Title
+		if dd.rng.Float64() < w.Cfg.ACMTitleTypoRate {
+			title = corruptACMTitle(dd.rng, title)
+		}
+		var names []string
+		var autIDs []model.ID
+		for _, a := range p.Authors {
+			autID := dd.acmAutID[a.Idx]
+			name := a.Name()
+			if a.ACMVariant != "" && dd.rng.Float64() < 0.5 {
+				autID = dd.acmVarID[a.Idx]
+				name = a.ACMVariant
+			}
+			names = append(names, name)
+			autIDs = append(autIDs, autID)
+		}
+		citations := p.Citations + dd.rng.Intn(3)
+		venID := dd.acmVenID[p.Venue.Idx]
+		s.Pubs.AddNew(id, map[string]string{
+			"name":      title,
+			"year":      fmt.Sprint(p.Year),
+			"citations": fmt.Sprint(citations),
+			"authors":   renderAuthors(names),
+			"venue":     p.Venue.ACMName(),
+			"kind":      string(p.Venue.Kind),
+		})
+		s.VenuePub.Add(venID, id, 1)
+		s.PubVenue.Add(id, venID, 1)
+		for i, autID := range autIDs {
+			s.AuthorPub.Add(autID, id, 1)
+			s.PubAuthor.Add(id, autID, 1)
+			for j, other := range autIDs {
+				if i != j && autID != other {
+					s.CoAuthor.AddMax(autID, other, 1)
+				}
+			}
+		}
+	}
+
+	// Perfect DBLP-ACM mappings.
+	pubSame := mapping.NewSame(DBLPPub, ACMPub)
+	for idx, acmID := range dd.acmPubID {
+		pubSame.Add(dd.dblpPubID[idx], acmID, 1)
+	}
+	dd.perfect.PubDBLPACM = pubSame
+
+	venSame := mapping.NewSame(DBLPVen, ACMVen)
+	for idx, acmID := range dd.acmVenID {
+		venSame.Add(dd.dblpVenID[idx], acmID, 1)
+	}
+	dd.perfect.VenueDBLPACM = venSame
+
+	autSame := mapping.NewSame(DBLPAut, ACMAut)
+	for _, a := range w.Authors {
+		dblpIDs := []model.ID{dd.dblpAutID[a.Idx]}
+		if alt, ok := dd.dblpAltID[a.Idx]; ok {
+			dblpIDs = append(dblpIDs, alt)
+		}
+		acmIDs := []model.ID{dd.acmAutID[a.Idx]}
+		if v, ok := dd.acmVarID[a.Idx]; ok {
+			acmIDs = append(acmIDs, v)
+		}
+		for _, d := range dblpIDs {
+			for _, m := range acmIDs {
+				autSame.Add(d, m, 1)
+			}
+		}
+	}
+	dd.perfect.AuthorDBLPACM = autSame
+	return s
+}
+
+// deriveGS materializes the Google Scholar simulation: duplicate entries
+// per publication with heavy extraction noise, merged title twins, noise
+// documents, initial-only truncated author lists, and the pre-existing
+// low-recall link mapping to ACM.
+func (dd *deriver) deriveGS() (*Source, *mapping.Mapping) {
+	w := dd.w
+	s := &Source{
+		Name:      "GS",
+		Pubs:      model.NewObjectSet(GSPub),
+		Authors:   model.NewObjectSet(GSAut),
+		AuthorPub: mapping.New(GSAut, GSPub, "AuthorPub"),
+		PubAuthor: mapping.New(GSPub, GSAut, "PubAuthor"),
+	}
+	links := mapping.NewSame(GSPub, ACMPub)
+	pubDBLPGS := mapping.NewSame(DBLPPub, GSPub)
+	pubGSACM := mapping.NewSame(GSPub, ACMPub)
+
+	gsAuthorID := make(map[string]model.ID)
+	var nextAuthor int
+	authorID := func(name string) model.ID {
+		if id, ok := gsAuthorID[name]; ok {
+			return id
+		}
+		id := model.ID(fmt.Sprintf("gs:a:%06d", nextAuthor))
+		nextAuthor++
+		gsAuthorID[name] = id
+		s.Authors.AddNew(id, map[string]string{"name": name})
+		return id
+	}
+
+	var nextEntry int
+	newEntry := func(truths []*PubTruth) model.ID {
+		p := truths[0]
+		id := model.ID(fmt.Sprintf("gs:%06d", nextEntry))
+		nextEntry++
+		title := corruptGSTitle(dd.rng, p.Title, w.Cfg)
+		// Possibly truncated, initial-only author list.
+		authors := p.Authors
+		if len(authors) > 1 && dd.rng.Float64() < w.Cfg.GSAuthorTruncateRate {
+			keep := 1 + dd.rng.Intn(len(authors))
+			authors = authors[:keep]
+		}
+		var names []string
+		var autIDs []model.ID
+		for _, a := range authors {
+			n := gsAuthorName(a.Name())
+			names = append(names, n)
+			autIDs = append(autIDs, authorID(n))
+		}
+		attrs := map[string]string{
+			"title":     title,
+			"authors":   renderAuthors(names),
+			"venue":     mangleVenue(dd.rng, p.Venue),
+			"citations": fmt.Sprint(p.Citations + dd.rng.Intn(15)),
+		}
+		if dd.rng.Float64() >= w.Cfg.GSMissingYearRate {
+			attrs["year"] = fmt.Sprint(p.Year)
+		}
+		s.Pubs.AddNew(id, attrs)
+		for _, autID := range autIDs {
+			s.AuthorPub.Add(autID, id, 1)
+			s.PubAuthor.Add(id, autID, 1)
+		}
+		// Perfect rows: the entry corresponds to every truth publication it
+		// represents (two for merged twins), on both the DBLP and ACM side.
+		for _, t := range truths {
+			pubDBLPGS.Add(dd.dblpPubID[t.Idx], id, 1)
+			if acmID, ok := dd.acmPubID[t.Idx]; ok {
+				pubGSACM.Add(id, acmID, 1)
+				if dd.rng.Float64() < w.Cfg.GSLinkRecall {
+					links.Add(id, acmID, 1)
+				}
+			}
+		}
+		return id
+	}
+
+	// Twin merge decisions: journal twins merged into the conference
+	// entry's records share GS entries.
+	mergedInto := make(map[int]bool) // twin pub idx -> merged
+	for _, p := range w.Pubs {
+		if p.TwinOf >= 0 && dd.rng.Float64() < w.Cfg.GSMergeTwinRate {
+			mergedInto[p.Idx] = true
+		}
+	}
+	twinsOf := make(map[int][]*PubTruth)
+	for _, p := range w.Pubs {
+		if p.TwinOf >= 0 && mergedInto[p.Idx] {
+			twinsOf[p.TwinOf] = append(twinsOf[p.TwinOf], p)
+		}
+	}
+
+	for _, p := range w.Pubs {
+		if p.TwinOf >= 0 && mergedInto[p.Idx] {
+			continue // represented by the conference paper's entries
+		}
+		truths := append([]*PubTruth{p}, twinsOf[p.Idx]...)
+		n := w.Cfg.GSEntriesMin + dd.rng.Intn(w.Cfg.GSEntriesMax-w.Cfg.GSEntriesMin+1)
+		for i := 0; i < n; i++ {
+			newEntry(truths)
+		}
+	}
+
+	// Noise documents: unrelated crawled references.
+	noise := w.Cfg.GSNoiseDocs
+	if w.Cfg.GSTargetPublications > 0 {
+		noise = w.Cfg.GSTargetPublications - s.Pubs.Len()
+		if noise < 0 {
+			noise = 0
+		}
+	}
+	for i := 0; i < noise; i++ {
+		id := model.ID(fmt.Sprintf("gs:n%06d", i))
+		first := firstNames[dd.rng.Intn(len(firstNames))]
+		last := lastNames[dd.rng.Intn(len(lastNames))]
+		name := gsAuthorName(first + " " + last)
+		attrs := map[string]string{
+			"title":   noiseTitle(dd.rng),
+			"authors": name,
+		}
+		if dd.rng.Float64() < 0.7 {
+			attrs["year"] = fmt.Sprint(1980 + dd.rng.Intn(26))
+		}
+		s.Pubs.AddNew(id, attrs)
+		autID := authorID(name)
+		s.AuthorPub.Add(autID, id, 1)
+		s.PubAuthor.Add(id, autID, 1)
+	}
+
+	dd.perfect.PubDBLPGS = pubDBLPGS
+	dd.perfect.PubGSACM = pubGSACM
+	return s, links
+}
+
+// noiseTitle draws a title from a vocabulary disjoint from the database
+// domain: GS noise documents are crawled papers from other CS areas, which
+// share only generic words with real titles and rarely exceed a trigram
+// threshold — matching the reality that the paper's GS title queries
+// surfaced mostly-unrelated reference strings.
+func noiseTitle(rng *rand.Rand) string {
+	adj := noiseAdjectives[rng.Intn(len(noiseAdjectives))]
+	noun := noiseNouns[rng.Intn(len(noiseNouns))]
+	topic := noiseTopics[rng.Intn(len(noiseTopics))]
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s %s in %s", adj, noun, topic)
+	case 1:
+		return fmt.Sprintf("%s for %s: %s Considerations", noun, topic, adj)
+	case 2:
+		return fmt.Sprintf("A Study of %s %s", adj, noun)
+	default:
+		return fmt.Sprintf("%s %s and %s", adj, noun, topic)
+	}
+}
+
+var noiseAdjectives = []string{
+	"Fault-Tolerant", "Low-Power", "Real-Time", "Interprocedural",
+	"Wait-Free", "Type-Safe", "Energy-Aware", "Lock-Free", "Hierarchical",
+	"Speculative", "Context-Sensitive", "Byzantine",
+}
+
+var noiseNouns = []string{
+	"Garbage Collection", "Register Allocation", "Packet Scheduling",
+	"Instruction Selection", "Thread Synchronization", "Page Migration",
+	"Routing Protocols", "Congestion Avoidance", "Pointer Analysis",
+	"Branch Prediction", "Interrupt Handling", "Memory Consistency",
+	"Code Generation", "Process Checkpointing", "Signal Processing",
+}
+
+var noiseTopics = []string{
+	"Embedded Controllers", "Wireless LANs", "Multicore Processors",
+	"Virtual Machines", "Operating System Kernels", "Compiler Backends",
+	"Network Switches", "Microarchitectures", "Distributed Shared Memory",
+	"Real-Time Kernels", "Optical Networks", "Vector Units",
+}

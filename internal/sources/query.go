@@ -1,0 +1,62 @@
+package sources
+
+import (
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// GSQuery is the query-only access path to the Google Scholar simulation.
+// Like the real source, it cannot be downloaded: callers obtain
+// publications exclusively via keyword queries, exactly how the paper
+// collected its GS dataset ("we had to send numerous queries ... Those
+// queries contain the publication titles as well as venue names", §5.1).
+type GSQuery struct {
+	pubs *model.ObjectSet
+	ix   *index.Index
+}
+
+// NewGSQuery builds the search index over the GS publication titles and
+// author lists.
+func NewGSQuery(gs *Source) *GSQuery {
+	ix := index.New()
+	gs.Pubs.Each(func(in *model.Instance) bool {
+		ix.AddInstance(in, "title", "authors")
+		return true
+	})
+	ix.Freeze()
+	return &GSQuery{pubs: gs.Pubs, ix: ix}
+}
+
+// Search returns the top-k publication instances for a keyword query.
+func (q *GSQuery) Search(query string, k int) *model.ObjectSet {
+	hits := q.ix.Search(query, k)
+	ids := make([]model.ID, 0, len(hits))
+	for _, h := range hits {
+		ids = append(ids, h.ID)
+	}
+	return q.pubs.Subset(ids)
+}
+
+// CollectFor simulates the paper's data acquisition: one title query per
+// publication of the driving set, unioned into a GS working set. k bounds
+// the results kept per query.
+func (q *GSQuery) CollectFor(driving *model.ObjectSet, titleAttr string, k int) *model.ObjectSet {
+	out := model.NewObjectSet(q.pubs.LDS())
+	driving.Each(func(in *model.Instance) bool {
+		title := in.Attr(titleAttr)
+		if title == "" {
+			return true
+		}
+		for _, h := range q.ix.Search(title, k) {
+			if got := q.pubs.Get(h.ID); got != nil {
+				out.Add(got)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Docs reports the total number of indexed GS documents (the source size,
+// which is known even though bulk download is not possible).
+func (q *GSQuery) Docs() int { return q.ix.Docs() }

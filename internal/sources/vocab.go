@@ -1,0 +1,131 @@
+package sources
+
+// Word pools for synthetic publication titles and author names. The pools
+// are large enough that independently drawn titles collide only rarely;
+// deliberate collisions (conference/journal twins, recurring newsletter
+// columns) are injected explicitly by the generator.
+
+var titleAdjectives = []string{
+	"Efficient", "Scalable", "Adaptive", "Robust", "Incremental",
+	"Distributed", "Approximate", "Online", "Parallel", "Secure",
+	"Declarative", "Dynamic", "Flexible", "Generic", "Optimal",
+	"Practical", "Probabilistic", "Self-Tuning", "Semantic", "Unified",
+}
+
+var titleNouns = []string{
+	"Query Processing", "Plan Enumeration", "Index Maintenance",
+	"Join Evaluation", "View Selection", "Data Integration",
+	"Schema Matching", "Duplicate Elimination", "Transaction Scheduling",
+	"Concurrency Control", "Access Authorization", "Similarity Search",
+	"Top-k Ranking", "Entity Resolution", "Load Shedding",
+	"Cache Replacement", "Buffer Allocation", "Rewrite Transformation",
+	"Cost Prediction", "Cardinality Estimation", "Horizontal Partitioning",
+	"Replica Placement", "Crash Recovery", "Version Reconciliation",
+	"Workload Characterization", "Catalog Evolution", "Containment Checking",
+	"Provenance Tracking", "Result Diversification", "Selectivity Inference",
+	"Predicate Pushdown", "Aggregate Computation", "Change Propagation",
+	"Constraint Validation", "Storage Organization", "Lock Escalation",
+	"Histogram Construction", "Cursor Stability", "Snapshot Isolation",
+	"Deadlock Avoidance",
+}
+
+var titleTopics = []string{
+	"XML Documents", "Streaming Tuples", "Sensor Readings", "Web Services",
+	"OLAP Cubes", "Spatial Trajectories", "Temporal Databases",
+	"Semistructured Repositories", "Relational Engines", "Object Hierarchies",
+	"Peer-to-Peer Overlays", "Federated Warehouses", "Text Corpora",
+	"Moving Objects", "Graph Collections", "Scientific Archives",
+	"Genomic Sequences", "Multimedia Assets", "Digital Libraries",
+	"Heterogeneous Catalogs", "Mediation Layers", "Main-Memory Structures",
+	"Parallel Clusters", "Mobile Clients", "Wide-Area Mirrors",
+	"Uncertain Measurements", "Ranked Listings", "Compressed Segments",
+	"Massive Logs", "Interactive Dashboards", "Append-Only Journals",
+	"Columnar Files", "Key-Value Shards", "Versioned Filestores",
+	"Continuous Feeds", "Archival Vaults", "Tertiary Media",
+	"Shared-Nothing Fabrics", "Disk Farms", "Nested Records",
+}
+
+var titleMethods = []string{
+	"Bloom Filters", "B-Trees", "Histograms", "Sampling", "Caching",
+	"Materialized Views", "Bitmap Indexes", "Hash Partitioning",
+	"Signature Files", "Suffix Arrays", "Wavelets", "Sketches",
+	"Machine Learning", "Integer Programming", "Randomized Algorithms",
+	"Cost Models", "Feedback Control", "Lazy Evaluation",
+	"Batch Processing", "Pipelined Execution", "Dynamic Programming",
+	"Gossip Protocols", "Merkle Trees", "Skip Lists", "Tries",
+	"Reservoir Sampling", "Locality-Sensitive Hashing", "Run-Length Encoding",
+	"Dictionary Compression", "Copy-on-Write Snapshots", "Quorum Consensus",
+	"Write-Ahead Logging",
+}
+
+var titleProperties = []string{
+	"Complexity", "Expressiveness", "Completeness", "Consistency",
+	"Scalability", "Correctness", "Composability", "Tractability",
+	"Optimality", "Robustness",
+}
+
+// recurringColumns are the newsletter columns that recur across SIGMOD
+// Record issues with identical titles, the precision hazard §5.4.2 calls
+// out ("editorials, reminiscences on influential papers or interviews").
+var recurringColumns = []string{
+	"Editor's Notes",
+	"Reminiscences on Influential Papers",
+	"Interview with a Database Pioneer",
+	"Report on the Workshop on Data Integration",
+	"Chair's Message",
+	"Research Surveys Column",
+}
+
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Erhard",
+	"Andreas", "Hong", "Wei", "Xin", "Li", "Chen", "Yuki", "Hiroshi",
+	"Kenji", "Anna", "Maria", "Elena", "Olga", "Ivan", "Dmitri", "Sergei",
+	"Pierre", "Jean", "Michel", "Claire", "Sophie", "Hans", "Karl", "Fritz",
+	"Heike", "Ingrid", "Giovanni", "Marco", "Paolo", "Lucia", "Carlos",
+	"Miguel", "Ana", "Jorge", "Raj", "Anil", "Sunita", "Divesh", "Surajit",
+	"Hector", "Alon", "Dan", "Laura", "Rachel", "Samuel", "Benjamin",
+	"Daniel", "Matthew", "Andrew", "Joshua", "Kevin", "Brian", "George",
+	"Edward", "Ronald", "Timothy", "Jason", "Jeffrey", "Ryan", "Jacob",
+	"Gary", "Nicholas", "Eric", "Jonathan", "Stephen", "Larry", "Justin",
+	"Scott", "Brandon", "Frank", "Gregory", "Raymond", "Alexander",
+	"Patrick", "Jack", "Dennis", "Jerry", "Tyler", "Agathoniki", "Catalina",
+	"Amir", "Magdalena", "Volker", "Theodoros", "Panagiotis", "Nikos",
+	"Christos", "Yannis", "Dimitris", "Timos", "Gerhard", "Guido", "Peter",
+	"Klaus", "Martin", "Stefan", "Thorsten", "Ulf",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+	"Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+	"Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+	"Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+	"Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+	"Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+	"Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+	"Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+	"Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+	"Ross", "Foster", "Jimenez", "Rahm", "Thor", "Chen", "Wang", "Zhang",
+	"Liu", "Yang", "Huang", "Wu", "Zhou", "Xu", "Sun", "Ma", "Zhu", "Hu",
+	"Guo", "Lin", "Luo", "Zheng", "Liang", "Tang", "Mueller", "Schmidt",
+	"Schneider", "Fischer", "Weber", "Meyer", "Wagner", "Becker", "Schulz",
+	"Hoffmann", "Koch", "Bauer", "Richter", "Klein", "Wolf", "Neumann",
+	"Schwarz", "Zimmermann", "Braun", "Krueger", "Trigoni", "Zarkesh",
+	"Barczyc", "Fan", "Wei", "Yuen", "Kossmann", "Haas", "Halevy",
+	"Widom", "Ullman", "Bernstein", "Stonebraker", "DeWitt", "Gray",
+	"Naughton", "Carey", "Franklin", "Hellerstein", "Ioannidis", "Abiteboul",
+	"Buneman", "Suciu", "Vianu", "Lenzerini", "Ceri", "Atzeni", "Catarci",
+	"Mecca", "Papakonstantinou", "Garcia-Molina", "Chaudhuri", "Ganti",
+	"Agrawal", "Srikant", "Faloutsos", "Salzberg", "Lomet", "Mohan",
+	"Weikum", "Kemper", "Moerkotte", "Seeger", "Kriegel", "Sellis",
+	"Roussopoulos", "Christodoulakis", "Jagadish", "Shasha", "Ramakrishnan",
+	"Gehrke", "Kifer", "Silberschatz", "Korth", "Sudarshan", "Navathe",
+	"Elmasri", "Snodgrass", "Tansel", "Clifford", "Gadia", "Jensen",
+	"Boehlen", "Dyreson", "Soo",
+}

@@ -1,0 +1,186 @@
+package store
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+// CSV import/export for mapping tables and object sets, the interchange
+// format of the cmd/moma tools. A mapping file carries its metadata in the
+// first data row:
+//
+//	#mapping,Publication@DBLP,Publication@ACM,same
+//	domain,range,sim
+//	conf/VLDB/MadhavanBR01,P-672191,1
+//
+// An object-set file carries the LDS in the first row and a header naming
+// the id column plus the attribute columns:
+//
+//	#objects,Publication@DBLP
+//	id,title,year
+//	conf/VLDB/MadhavanBR01,Generic Schema Matching with Cupid,2001
+
+// WriteMappingCSV writes m in the mapping CSV format, sorted canonically.
+func WriteMappingCSV(w io.Writer, m *mapping.Mapping) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"#mapping", m.Domain().String(), m.Range().String(), string(m.Type())}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{"domain", "range", "sim"}); err != nil {
+		return err
+	}
+	for _, c := range m.Sorted() {
+		rec := []string{string(c.Domain), string(c.Range), strconv.FormatFloat(c.Sim, 'g', -1, 64)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMappingCSV parses a mapping written by WriteMappingCSV.
+func ReadMappingCSV(r io.Reader) (*mapping.Mapping, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	meta, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("store: mapping csv: %w", err)
+	}
+	if len(meta) != 4 || meta[0] != "#mapping" {
+		return nil, fmt.Errorf("store: mapping csv: bad metadata row %v", meta)
+	}
+	dom, err := model.ParseLDS(meta[1])
+	if err != nil {
+		return nil, fmt.Errorf("store: mapping csv: %w", err)
+	}
+	rng, err := model.ParseLDS(meta[2])
+	if err != nil {
+		return nil, fmt.Errorf("store: mapping csv: %w", err)
+	}
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("store: mapping csv: missing header: %w", err)
+	}
+	if len(header) != 3 || header[0] != "domain" || header[1] != "range" || header[2] != "sim" {
+		return nil, fmt.Errorf("store: mapping csv: bad header %v", header)
+	}
+	m := mapping.New(dom, rng, model.MappingType(meta[3]))
+	line := 2
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: mapping csv: %w", err)
+		}
+		line++
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("store: mapping csv line %d: want 3 fields, got %d", line, len(rec))
+		}
+		s, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("store: mapping csv line %d: bad sim %q", line, rec[2])
+		}
+		m.Add(model.ID(rec[0]), model.ID(rec[1]), s)
+	}
+	return m, nil
+}
+
+// WriteObjectSetCSV writes the object set with a deterministic column
+// order: id first, then all attribute names seen across instances, sorted.
+func WriteObjectSetCSV(w io.Writer, set *model.ObjectSet) error {
+	attrSet := make(map[string]bool)
+	set.Each(func(in *model.Instance) bool {
+		for k := range in.Attrs {
+			attrSet[k] = true
+		}
+		return true
+	})
+	attrs := make([]string, 0, len(attrSet))
+	for k := range attrSet {
+		attrs = append(attrs, k)
+	}
+	sort.Strings(attrs)
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"#objects", set.LDS().String()}); err != nil {
+		return err
+	}
+	header := append([]string{"id"}, attrs...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	var werr error
+	set.Each(func(in *model.Instance) bool {
+		rec := make([]string, 0, len(header))
+		rec = append(rec, string(in.ID))
+		for _, a := range attrs {
+			rec = append(rec, in.Attr(a))
+		}
+		if err := cw.Write(rec); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadObjectSetCSV parses an object set written by WriteObjectSetCSV.
+func ReadObjectSetCSV(r io.Reader) (*model.ObjectSet, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	meta, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("store: objects csv: %w", err)
+	}
+	if len(meta) != 2 || meta[0] != "#objects" {
+		return nil, fmt.Errorf("store: objects csv: bad metadata row %v", meta)
+	}
+	lds, err := model.ParseLDS(meta[1])
+	if err != nil {
+		return nil, fmt.Errorf("store: objects csv: %w", err)
+	}
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("store: objects csv: missing header: %w", err)
+	}
+	if len(header) < 1 || header[0] != "id" {
+		return nil, fmt.Errorf("store: objects csv: bad header %v", header)
+	}
+	set := model.NewObjectSet(lds)
+	line := 2
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: objects csv: %w", err)
+		}
+		line++
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("store: objects csv line %d: want %d fields, got %d", line, len(header), len(rec))
+		}
+		attrs := make(map[string]string, len(header)-1)
+		for i := 1; i < len(header); i++ {
+			if rec[i] != "" {
+				attrs[header[i]] = rec[i]
+			}
+		}
+		set.AddNew(model.ID(rec[0]), attrs)
+	}
+	return set, nil
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+func TestMappingCSVRoundTrip(t *testing.T) {
+	m := mapping.NewSame(dblpPub, acmPub)
+	m.Add("conf/VLDB/MadhavanBR01", "P-672191", 1)
+	m.Add("conf/VLDB/ChirkovaHS01", "P-672216", 1)
+	m.Add("title,with,commas", "quote\"id", 0.123456789)
+
+	var buf bytes.Buffer
+	if err := WriteMappingCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMappingCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m, 1e-15) {
+		t.Errorf("round trip differs:\n%s\nvs\n%s", got, m)
+	}
+}
+
+func TestMappingCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not,a,mapping\n",
+		"#mapping,BadLDS,Publication@ACM,same\ndomain,range,sim\n",
+		"#mapping,Publication@DBLP,BadLDS,same\ndomain,range,sim\n",
+		"#mapping,Publication@DBLP,Publication@ACM,same\nbad,header,row\n",
+		"#mapping,Publication@DBLP,Publication@ACM,same\ndomain,range,sim\na,b,notanumber\n",
+		"#mapping,Publication@DBLP,Publication@ACM,same\ndomain,range,sim\na,b\n",
+		"#mapping,Publication@DBLP,Publication@ACM,same\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMappingCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail: %q", i, in)
+		}
+	}
+}
+
+func TestObjectSetCSVRoundTrip(t *testing.T) {
+	set := model.NewObjectSet(dblpPub)
+	set.AddNew("p1", map[string]string{"title": "A, B and \"C\"", "year": "2001"})
+	set.AddNew("p2", map[string]string{"title": "Another"})
+	set.AddNew("p3", nil)
+
+	var buf bytes.Buffer
+	if err := WriteObjectSetCSV(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadObjectSetCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LDS() != set.LDS() || got.Len() != set.Len() {
+		t.Fatalf("round trip shape differs: %v, %d", got.LDS(), got.Len())
+	}
+	if got.Get("p1").Attr("title") != "A, B and \"C\"" || got.Get("p1").Attr("year") != "2001" {
+		t.Errorf("p1 attrs = %v", got.Get("p1"))
+	}
+	// p2 has no year column value: must come back absent, not empty-set.
+	if got.Get("p2").HasAttr("year") {
+		t.Error("empty CSV cell should not create an attribute")
+	}
+}
+
+func TestObjectSetCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong,meta\n",
+		"#objects,BadLDS\nid\n",
+		"#objects,Publication@DBLP\nnotid,title\n",
+		"#objects,Publication@DBLP\n",
+		"#objects,Publication@DBLP\nid,title\np1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadObjectSetCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail: %q", i, in)
+		}
+	}
+}
+
+func TestMappingCSVDeterministicOutput(t *testing.T) {
+	m := mapping.NewSame(dblpPub, acmPub)
+	m.Add("b", "y", 0.5)
+	m.Add("a", "x", 0.9)
+	var buf1, buf2 bytes.Buffer
+	WriteMappingCSV(&buf1, m)
+	WriteMappingCSV(&buf2, m.Clone())
+	if buf1.String() != buf2.String() {
+		t.Error("CSV output must be deterministic")
+	}
+	lines := strings.Split(strings.TrimSpace(buf1.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.HasPrefix(lines[2], "a,") {
+		t.Errorf("rows must be sorted, got %q first", lines[2])
+	}
+}

@@ -1,0 +1,204 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+// Join algorithms over mapping tables. A compose of map1 (A->C) with map2
+// (C->B) is an equi-join on the middle ids; this file provides a hash-join
+// and a sort-merge-join implementation plus a ComposeVia helper that runs
+// either join and then applies the paper's path combination (f) and
+// aggregation (g) functions. mapping.Compose uses a hash join internally;
+// ComposeVia exists so the two strategies can be benchmarked and
+// cross-checked against each other.
+
+// JoinRow is one joined compose path (a, c, b) with both path similarities.
+type JoinRow struct {
+	A, C, B model.ID
+	S1, S2  float64
+}
+
+// JoinAlgorithm selects the physical join implementation.
+type JoinAlgorithm int
+
+// Available join algorithms.
+const (
+	HashJoin JoinAlgorithm = iota
+	SortMergeJoin
+)
+
+// String names the algorithm.
+func (a JoinAlgorithm) String() string {
+	switch a {
+	case HashJoin:
+		return "hash"
+	case SortMergeJoin:
+		return "sort-merge"
+	default:
+		return fmt.Sprintf("JoinAlgorithm(%d)", int(a))
+	}
+}
+
+// Join computes all compose paths of map1 (A->C) and map2 (C->B) with the
+// chosen algorithm. Row order is deterministic for a given algorithm but
+// differs between algorithms; use SortRows to compare outputs.
+func Join(map1, map2 *mapping.Mapping, alg JoinAlgorithm) ([]JoinRow, error) {
+	if map1.Range() != map2.Domain() {
+		return nil, fmt.Errorf("store: join middle sources differ: %s vs %s", map1.Range(), map2.Domain())
+	}
+	switch alg {
+	case HashJoin:
+		return hashJoin(map1, map2), nil
+	case SortMergeJoin:
+		return sortMergeJoin(map1, map2), nil
+	default:
+		return nil, fmt.Errorf("store: unknown join algorithm %d", int(alg))
+	}
+}
+
+// hashJoin builds a hash table over map2's domain ids and probes it with
+// map1's range ids.
+func hashJoin(map1, map2 *mapping.Mapping) []JoinRow {
+	build := make(map[model.ID][]mapping.Correspondence)
+	for _, c2 := range map2.Correspondences() {
+		build[c2.Domain] = append(build[c2.Domain], c2)
+	}
+	var rows []JoinRow
+	for _, c1 := range map1.Correspondences() {
+		for _, c2 := range build[c1.Range] {
+			rows = append(rows, JoinRow{A: c1.Domain, C: c1.Range, B: c2.Range, S1: c1.Sim, S2: c2.Sim})
+		}
+	}
+	return rows
+}
+
+// sortMergeJoin sorts both inputs on the join key and merges them,
+// expanding duplicate-key blocks pairwise.
+func sortMergeJoin(map1, map2 *mapping.Mapping) []JoinRow {
+	left := map1.Correspondences()
+	sort.Slice(left, func(i, j int) bool {
+		if left[i].Range != left[j].Range {
+			return left[i].Range < left[j].Range
+		}
+		return left[i].Domain < left[j].Domain
+	})
+	right := map2.Correspondences()
+	sort.Slice(right, func(i, j int) bool {
+		if right[i].Domain != right[j].Domain {
+			return right[i].Domain < right[j].Domain
+		}
+		return right[i].Range < right[j].Range
+	})
+	var rows []JoinRow
+	i, j := 0, 0
+	for i < len(left) && j < len(right) {
+		switch {
+		case left[i].Range < right[j].Domain:
+			i++
+		case left[i].Range > right[j].Domain:
+			j++
+		default:
+			key := left[i].Range
+			iEnd := i
+			for iEnd < len(left) && left[iEnd].Range == key {
+				iEnd++
+			}
+			jEnd := j
+			for jEnd < len(right) && right[jEnd].Domain == key {
+				jEnd++
+			}
+			for x := i; x < iEnd; x++ {
+				for y := j; y < jEnd; y++ {
+					rows = append(rows, JoinRow{
+						A: left[x].Domain, C: key, B: right[y].Range,
+						S1: left[x].Sim, S2: right[y].Sim,
+					})
+				}
+			}
+			i, j = iEnd, jEnd
+		}
+	}
+	return rows
+}
+
+// SortRows orders join rows canonically (A, C, B) for comparisons.
+func SortRows(rows []JoinRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].A != rows[j].A {
+			return rows[i].A < rows[j].A
+		}
+		if rows[i].C != rows[j].C {
+			return rows[i].C < rows[j].C
+		}
+		return rows[i].B < rows[j].B
+	})
+}
+
+// ComposeVia composes map1 and map2 like mapping.Compose but with an
+// explicit join algorithm; results are identical regardless of algorithm.
+func ComposeVia(map1, map2 *mapping.Mapping, f mapping.Combiner, g mapping.PathAgg, alg JoinAlgorithm) (*mapping.Mapping, error) {
+	rows, err := Join(map1, map2, alg)
+	if err != nil {
+		return nil, err
+	}
+	outType := map1.Type()
+	if !(map1.IsSame() && map2.IsSame()) {
+		outType = map1.Type() + "." + map2.Type()
+	}
+	out := mapping.New(map1.Domain(), map2.Range(), outType)
+
+	type agg struct {
+		sum, min, max float64
+		paths         int
+	}
+	type pairKey struct{ a, b model.ID }
+	accum := make(map[pairKey]*agg)
+	var order []pairKey
+	for _, row := range rows {
+		ps := mapping.PathCombine(f, row.S1, row.S2)
+		key := pairKey{row.A, row.B}
+		s, ok := accum[key]
+		if !ok {
+			s = &agg{min: ps, max: ps}
+			accum[key] = s
+			order = append(order, key)
+		} else {
+			if ps < s.min {
+				s.min = ps
+			}
+			if ps > s.max {
+				s.max = ps
+			}
+		}
+		s.sum += ps
+		s.paths++
+	}
+	for _, key := range order {
+		a := accum[key]
+		var s float64
+		switch g {
+		case mapping.AggAvg:
+			s = a.sum / float64(a.paths)
+		case mapping.AggMin:
+			s = a.min
+		case mapping.AggMax:
+			s = a.max
+		case mapping.AggRelativeLeft:
+			s = a.sum / float64(map1.DomainCount(key.a))
+		case mapping.AggRelativeRight:
+			s = a.sum / float64(map2.RangeCount(key.b))
+		case mapping.AggRelative:
+			s = 2 * a.sum / float64(map1.DomainCount(key.a)+map2.RangeCount(key.b))
+		default:
+			return nil, fmt.Errorf("store: unknown path aggregation %d", int(g))
+		}
+		if s > 0 {
+			out.Add(key.a, key.b, s)
+		}
+	}
+	return out, nil
+}

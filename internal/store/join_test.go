@@ -1,0 +1,127 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+func joinFixture() (*mapping.Mapping, *mapping.Mapping) {
+	m1 := mapping.NewSame(dblpPub, gsPub)
+	m1.Add("a1", "c1", 0.9)
+	m1.Add("a1", "c2", 0.8)
+	m1.Add("a2", "c2", 0.7)
+	m1.Add("a3", "c9", 0.5) // dangling: c9 not in m2
+	m2 := mapping.NewSame(gsPub, acmPub)
+	m2.Add("c1", "b1", 1)
+	m2.Add("c2", "b1", 0.6)
+	m2.Add("c2", "b2", 0.4)
+	m2.Add("c8", "b3", 1) // dangling: c8 not in m1
+	return m1, m2
+}
+
+func TestJoinAlgorithmsAgree(t *testing.T) {
+	m1, m2 := joinFixture()
+	h, err := Join(m1, m2, HashJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Join(m1, m2, SortMergeJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortRows(h)
+	SortRows(s)
+	if !reflect.DeepEqual(h, s) {
+		t.Errorf("join outputs differ:\nhash: %v\nsort-merge: %v", h, s)
+	}
+	// a1c1b1, a1c2b1, a1c2b2, a2c2b1, a2c2b2 = 5 rows.
+	if len(h) != 5 {
+		t.Errorf("join rows = %d, want 5", len(h))
+	}
+}
+
+func TestJoinMiddleMismatch(t *testing.T) {
+	m1 := mapping.NewSame(dblpPub, gsPub)
+	m2 := mapping.NewSame(dblpPub, acmPub)
+	if _, err := Join(m1, m2, HashJoin); err == nil {
+		t.Error("mismatched middle sources should fail")
+	}
+	if _, err := Join(m1, mapping.NewSame(gsPub, acmPub), JoinAlgorithm(9)); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestJoinEmptyInputs(t *testing.T) {
+	m1 := mapping.NewSame(dblpPub, gsPub)
+	m2 := mapping.NewSame(gsPub, acmPub)
+	for _, alg := range []JoinAlgorithm{HashJoin, SortMergeJoin} {
+		rows, err := Join(m1, m2, alg)
+		if err != nil || len(rows) != 0 {
+			t.Errorf("%s on empty inputs: %v, %v", alg, rows, err)
+		}
+	}
+}
+
+func TestComposeViaMatchesMappingCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m1 := mapping.NewSame(dblpPub, gsPub)
+	m2 := mapping.NewSame(gsPub, acmPub)
+	for i := 0; i < 300; i++ {
+		m1.Add(model.ID(fmt.Sprintf("a%d", rng.Intn(40))), model.ID(fmt.Sprintf("c%d", rng.Intn(60))), rng.Float64())
+		m2.Add(model.ID(fmt.Sprintf("c%d", rng.Intn(60))), model.ID(fmt.Sprintf("b%d", rng.Intn(40))), rng.Float64())
+	}
+	combos := []struct {
+		f mapping.Combiner
+		g mapping.PathAgg
+	}{
+		{mapping.MinCombiner, mapping.AggRelative},
+		{mapping.MinCombiner, mapping.AggAvg},
+		{mapping.AvgCombiner, mapping.AggMax},
+		{mapping.MaxCombiner, mapping.AggMin},
+		{mapping.MinCombiner, mapping.AggRelativeLeft},
+		{mapping.MinCombiner, mapping.AggRelativeRight},
+	}
+	for _, combo := range combos {
+		want, err := mapping.Compose(m1, m2, combo.f, combo.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []JoinAlgorithm{HashJoin, SortMergeJoin} {
+			got, err := ComposeVia(m1, m2, combo.f, combo.g, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want, 1e-12) {
+				t.Errorf("ComposeVia(%s, f=%v, g=%v) differs from mapping.Compose", alg, combo.f.Kind, combo.g)
+			}
+		}
+	}
+}
+
+func TestComposeViaTypePropagation(t *testing.T) {
+	m1, m2 := joinFixture()
+	got, err := ComposeVia(m1, m2, mapping.MinCombiner, mapping.AggMax, SortMergeJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSame() {
+		t.Error("same ∘ same should stay a same-mapping")
+	}
+	if _, err := ComposeVia(m1, m2, mapping.MinCombiner, mapping.PathAgg(99), HashJoin); err == nil {
+		t.Error("unknown aggregation should fail")
+	}
+}
+
+func TestJoinAlgorithmString(t *testing.T) {
+	if HashJoin.String() != "hash" || SortMergeJoin.String() != "sort-merge" {
+		t.Error("algorithm names wrong")
+	}
+	if JoinAlgorithm(9).String() == "" {
+		t.Error("unknown algorithm should render")
+	}
+}

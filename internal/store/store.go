@@ -1,0 +1,230 @@
+// Package store implements MOMA's mapping repository and mapping cache
+// (§2.2, Figure 3).
+//
+// The repository materializes association and same-mappings as relational
+// mapping tables under stable names; the cache holds intermediate
+// same-mappings derived during a match workflow. Both share the Store type:
+// the repository is typically persistent (write-ahead log plus snapshot),
+// while the cache is an in-memory bounded store.
+//
+// The package also provides hash-join and sort-merge-join implementations
+// over mapping tables; the paper points out that mapping composition "can
+// be computed very efficiently in our implementation by joining the mapping
+// tables" (§5.3).
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+// Store is a named collection of mappings, safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	maps  map[string]*mapping.Mapping
+	order []string
+
+	// wal and dir are set for persistent stores.
+	wal *walWriter
+	dir string
+
+	// limit > 0 bounds the number of entries (cache mode); the oldest
+	// entries are evicted first.
+	limit int
+}
+
+// NewRepository returns an in-memory mapping repository without persistence.
+func NewRepository() *Store {
+	return &Store{maps: make(map[string]*mapping.Mapping)}
+}
+
+// NewCache returns a bounded in-memory store evicting oldest-first once
+// more than limit mappings are held. limit <= 0 means unbounded.
+func NewCache(limit int) *Store {
+	return &Store{maps: make(map[string]*mapping.Mapping), limit: limit}
+}
+
+// Put stores the mapping under name, replacing any previous entry. The
+// mapping is stored by reference; callers must not mutate it afterwards
+// (Clone first if needed).
+func (s *Store) Put(name string, m *mapping.Mapping) error {
+	if name == "" {
+		return fmt.Errorf("store: empty mapping name")
+	}
+	if m == nil {
+		return fmt.Errorf("store: nil mapping for %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.maps[name]; !exists {
+		s.order = append(s.order, name)
+	}
+	s.maps[name] = m
+	if s.wal != nil {
+		if err := s.wal.logPut(name, m); err != nil {
+			return fmt.Errorf("store: wal append: %w", err)
+		}
+	}
+	s.evictLocked()
+	return nil
+}
+
+// evictLocked drops oldest entries beyond the limit. Callers hold mu.
+func (s *Store) evictLocked() {
+	if s.limit <= 0 {
+		return
+	}
+	for len(s.order) > s.limit {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		delete(s.maps, victim)
+		if s.wal != nil {
+			// Best-effort: cache stores are normally not persistent.
+			_ = s.wal.logDelete(victim)
+		}
+	}
+}
+
+// Get returns the mapping stored under name.
+func (s *Store) Get(name string) (*mapping.Mapping, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.maps[name]
+	return m, ok
+}
+
+// MustGet returns the named mapping or an error mentioning close names.
+func (s *Store) MustGet(name string) (*mapping.Mapping, error) {
+	if m, ok := s.Get(name); ok {
+		return m, nil
+	}
+	names := s.Names()
+	var hints []string
+	lower := strings.ToLower(name)
+	for _, n := range names {
+		if strings.Contains(strings.ToLower(n), lower) || strings.Contains(lower, strings.ToLower(n)) {
+			hints = append(hints, n)
+		}
+	}
+	if len(hints) > 0 {
+		return nil, fmt.Errorf("store: no mapping %q (close: %s)", name, strings.Join(hints, ", "))
+	}
+	return nil, fmt.Errorf("store: no mapping %q among %d stored mappings", name, len(names))
+}
+
+// Delete removes the named mapping; it reports whether it existed.
+func (s *Store) Delete(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.maps[name]; !ok {
+		return false
+	}
+	delete(s.maps, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if s.wal != nil {
+		_ = s.wal.logDelete(name)
+	}
+	return true
+}
+
+// Has reports whether a mapping is stored under name.
+func (s *Store) Has(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.maps[name]
+	return ok
+}
+
+// Len returns the number of stored mappings.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.maps)
+}
+
+// Names returns the stored names in insertion order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// SameMappingsBetween returns the names of stored same-mappings connecting
+// the two logical sources (in either direction).
+func (s *Store) SameMappingsBetween(a, b model.LDS) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for _, n := range s.order {
+		m := s.maps[n]
+		if !m.IsSame() {
+			continue
+		}
+		if (m.Domain() == a && m.Range() == b) || (m.Domain() == b && m.Range() == a) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Clear removes all mappings.
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range s.order {
+		if s.wal != nil {
+			_ = s.wal.logDelete(n)
+		}
+		delete(s.maps, n)
+	}
+	s.order = s.order[:0]
+}
+
+// Stats summarizes the store for reports.
+type Stats struct {
+	Mappings        int
+	Correspondences int
+	SameMappings    int
+}
+
+// Summarize computes store statistics.
+func (s *Store) Summarize() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Mappings: len(s.maps)}
+	for _, m := range s.maps {
+		st.Correspondences += m.Len()
+		if m.IsSame() {
+			st.SameMappings++
+		}
+	}
+	return st
+}
+
+// String lists the store contents.
+func (s *Store) String() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, len(s.order))
+	copy(names, s.order)
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "store with %d mappings:\n", len(names))
+	for _, n := range names {
+		m := s.maps[n]
+		fmt.Fprintf(&b, "  %-32s %s -> %s (%s), %d corrs\n", n, m.Domain(), m.Range(), m.Type(), m.Len())
+	}
+	return b.String()
+}

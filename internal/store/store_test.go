@@ -1,0 +1,161 @@
+package store
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+var (
+	dblpPub = model.LDS{Source: "DBLP", Type: model.Publication}
+	acmPub  = model.LDS{Source: "ACM", Type: model.Publication}
+	gsPub   = model.LDS{Source: "GS", Type: model.Publication}
+)
+
+func sampleMapping(n int) *mapping.Mapping {
+	m := mapping.NewSame(dblpPub, acmPub)
+	for i := 0; i < n; i++ {
+		m.Add(model.ID(rune('a'+i%26)), model.ID(rune('A'+i%26)), 0.5+float64(i%5)/10)
+	}
+	return m
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := NewRepository()
+	m := sampleMapping(3)
+	if err := s.Put("pubs", m); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("pubs")
+	if !ok || got.Len() != 3 {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if !s.Has("pubs") || s.Has("nope") {
+		t.Error("Has mismatch")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if !s.Delete("pubs") {
+		t.Error("Delete should report true")
+	}
+	if s.Delete("pubs") {
+		t.Error("second Delete should report false")
+	}
+	if s.Len() != 0 {
+		t.Error("store should be empty")
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s := NewRepository()
+	if err := s.Put("", sampleMapping(1)); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := s.Put("x", nil); err == nil {
+		t.Error("nil mapping should fail")
+	}
+}
+
+func TestMustGetHints(t *testing.T) {
+	s := NewRepository()
+	s.Put("DBLP-ACM.PubSame", sampleMapping(1))
+	if _, err := s.MustGet("DBLP-ACM.PubSame"); err != nil {
+		t.Errorf("MustGet existing: %v", err)
+	}
+	_, err := s.MustGet("PubSame")
+	if err == nil || !strings.Contains(err.Error(), "DBLP-ACM.PubSame") {
+		t.Errorf("MustGet should hint at close names, got %v", err)
+	}
+	_, err = s.MustGet("zzz")
+	if err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestNamesInsertionOrder(t *testing.T) {
+	s := NewRepository()
+	s.Put("b", sampleMapping(1))
+	s.Put("a", sampleMapping(1))
+	s.Put("b", sampleMapping(2)) // replace keeps position
+	names := s.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("m1", sampleMapping(1))
+	c.Put("m2", sampleMapping(1))
+	c.Put("m3", sampleMapping(1))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if c.Has("m1") {
+		t.Error("oldest entry should be evicted")
+	}
+	if !c.Has("m2") || !c.Has("m3") {
+		t.Error("newest entries should survive")
+	}
+}
+
+func TestSameMappingsBetween(t *testing.T) {
+	s := NewRepository()
+	s.Put("same1", mapping.NewSame(dblpPub, acmPub))
+	s.Put("same2", mapping.NewSame(acmPub, dblpPub))
+	s.Put("other", mapping.NewSame(dblpPub, gsPub))
+	s.Put("asso", mapping.New(dblpPub, acmPub, "x"))
+	got := s.SameMappingsBetween(dblpPub, acmPub)
+	if len(got) != 2 || got[0] != "same1" || got[1] != "same2" {
+		t.Errorf("SameMappingsBetween = %v", got)
+	}
+}
+
+func TestClearAndSummarize(t *testing.T) {
+	s := NewRepository()
+	s.Put("a", sampleMapping(3))
+	s.Put("b", mapping.New(dblpPub, acmPub, "asso"))
+	st := s.Summarize()
+	if st.Mappings != 2 || st.Correspondences != 3 || st.SameMappings != 1 {
+		t.Errorf("Summarize = %+v", st)
+	}
+	s.Clear()
+	if s.Len() != 0 || len(s.Names()) != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestStoreString(t *testing.T) {
+	s := NewRepository()
+	s.Put("pubs", sampleMapping(2))
+	out := s.String()
+	if !strings.Contains(out, "pubs") || !strings.Contains(out, "Publication@DBLP") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewRepository()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			for j := 0; j < 100; j++ {
+				s.Put(name, sampleMapping(j%5))
+				s.Get(name)
+				s.Names()
+				s.Summarize()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 8 {
+		t.Errorf("Len = %d, want 8", s.Len())
+	}
+}

@@ -1,0 +1,248 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+// Persistence: a persistent Store is backed by a directory holding a
+// snapshot file plus a write-ahead log of JSON records. On open, the
+// snapshot is loaded and the log replayed; Compact folds the log into a
+// fresh snapshot. JSON-lines records keep the log append-safe across
+// process restarts (unlike a single gob stream).
+
+const (
+	snapshotFile = "snapshot.jsonl"
+	walFile      = "wal.jsonl"
+)
+
+// walRecord is one persisted operation.
+type walRecord struct {
+	Op     string       `json:"op"` // "put" or "del"
+	Name   string       `json:"name"`
+	Domain string       `json:"domain,omitempty"`
+	Range  string       `json:"range,omitempty"`
+	Type   string       `json:"type,omitempty"`
+	Rows   []corrRecord `json:"rows,omitempty"`
+}
+
+// corrRecord is one persisted correspondence.
+type corrRecord struct {
+	D string  `json:"d"`
+	R string  `json:"r"`
+	S float64 `json:"s"`
+}
+
+type walWriter struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func (w *walWriter) append(rec walRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+func (w *walWriter) logPut(name string, m *mapping.Mapping) error {
+	return w.append(putRecord(name, m))
+}
+
+func (w *walWriter) logDelete(name string) error {
+	return w.append(walRecord{Op: "del", Name: name})
+}
+
+func (w *walWriter) close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+func putRecord(name string, m *mapping.Mapping) walRecord {
+	rec := walRecord{
+		Op:     "put",
+		Name:   name,
+		Domain: m.Domain().String(),
+		Range:  m.Range().String(),
+		Type:   string(m.Type()),
+	}
+	for _, c := range m.Correspondences() {
+		rec.Rows = append(rec.Rows, corrRecord{D: string(c.Domain), R: string(c.Range), S: c.Sim})
+	}
+	return rec
+}
+
+func mappingFromRecord(rec walRecord) (*mapping.Mapping, error) {
+	dom, err := model.ParseLDS(rec.Domain)
+	if err != nil {
+		return nil, fmt.Errorf("store: record %q: %w", rec.Name, err)
+	}
+	rng, err := model.ParseLDS(rec.Range)
+	if err != nil {
+		return nil, fmt.Errorf("store: record %q: %w", rec.Name, err)
+	}
+	m := mapping.New(dom, rng, model.MappingType(rec.Type))
+	for _, row := range rec.Rows {
+		m.Add(model.ID(row.D), model.ID(row.R), row.S)
+	}
+	return m, nil
+}
+
+// OpenRepository opens (creating if necessary) a persistent repository in
+// dir. The snapshot is loaded first, then the write-ahead log is replayed.
+func OpenRepository(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	s := NewRepository()
+	for _, file := range []string{filepath.Join(dir, snapshotFile), filepath.Join(dir, walFile)} {
+		if err := s.replayFile(file); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	s.wal = &walWriter{f: f, w: bufio.NewWriter(f)}
+	s.dir = dir
+	return s, nil
+}
+
+// replayFile applies all records of a snapshot or log file; a missing file
+// is fine. A trailing partial line (torn write) is tolerated on the last
+// record only.
+func (s *Store) replayFile(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: open %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	lineNo := 0
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		if pendingErr != nil {
+			// A corrupt record followed by valid data is real corruption.
+			return pendingErr
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingErr = fmt.Errorf("store: %s line %d: %w", path, lineNo, err)
+			continue
+		}
+		switch rec.Op {
+		case "put":
+			m, err := mappingFromRecord(rec)
+			if err != nil {
+				return err
+			}
+			if _, exists := s.maps[rec.Name]; !exists {
+				s.order = append(s.order, rec.Name)
+			}
+			s.maps[rec.Name] = m
+		case "del":
+			if _, ok := s.maps[rec.Name]; ok {
+				delete(s.maps, rec.Name)
+				for i, n := range s.order {
+					if n == rec.Name {
+						s.order = append(s.order[:i], s.order[i+1:]...)
+						break
+					}
+				}
+			}
+		default:
+			pendingErr = fmt.Errorf("store: %s line %d: unknown op %q", path, lineNo, rec.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: scan %s: %w", path, err)
+	}
+	// pendingErr on the very last line is treated as a torn write and
+	// dropped silently; the data before it is intact.
+	return nil
+}
+
+// Compact folds the current state into a fresh snapshot and truncates the
+// write-ahead log. Only valid for stores opened with OpenRepository.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil || s.dir == "" {
+		return fmt.Errorf("store: Compact requires a persistent repository")
+	}
+	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for _, name := range s.order {
+		if err := enc.Encode(putRecord(name, s.maps[name])); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapshotFile)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Truncate the log: close, recreate.
+	if err := s.wal.close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	s.wal = &walWriter{f: f, w: bufio.NewWriter(f)}
+	return nil
+}
+
+// Close flushes and closes the write-ahead log of a persistent repository;
+// it is a no-op for in-memory stores.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.close()
+	s.wal = nil
+	return err
+}

@@ -1,0 +1,202 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mapping"
+)
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sampleMapping(5)
+	if err := s.Put("pubs", m); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("dropme", sampleMapping(2))
+	s.Delete("dropme")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, ok := re.Get("pubs")
+	if !ok {
+		t.Fatal("pubs not recovered")
+	}
+	if !got.Equal(m, 1e-12) {
+		t.Error("recovered mapping differs")
+	}
+	if re.Has("dropme") {
+		t.Error("deleted mapping should stay deleted after recovery")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Put("m", sampleMapping(i+1)) // 10 wal records for the same name
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// After compaction the wal must be empty and the snapshot present.
+	walInfo, err := os.Stat(filepath.Join(dir, walFile))
+	if err != nil || walInfo.Size() != 0 {
+		t.Errorf("wal after compact: size=%v err=%v", walInfo.Size(), err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Errorf("snapshot missing: %v", err)
+	}
+	s.Put("after", sampleMapping(1))
+	s.Close()
+
+	re, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got, _ := re.Get("m"); got == nil || got.Len() != 10 {
+		t.Errorf("recovered m has %v corrs, want 10", got.Len())
+	}
+	if !re.Has("after") {
+		t.Error("post-compact write lost")
+	}
+}
+
+func TestCompactOnMemoryStoreFails(t *testing.T) {
+	if err := NewRepository().Compact(); err == nil {
+		t.Error("Compact on in-memory store should fail")
+	}
+}
+
+func TestTornWriteTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("keep", sampleMapping(3))
+	s.Close()
+
+	// Simulate a torn final write.
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"put","name":"torn","domain":"Pub`)
+	f.Close()
+
+	re, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatalf("torn trailing record should be tolerated: %v", err)
+	}
+	defer re.Close()
+	if !re.Has("keep") {
+		t.Error("intact record lost")
+	}
+	if re.Has("torn") {
+		t.Error("torn record must not be applied")
+	}
+}
+
+func TestCorruptionMidFileFails(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", sampleMapping(1))
+	s.Close()
+
+	// Corrupt the first line, then append a valid record: mid-file
+	// corruption must be reported, not silently skipped.
+	path := filepath.Join(dir, walFile)
+	data, _ := os.ReadFile(path)
+	data[0] = 'X'
+	os.WriteFile(path, data, 0o644)
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString("\n{\"op\":\"del\",\"name\":\"a\"}\n")
+	f.Close()
+
+	if _, err := OpenRepository(dir); err == nil {
+		t.Error("mid-file corruption should fail recovery")
+	}
+}
+
+func TestUnknownOpMidFileFails(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, walFile)
+	os.WriteFile(path, []byte("{\"op\":\"frob\",\"name\":\"x\"}\n{\"op\":\"del\",\"name\":\"x\"}\n"), 0o644)
+	if _, err := OpenRepository(dir); err == nil {
+		t.Error("unknown op followed by data should fail")
+	}
+}
+
+func TestRecoveryPreservesOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenRepository(dir)
+	s.Put("z", sampleMapping(1))
+	s.Put("a", sampleMapping(1))
+	s.Close()
+	re, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	names := re.Names()
+	if len(names) != 2 || names[0] != "z" || names[1] != "a" {
+		t.Errorf("recovered order = %v", names)
+	}
+}
+
+func TestMappingFromRecordErrors(t *testing.T) {
+	if _, err := mappingFromRecord(walRecord{Name: "x", Domain: "bad", Range: "Publication@ACM"}); err == nil {
+		t.Error("bad domain LDS should fail")
+	}
+	if _, err := mappingFromRecord(walRecord{Name: "x", Domain: "Publication@DBLP", Range: "bad"}); err == nil {
+		t.Error("bad range LDS should fail")
+	}
+}
+
+func TestCloseIdempotentOnMemoryStore(t *testing.T) {
+	s := NewRepository()
+	if err := s.Close(); err != nil {
+		t.Errorf("Close on memory store: %v", err)
+	}
+}
+
+func TestDeletePersisted(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenRepository(dir)
+	m := mapping.NewSame(dblpPub, acmPub)
+	m.Add("x", "y", 1)
+	s.Put("m", m)
+	s.Close()
+
+	s2, _ := OpenRepository(dir)
+	s2.Delete("m")
+	s2.Close()
+
+	s3, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Has("m") {
+		t.Error("delete should survive restart")
+	}
+}

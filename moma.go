@@ -1,0 +1,392 @@
+// Package moma is a Go implementation of MOMA, the mapping-based object
+// matching system of Thor & Rahm (CIDR 2007).
+//
+// MOMA solves object matching (entity resolution): identifying the object
+// instances in data sources that refer to the same real-world entity. Its
+// central abstraction is the instance-level mapping — a set of
+// correspondences (a, b, s) between two logical data sources with a
+// similarity s in [0,1]. Match workflows combine matcher executions
+// (attribute matchers, the neighborhood matcher) with mapping operators
+// (merge, compose, selection), re-using mappings kept in a repository.
+//
+// The package re-exports the subsystem APIs under one import:
+//
+//	sys := moma.NewSystem()
+//	dblp := moma.NewObjectSet(moma.LDS{Source: "DBLP", Type: moma.Publication})
+//	acm := moma.NewObjectSet(moma.LDS{Source: "ACM", Type: moma.Publication})
+//	// ... fill the sets, then match titles:
+//	m := &moma.AttributeMatcher{AttrA: "title", AttrB: "title",
+//		Sim: moma.Trigram, Threshold: 0.8}
+//	same, err := m.Match(dblp, acm)
+//
+// Higher-level entry points: System wires a mapping repository, a matcher
+// registry and the iFuice-style script interpreter together; Workflow and
+// Engine execute multi-step match processes; NhMatch is the §4.2
+// neighborhood matcher.
+package moma
+
+import (
+	"repro/internal/block"
+	"repro/internal/cluster"
+	"repro/internal/eval"
+	"repro/internal/fuse"
+	"repro/internal/index"
+	"repro/internal/mapping"
+	"repro/internal/match"
+	"repro/internal/model"
+	"repro/internal/script"
+	"repro/internal/sim"
+	"repro/internal/sources"
+	"repro/internal/store"
+	"repro/internal/tuning"
+	"repro/internal/workflow"
+)
+
+// Object model (package model).
+type (
+	// ObjectType names a semantic object type such as Publication.
+	ObjectType = model.ObjectType
+	// PDS names a physical data source.
+	PDS = model.PDS
+	// LDS is a logical data source: one object type within one physical
+	// source.
+	LDS = model.LDS
+	// ID identifies an instance within its LDS.
+	ID = model.ID
+	// Instance is an object instance with attribute values.
+	Instance = model.Instance
+	// ObjectSet is a set of instances of one LDS.
+	ObjectSet = model.ObjectSet
+	// SMM is the source-mapping model (schema-level registry).
+	SMM = model.SMM
+	// MappingDecl declares a mapping type between two logical sources.
+	MappingDecl = model.MappingDecl
+	// Cardinality classifies association cardinality (1:n, n:1, n:m).
+	Cardinality = model.Cardinality
+	// MappingType names mapping semantics; SameMappingType marks
+	// same-mappings.
+	MappingType = model.MappingType
+)
+
+// Object-model constructors and constants.
+var (
+	NewInstance  = model.NewInstance
+	NewObjectSet = model.NewObjectSet
+	NewSMM       = model.NewSMM
+	ParseLDS     = model.ParseLDS
+)
+
+// Common object types and cardinalities.
+const (
+	Publication = model.Publication
+	Author      = model.Author
+	Venue       = model.Venue
+
+	SameMappingType = model.SameMappingType
+
+	CardOneToOne   = model.CardOneToOne
+	CardOneToMany  = model.CardOneToMany
+	CardManyToOne  = model.CardManyToOne
+	CardManyToMany = model.CardManyToMany
+)
+
+// Mappings and operators (package mapping).
+type (
+	// Mapping is an instance-level mapping table.
+	Mapping = mapping.Mapping
+	// Correspondence is one (domain, range, sim) row.
+	Correspondence = mapping.Correspondence
+	// Combiner configures the similarity combination function f.
+	Combiner = mapping.Combiner
+	// CombinerKind enumerates Avg/Min/Max/Weighted/Prefer.
+	CombinerKind = mapping.CombinerKind
+	// PathAgg enumerates compose path aggregations (Relative & friends).
+	PathAgg = mapping.PathAgg
+	// Selection filters correspondences (§3.3).
+	Selection = mapping.Selection
+	// Threshold keeps correspondences at or above T.
+	Threshold = mapping.Threshold
+	// BestN keeps the top-n correspondences per instance.
+	BestN = mapping.BestN
+	// Best1Delta keeps the best correspondence plus near-ties.
+	Best1Delta = mapping.Best1Delta
+	// Constraint applies an object-value constraint.
+	Constraint = mapping.Constraint
+	// Side selects the grouping side of per-instance selections.
+	Side = mapping.Side
+)
+
+// Mapping constructors, operators and constants.
+var (
+	NewMapping     = mapping.New
+	NewSameMapping = mapping.NewSame
+	IdentityOf     = mapping.Identity
+	Merge          = mapping.Merge
+	Compose        = mapping.Compose
+	ComposeChain   = mapping.ComposeChain
+	YearConstraint = mapping.YearConstraint
+
+	AvgCombiner      = mapping.AvgCombiner
+	Avg0Combiner     = mapping.Avg0Combiner
+	MinCombiner      = mapping.MinCombiner
+	Min0Combiner     = mapping.Min0Combiner
+	MaxCombiner      = mapping.MaxCombiner
+	PreferCombiner   = mapping.PreferCombiner
+	WeightedCombiner = mapping.WeightedCombiner
+)
+
+// Compose path aggregations and selection sides.
+const (
+	AggAvg           = mapping.AggAvg
+	AggMin           = mapping.AggMin
+	AggMax           = mapping.AggMax
+	AggRelative      = mapping.AggRelative
+	AggRelativeLeft  = mapping.AggRelativeLeft
+	AggRelativeRight = mapping.AggRelativeRight
+
+	DomainSide = mapping.DomainSide
+	RangeSide  = mapping.RangeSide
+	BothSides  = mapping.BothSides
+
+	KindAvg      = mapping.Avg
+	KindMin      = mapping.Min
+	KindMax      = mapping.Max
+	KindWeighted = mapping.Weighted
+	KindPrefer   = mapping.Prefer
+)
+
+// Similarity functions (package sim).
+type (
+	// SimFunc scores two strings in [0,1].
+	SimFunc = sim.Func
+	// SimRegistry resolves similarity functions by name.
+	SimRegistry = sim.Registry
+	// TFIDF is a corpus model for TF-IDF cosine similarity.
+	TFIDF = sim.TFIDF
+)
+
+// Built-in similarity functions.
+var (
+	Trigram     = sim.Trigram
+	NGramDice   = sim.NGramDice
+	Levenshtein = sim.Levenshtein
+	Jaro        = sim.Jaro
+	JaroWinkler = sim.JaroWinkler
+	Affix       = sim.Affix
+	TokenJacc   = sim.TokenJaccard
+	MongeElkan  = sim.MongeElkanJaroWinkler
+	PersonName  = sim.PersonName
+	YearSim     = sim.YearSim
+	YearExact   = sim.YearExact
+	// NumericProximity builds a measure decaying linearly with |a-b|/scale
+	// — useful for prices, page counts or other numeric attributes.
+	NumericProximity = sim.NumericProximity
+
+	NewSimRegistry = sim.NewRegistry
+	NewTFIDF       = sim.NewTFIDF
+)
+
+// Matchers (package match) and blocking (package block).
+type (
+	// Matcher produces a same-mapping between two object sets.
+	Matcher = match.Matcher
+	// AttributeMatcher is the generic attribute matcher of §2.2.
+	AttributeMatcher = match.Attribute
+	// MultiAttributeMatcher combines several attribute pairs.
+	MultiAttributeMatcher = match.MultiAttribute
+	// AttrPair configures one comparison of the multi-attribute matcher.
+	AttrPair = match.AttrPair
+	// TFIDFMatcher matches one attribute pair under TF-IDF cosine.
+	TFIDFMatcher = match.TFIDFAttribute
+	// NeighborhoodMatcher wraps nhMatch as a Matcher.
+	NeighborhoodMatcher = match.Neighborhood
+	// MatcherRegistry is the extensible matcher library.
+	MatcherRegistry = match.Registry
+	// Blocker generates candidate pairs.
+	Blocker = block.Blocker
+	// CrossProduct compares all pairs.
+	CrossProduct = block.CrossProduct
+	// TokenBlocking pairs instances sharing attribute tokens.
+	TokenBlocking = block.TokenBlocking
+	// SortedNeighborhood is the classic windowed blocking method.
+	SortedNeighborhood = block.SortedNeighborhood
+)
+
+// Matcher helpers.
+var (
+	NhMatch            = match.NhMatch
+	NhMatchAgg         = match.NhMatchAgg
+	NewNeighborhood    = match.NewNeighborhood
+	CoAuthorDedup      = match.CoAuthorDedup
+	NewMatcherRegistry = match.NewRegistry
+)
+
+// Repository, cache and persistence (package store).
+type (
+	// Store is a named mapping collection (repository or cache).
+	Store = store.Store
+	// JoinAlgorithm selects hash vs sort-merge join for compose.
+	JoinAlgorithm = store.JoinAlgorithm
+)
+
+// Store constructors and helpers.
+var (
+	NewRepository     = store.NewRepository
+	NewCache          = store.NewCache
+	OpenRepository    = store.OpenRepository
+	ComposeVia        = store.ComposeVia
+	WriteMappingCSV   = store.WriteMappingCSV
+	ReadMappingCSV    = store.ReadMappingCSV
+	WriteObjectSetCSV = store.WriteObjectSetCSV
+	ReadObjectSetCSV  = store.ReadObjectSetCSV
+)
+
+// Join algorithms.
+const (
+	HashJoin      = store.HashJoin
+	SortMergeJoin = store.SortMergeJoin
+)
+
+// Workflows (package workflow).
+type (
+	// Workflow is a named sequence of match steps.
+	Workflow = workflow.Workflow
+	// WorkflowStep is one step: matcher executions plus a combiner.
+	WorkflowStep = workflow.Step
+	// Engine executes workflows against repository and cache.
+	Engine = workflow.Engine
+)
+
+// Workflow constructors.
+var (
+	NewWorkflow = workflow.New
+	NewEngine   = workflow.NewEngine
+	MergeStep   = workflow.MergeStep
+	ComposeStep = workflow.ComposeStep
+)
+
+// Workflow step operators.
+const (
+	OpMerge   = workflow.OpMerge
+	OpCompose = workflow.OpCompose
+)
+
+// Scripts (package script).
+type (
+	// Script is a parsed iFuice-style program.
+	Script = script.Script
+	// Interp executes scripts against an environment.
+	Interp = script.Interp
+	// Binding is the standard script environment.
+	Binding = script.Binding
+	// Value is a script value (mapping, object set, number, string).
+	Value = script.Value
+)
+
+// Script helpers.
+var (
+	ParseScript     = script.Parse
+	NewInterp       = script.New
+	NewBinding      = script.NewBinding
+	ParseConstraint = script.ParseConstraint
+)
+
+// Evaluation (package eval).
+type (
+	// Result carries precision, recall and F-measure.
+	Result = eval.Result
+	// Table renders paper-style result tables.
+	Table = eval.Table
+)
+
+// Evaluation helpers.
+var (
+	Compare        = eval.Compare
+	CompareGrouped = eval.CompareGrouped
+	NewTable       = eval.NewTable
+)
+
+// Fusion (package fuse).
+type (
+	// Fuser enriches a base set with attributes of matched instances.
+	Fuser = fuse.Fuser
+	// FuseRule fuses one attribute under an aggregation.
+	FuseRule = fuse.Rule
+)
+
+// Fusion helpers.
+var (
+	NewFuser     = fuse.NewFuser
+	Traverse     = fuse.Traverse
+	FirstValue   = fuse.First
+	MaxNumeric   = fuse.MaxNumeric
+	SumNumeric   = fuse.SumNumeric
+	LongestValue = fuse.Longest
+)
+
+// Duplicate clustering (package cluster).
+type (
+	// UnionFind is a disjoint-set forest over instance ids.
+	UnionFind = cluster.UnionFind
+	// Cluster is one duplicate cluster.
+	Cluster = cluster.Cluster
+)
+
+// Clustering helpers.
+var (
+	NewUnionFind      = cluster.NewUnionFind
+	ClustersOf        = cluster.FromMapping
+	SelfMapping       = cluster.SelfMapping
+	TransitiveClosure = cluster.TransitiveClosure
+)
+
+// Self-tuning (package tuning).
+type (
+	// TuningSpace is a grid of matcher configurations.
+	TuningSpace = tuning.Space
+	// TuningOutcome pairs a configuration with its result.
+	TuningOutcome = tuning.Outcome
+	// DecisionTree is a CART match classifier.
+	DecisionTree = tuning.Tree
+	// TreeMatcher wraps a learned tree as a Matcher.
+	TreeMatcher = tuning.TreeMatcher
+)
+
+// Tuning helpers.
+var (
+	GridSearch = tuning.GridSearch
+	BestTuning = tuning.Best
+	LearnTree  = tuning.LearnTree
+)
+
+// Search index (package index).
+type (
+	// Index is an inverted index with TF-IDF top-k retrieval.
+	Index = index.Index
+	// Hit is one search result.
+	Hit = index.Hit
+)
+
+// NewIndex returns an empty inverted index.
+var NewIndex = index.New
+
+// Synthetic bibliographic world (package sources) — the evaluation
+// substrate substituting for DBLP / ACM DL / Google Scholar.
+type (
+	// DatasetConfig controls synthetic world generation.
+	DatasetConfig = sources.Config
+	// Dataset is the generated evaluation setting.
+	Dataset = sources.Dataset
+	// DataSource is one derived physical source.
+	DataSource = sources.Source
+	// GSQuery is the query-only access path to the GS simulation.
+	GSQuery = sources.GSQuery
+)
+
+// Dataset helpers.
+var (
+	PaperConfig     = sources.PaperConfig
+	SmallConfig     = sources.SmallConfig
+	GenerateDataset = sources.Generate
+	NewGSQuery      = sources.NewGSQuery
+)

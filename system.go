@@ -1,0 +1,224 @@
+package moma
+
+import (
+	"fmt"
+
+	"repro/internal/mapping"
+	"repro/internal/match"
+	"repro/internal/model"
+	"repro/internal/script"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/workflow"
+)
+
+// System wires the MOMA architecture of Figure 3 together: the mapping
+// repository, the mapping cache, the matcher library, the similarity
+// registry, the workflow engine and the script interpreter, all sharing
+// one namespace of sources and mappings.
+type System struct {
+	// Repo is the mapping repository (association and same-mappings).
+	Repo *Store
+	// Cache holds intermediate same-mappings of running workflows.
+	Cache *Store
+	// Matchers is the extensible matcher library.
+	Matchers *MatcherRegistry
+	// Sims resolves similarity-function names.
+	Sims *SimRegistry
+
+	sets    map[string]*ObjectSet
+	binding *script.Binding
+	engine  *workflow.Engine
+}
+
+// NewSystem returns a system with in-memory repository and cache.
+func NewSystem() *System {
+	return newSystem(store.NewRepository())
+}
+
+// OpenSystem returns a system whose repository persists under dir (write-
+// ahead log plus snapshot; see Store.Compact).
+func OpenSystem(dir string) (*System, error) {
+	repo, err := store.OpenRepository(dir)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(repo), nil
+}
+
+func newSystem(repo *store.Store) *System {
+	s := &System{
+		Repo:     repo,
+		Cache:    store.NewCache(0),
+		Matchers: match.NewRegistry(),
+		Sims:     sim.NewRegistry(),
+		sets:     make(map[string]*ObjectSet),
+	}
+	s.engine = &workflow.Engine{Repo: s.Repo, Cache: s.Cache}
+	s.rebind()
+	return s
+}
+
+// rebind refreshes the script binding from the current stores and sets.
+func (s *System) rebind() {
+	b := script.NewBinding()
+	b.Sims = s.Sims
+	for _, name := range s.Repo.Names() {
+		if m, ok := s.Repo.Get(name); ok {
+			b.BindMapping(name, m)
+		}
+	}
+	for _, name := range s.Cache.Names() {
+		if m, ok := s.Cache.Get(name); ok {
+			b.BindMapping(name, m)
+		}
+	}
+	for name, set := range s.sets {
+		b.BindSet(name, set)
+	}
+	s.binding = b
+}
+
+// AddObjectSet registers an object set under a qualified name such as
+// "DBLP.Author", making it visible to scripts and constraints.
+func (s *System) AddObjectSet(name string, set *ObjectSet) error {
+	if name == "" || set == nil {
+		return fmt.Errorf("moma: AddObjectSet needs a name and a set")
+	}
+	if _, dup := s.sets[name]; dup {
+		return fmt.Errorf("moma: object set %q already registered", name)
+	}
+	s.sets[name] = set
+	return nil
+}
+
+// ObjectSetByName returns a registered object set.
+func (s *System) ObjectSetByName(name string) (*ObjectSet, bool) {
+	set, ok := s.sets[name]
+	return set, ok
+}
+
+// AddMapping stores a mapping in the repository under name.
+func (s *System) AddMapping(name string, m *Mapping) error {
+	return s.Repo.Put(name, m)
+}
+
+// MappingByName resolves a mapping from cache first, then repository.
+func (s *System) MappingByName(name string) (*Mapping, bool) {
+	if m, ok := s.Cache.Get(name); ok {
+		return m, true
+	}
+	return s.Repo.Get(name)
+}
+
+// RunScript parses and executes an iFuice-style script against the
+// system's sources and mappings. Top-level assignments become cache
+// entries, so later scripts (and workflows) can re-use them by name.
+func (s *System) RunScript(src string) (Value, error) {
+	s.rebind()
+	ip := script.New(s.binding)
+	v, err := ip.RunSource(src)
+	if err != nil {
+		return v, err
+	}
+	// Persist script-created mappings into the cache for re-use: a later
+	// script references $Titles of this run as Cache.Titles.
+	parsed, perr := script.Parse(src)
+	if perr == nil {
+		for _, st := range parsed.Stmts {
+			if assign, ok := st.(*script.Assign); ok {
+				if val, ok := ip.Global(assign.Name); ok && val.Kind == script.MappingValue {
+					// Best effort; a full cache is the only failure mode.
+					_ = s.Cache.Put("Cache."+assign.Name, val.Mapping)
+				}
+			}
+		}
+	}
+	return v, nil
+}
+
+// RunWorkflow executes a workflow on two registered object sets.
+func (s *System) RunWorkflow(w *Workflow, setA, setB string) (*Mapping, error) {
+	a, ok := s.ObjectSetByName(setA)
+	if !ok {
+		return nil, fmt.Errorf("moma: unknown object set %q", setA)
+	}
+	b, ok := s.ObjectSetByName(setB)
+	if !ok {
+		return nil, fmt.Errorf("moma: unknown object set %q", setB)
+	}
+	return s.engine.Run(w, a, b)
+}
+
+// Engine exposes the workflow engine (e.g. to register workflows as
+// matchers in the library).
+func (s *System) Engine() *Engine { return s.engine }
+
+// MatchAndStore runs a matcher on two registered sets and stores the
+// resulting same-mapping in the repository under mappingName.
+func (s *System) MatchAndStore(m Matcher, setA, setB, mappingName string) (*Mapping, error) {
+	a, ok := s.ObjectSetByName(setA)
+	if !ok {
+		return nil, fmt.Errorf("moma: unknown object set %q", setA)
+	}
+	b, ok := s.ObjectSetByName(setB)
+	if !ok {
+		return nil, fmt.Errorf("moma: unknown object set %q", setB)
+	}
+	res, err := m.Match(a, b)
+	if err != nil {
+		return nil, err
+	}
+	if mappingName != "" {
+		if err := s.Repo.Put(mappingName, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// LoadSource registers all object sets and association mappings of a
+// generated synthetic source under its canonical names (DBLP.Publication,
+// DBLP.VenuePub, ...).
+func (s *System) LoadSource(src *DataSource) error {
+	name := string(src.Name)
+	type namedSet struct {
+		suffix string
+		set    *ObjectSet
+	}
+	for _, ns := range []namedSet{
+		{string(model.Publication), src.Pubs},
+		{string(model.Author), src.Authors},
+		{string(model.Venue), src.Venues},
+	} {
+		if ns.set == nil {
+			continue
+		}
+		if err := s.AddObjectSet(name+"."+ns.suffix, ns.set); err != nil {
+			return err
+		}
+	}
+	type namedMap struct {
+		suffix string
+		m      *mapping.Mapping
+	}
+	for _, nm := range []namedMap{
+		{"VenuePub", src.VenuePub},
+		{"PubVenue", src.PubVenue},
+		{"AuthorPub", src.AuthorPub},
+		{"PubAuthor", src.PubAuthor},
+		{"CoAuthor", src.CoAuthor},
+	} {
+		if nm.m == nil {
+			continue
+		}
+		if err := s.Repo.Put(name+"."+nm.suffix, nm.m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the repository (flushes the write-ahead log when the
+// system was opened with OpenSystem).
+func (s *System) Close() error { return s.Repo.Close() }
