@@ -65,10 +65,13 @@ func (t TokenBlocking) Pairs(a, b *model.ObjectSet) []Pair {
 	if minShared < 1 {
 		minShared = 1
 	}
+	// Tokenize each attribute value exactly once with the canonical
+	// sim.Tokens — the same tokenization the similarity profiles cache —
+	// and feed the token slices straight to the inverted index.
 	ix := index.New()
 	b.Each(func(in *model.Instance) bool {
 		if v := in.Attr(t.AttrB); v != "" {
-			ix.Add(in.ID, v)
+			ix.AddTokens(in.ID, sim.Tokens(v))
 		}
 		return true
 	})
@@ -79,7 +82,7 @@ func (t TokenBlocking) Pairs(a, b *model.ObjectSet) []Pair {
 		if v == "" {
 			return true
 		}
-		for _, idb := range ix.CandidatesSharing(v, minShared) {
+		for _, idb := range ix.CandidatesSharingTokens(sim.Tokens(v), minShared) {
 			out = append(out, Pair{A: in.ID, B: idb})
 		}
 		return true

@@ -47,10 +47,17 @@ func New() *Index {
 // again extends its token set (e.g. title plus author fields). Add panics
 // after Freeze, which would invalidate served queries.
 func (ix *Index) Add(id model.ID, text string) {
+	ix.AddTokens(id, sim.Tokens(text))
+}
+
+// AddTokens indexes pre-tokenized text (sim.Tokens order and normalization)
+// under the document id. Callers that already hold a token slice — token
+// blocking, the similarity-profile layer — avoid re-tokenizing through this
+// entry point.
+func (ix *Index) AddTokens(id model.ID, toks []string) {
 	if ix.frozen {
 		panic("index: Add after Freeze")
 	}
-	toks := sim.Tokens(text)
 	if _, seen := ix.docLen[id]; !seen {
 		ix.docs++
 	}
@@ -195,12 +202,17 @@ func (ix *Index) Search(query string, k int) []Hit {
 // minShared query tokens, unranked. It is the primitive behind token
 // blocking: a cheap recall-oriented candidate generator.
 func (ix *Index) CandidatesSharing(query string, minShared int) []model.ID {
+	return ix.CandidatesSharingTokens(sim.Tokens(query), minShared)
+}
+
+// CandidatesSharingTokens is CandidatesSharing over a pre-tokenized query.
+func (ix *Index) CandidatesSharingTokens(toks []string, minShared int) []model.ID {
 	if minShared < 1 {
 		minShared = 1
 	}
 	counts := make(map[model.ID]int)
 	seen := make(map[string]bool)
-	for _, tok := range sim.Tokens(query) {
+	for _, tok := range toks {
 		if seen[tok] {
 			continue
 		}

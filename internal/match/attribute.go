@@ -18,8 +18,14 @@ type Attribute struct {
 	MatcherName string
 	// AttrA and AttrB name the attributes on the two inputs.
 	AttrA, AttrB string
-	// Sim scores an attribute-value pair.
+	// Sim scores an attribute-value pair. Built-in functions are upgraded
+	// automatically to their profiled form (sim.ProfiledOf), which
+	// preprocesses each attribute value once instead of once per pair.
 	Sim sim.Func
+	// Profiled, when set, overrides the automatic upgrade with an explicit
+	// profile-based measure (e.g. (*sim.TFIDF).Profiled). Sim may then be
+	// nil.
+	Profiled sim.ProfiledSim
 	// Threshold is the minimum similarity for a correspondence.
 	Threshold float64
 	// Blocker generates candidate pairs; nil means the full cross product.
@@ -44,7 +50,7 @@ func (m *Attribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
 	if err := requireSameType(a, b); err != nil {
 		return nil, err
 	}
-	if m.Sim == nil {
+	if m.Sim == nil && m.Profiled == nil {
 		return nil, fmt.Errorf("match: %s has no similarity function", m.Name())
 	}
 	blocker := m.Blocker
@@ -52,15 +58,41 @@ func (m *Attribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
 		blocker = block.CrossProduct{}
 	}
 	pairs := blocker.Pairs(a, b)
-	scored := scorePairs(pairs, m.Workers, func(p block.Pair) (float64, bool) {
-		va := a.Get(p.A).Attr(m.AttrA)
-		vb := b.Get(p.B).Attr(m.AttrB)
-		if m.SkipMissing && (va == "" || vb == "") {
-			return 0, false
+	var score func(block.Pair) (float64, bool)
+	if ps := m.profiledSim(); ps != nil {
+		// Profiled path: preprocess each attribute value once (O(n+m)),
+		// then score pairs over the read-only profile maps.
+		profA := profileColumn(a, m.AttrA, ps)
+		profB := profileColumn(b, m.AttrB, ps)
+		// Blockers may emit IDs absent from the inputs; the string path
+		// scored those as "" (nil-safe Instance.Attr), so mirror that.
+		empty := ps.Profile("")
+		score = func(p block.Pair) (float64, bool) {
+			pa, pb := profA[p.A], profB[p.B]
+			if pa == nil {
+				pa = empty
+			}
+			if pb == nil {
+				pb = empty
+			}
+			if m.SkipMissing && (pa.Raw == "" || pb.Raw == "") {
+				return 0, false
+			}
+			s := ps.Compare(pa, pb)
+			return s, s >= m.Threshold
 		}
-		s := m.Sim(va, vb)
-		return s, s >= m.Threshold
-	})
+	} else {
+		score = func(p block.Pair) (float64, bool) {
+			va := a.Get(p.A).Attr(m.AttrA)
+			vb := b.Get(p.B).Attr(m.AttrB)
+			if m.SkipMissing && (va == "" || vb == "") {
+				return 0, false
+			}
+			s := m.Sim(va, vb)
+			return s, s >= m.Threshold
+		}
+	}
+	scored := scorePairs(pairs, m.Workers, score)
 	out := mapping.NewSame(a.LDS(), b.LDS())
 	for _, sp := range scored {
 		if sp.keep {
@@ -70,12 +102,39 @@ func (m *Attribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
 	return out, nil
 }
 
+// profiledSim resolves the profile-based form of the configured measure:
+// the explicit Profiled field if set, otherwise the automatic upgrade of a
+// built-in Sim. Nil means the string-based fallback.
+func (m *Attribute) profiledSim() sim.ProfiledSim {
+	if m.Profiled != nil {
+		return m.Profiled
+	}
+	ps, _ := sim.ProfiledOf(m.Sim)
+	return ps
+}
+
+// profileColumn builds the per-instance profile of one attribute column,
+// the O(n+m) preprocessing the profiled scoring path reads from. The maps
+// are never mutated after this returns, so concurrent scoring workers need
+// no locks.
+func profileColumn(set *model.ObjectSet, attr string, ps sim.ProfiledSim) map[model.ID]*sim.Profile {
+	out := make(map[model.ID]*sim.Profile, set.Len())
+	set.Each(func(in *model.Instance) bool {
+		out[in.ID] = ps.Profile(in.Attr(attr))
+		return true
+	})
+	return out
+}
+
 // AttrPair configures one attribute comparison of the multi-attribute
 // matcher.
 type AttrPair struct {
 	AttrA, AttrB string
-	Sim          sim.Func
-	Weight       float64
+	// Sim scores the pair; built-ins are upgraded via sim.ProfiledOf.
+	Sim sim.Func
+	// Profiled optionally overrides the upgrade (see Attribute.Profiled).
+	Profiled sim.ProfiledSim
+	Weight   float64
 }
 
 // MultiAttribute is the paper's multi-attribute matcher: it "directly
@@ -108,7 +167,7 @@ func (m *MultiAttribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) 
 	}
 	var totalWeight float64
 	for i, p := range m.Pairs {
-		if p.Sim == nil {
+		if p.Sim == nil && p.Profiled == nil {
 			return nil, fmt.Errorf("match: %s pair %d has no similarity function", m.Name(), i)
 		}
 		w := p.Weight
@@ -125,10 +184,46 @@ func (m *MultiAttribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) 
 		blocker = block.CrossProduct{}
 	}
 	pairs := blocker.Pairs(a, b)
+	// One profile column per attribute pair whose measure has a profiled
+	// form; pairs without one fall back to the string path in place.
+	type column struct {
+		ps           sim.ProfiledSim
+		profA, profB map[model.ID]*sim.Profile
+		empty        *sim.Profile
+	}
+	cols := make([]column, len(m.Pairs))
+	for i, ap := range m.Pairs {
+		ps := ap.Profiled
+		if ps == nil {
+			ps, _ = sim.ProfiledOf(ap.Sim)
+		}
+		if ps != nil {
+			cols[i] = column{
+				ps:    ps,
+				profA: profileColumn(a, ap.AttrA, ps),
+				profB: profileColumn(b, ap.AttrB, ps),
+				empty: ps.Profile(""),
+			}
+		}
+	}
 	scored := scorePairs(pairs, m.Workers, func(p block.Pair) (float64, bool) {
-		ia, ib := a.Get(p.A), b.Get(p.B)
+		var ia, ib *model.Instance
 		var sum float64
-		for _, ap := range m.Pairs {
+		for i, ap := range m.Pairs {
+			if c := &cols[i]; c.ps != nil {
+				pa, pb := c.profA[p.A], c.profB[p.B]
+				if pa == nil {
+					pa = c.empty
+				}
+				if pb == nil {
+					pb = c.empty
+				}
+				sum += ap.Weight * c.ps.Compare(pa, pb)
+				continue
+			}
+			if ia == nil {
+				ia, ib = a.Get(p.A), b.Get(p.B)
+			}
 			sum += ap.Weight * ap.Sim(ia.Attr(ap.AttrA), ib.Attr(ap.AttrB))
 		}
 		s := sum / totalWeight
@@ -172,6 +267,7 @@ func (m *TFIDFAttribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) 
 		AttrA:       m.AttrA,
 		AttrB:       m.AttrB,
 		Sim:         corpus.Cosine,
+		Profiled:    corpus.Profiled(),
 		Threshold:   m.Threshold,
 		Blocker:     m.Blocker,
 		Workers:     m.Workers,

@@ -7,7 +7,12 @@ package sim
 // normalized) rune sequences of a and b, using the standard two-row dynamic
 // program.
 func EditDistance(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
+	return editDistanceRunes([]rune(a), []rune(b))
+}
+
+// editDistanceRunes is EditDistance over pre-converted rune slices, the
+// form the profiled measures cache.
+func editDistanceRunes(ra, rb []rune) int {
 	if len(ra) == 0 {
 		return len(rb)
 	}
@@ -46,8 +51,7 @@ func EditDistance(a, b string) int {
 // Levenshtein is the normalized edit similarity
 // 1 - dist(a', b') / max(len(a'), len(b')) over normalized strings.
 func Levenshtein(a, b string) float64 {
-	na, nb := Normalize(a), Normalize(b)
-	ra, rb := []rune(na), []rune(nb)
+	ra, rb := []rune(Normalize(a)), []rune(Normalize(b))
 	if len(ra) == 0 && len(rb) == 0 {
 		return 1
 	}
@@ -58,7 +62,7 @@ func Levenshtein(a, b string) float64 {
 	if maxLen == 0 {
 		return 1
 	}
-	return clamp01(1 - float64(EditDistance(na, nb))/float64(maxLen))
+	return clamp01(1 - float64(editDistanceRunes(ra, rb))/float64(maxLen))
 }
 
 // Jaro computes the Jaro similarity over normalized strings.
@@ -131,7 +135,11 @@ func jaroRunes(ra, rb []rune) float64 {
 // JaroWinkler boosts Jaro similarity for strings sharing a common prefix of
 // up to 4 runes, with the standard scaling factor p = 0.1.
 func JaroWinkler(a, b string) float64 {
-	ra, rb := []rune(Normalize(a)), []rune(Normalize(b))
+	return jaroWinklerRunes([]rune(Normalize(a)), []rune(Normalize(b)))
+}
+
+// jaroWinklerRunes is JaroWinkler over pre-normalized rune slices.
+func jaroWinklerRunes(ra, rb []rune) float64 {
 	j := jaroRunes(ra, rb)
 	prefix := 0
 	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
@@ -144,7 +152,11 @@ func JaroWinkler(a, b string) float64 {
 // of a, the best inner similarity against any token of b, averaged. It is
 // asymmetric; SymMongeElkan averages both directions.
 func MongeElkan(a, b string, inner Func) float64 {
-	ta, tb := Tokens(a), Tokens(b)
+	return mongeElkanTokens(Tokens(a), Tokens(b), inner)
+}
+
+// mongeElkanTokens is MongeElkan over pre-tokenized inputs.
+func mongeElkanTokens(ta, tb []string, inner Func) float64 {
 	if len(ta) == 0 && len(tb) == 0 {
 		return 1
 	}
@@ -166,7 +178,12 @@ func MongeElkan(a, b string, inner Func) float64 {
 
 // SymMongeElkan is the symmetric mean of MongeElkan in both directions.
 func SymMongeElkan(a, b string, inner Func) float64 {
-	return clamp01((MongeElkan(a, b, inner) + MongeElkan(b, a, inner)) / 2)
+	return symMongeElkanTokens(Tokens(a), Tokens(b), inner)
+}
+
+// symMongeElkanTokens is SymMongeElkan over pre-tokenized inputs.
+func symMongeElkanTokens(ta, tb []string, inner Func) float64 {
+	return clamp01((mongeElkanTokens(ta, tb, inner) + mongeElkanTokens(tb, ta, inner)) / 2)
 }
 
 // MongeElkanJaroWinkler is the symmetric Monge-Elkan with Jaro-Winkler as

@@ -5,6 +5,21 @@ package sim
 // standard Dice coefficient over padded character n-gram sets, plus a
 // Jaccard variant.
 
+// paddedRunes returns the rune sequence of an already-normalized string
+// padded with n-1 leading and trailing sentinels so that prefixes and
+// suffixes carry weight. Shared by the string-gram and hashed-gram paths.
+func paddedRunes(norm string, n int) []rune {
+	pad := make([]rune, 0, len(norm)+2*(n-1))
+	for i := 0; i < n-1; i++ {
+		pad = append(pad, '\x01')
+	}
+	pad = append(pad, []rune(norm)...)
+	for i := 0; i < n-1; i++ {
+		pad = append(pad, '\x02')
+	}
+	return pad
+}
+
 // ngrams returns the set (deduplicated) of character n-grams of the
 // normalized string, padded with n-1 leading and trailing sentinels so that
 // prefixes and suffixes carry weight. Returns nil for empty input.
@@ -16,14 +31,7 @@ func ngrams(s string, n int) []string {
 	if norm == "" {
 		return nil
 	}
-	pad := make([]rune, 0, len(norm)+2*(n-1))
-	for i := 0; i < n-1; i++ {
-		pad = append(pad, '\x01')
-	}
-	pad = append(pad, []rune(norm)...)
-	for i := 0; i < n-1; i++ {
-		pad = append(pad, '\x02')
-	}
+	pad := paddedRunes(norm, n)
 	if len(pad) < n {
 		return nil
 	}
@@ -83,6 +91,13 @@ func NGramJaccard(a, b string, n int) float64 {
 // Trigram is the Dice coefficient over character trigrams, the measure the
 // paper's evaluation scripts call "Trigram".
 func Trigram(a, b string) float64 { return NGramDice(a, b, 3) }
+
+// Bigram is the Dice coefficient over character bigrams.
+func Bigram(a, b string) float64 { return NGramDice(a, b, 2) }
+
+// TrigramJaccard is the Jaccard coefficient over character trigrams, the
+// registry's "NGramJaccard" measure.
+func TrigramJaccard(a, b string) float64 { return NGramJaccard(a, b, 3) }
 
 // Affix scores the longest common prefix and suffix of the normalized
 // strings relative to the shorter length:

@@ -1,0 +1,393 @@
+package sim
+
+// Similarity profiles: the pair-scoring fast path.
+//
+// The string-based Func measures re-normalize, re-tokenize and re-sort both
+// inputs on every call. A match workflow evaluates O(n·m) candidate pairs
+// over only n+m distinct attribute values, so almost all of that work is
+// redundant. A Profile caches every derived form of one attribute value
+// (normalized string, rune slice, token multiset, hashed character n-gram
+// set, TF-IDF weight vector, Soundex code, parsed year); a ProfiledSim
+// splits a measure into a per-value profiling stage (run once per instance)
+// and a read-only pair-scoring stage (run once per pair).
+//
+// Every built-in Func has a profiled twin that returns *identical* scores;
+// ProfiledOf maps a Func to its twin so that matchers can upgrade
+// transparently. Compare never mutates its profiles, which makes the
+// pair-scoring stage safe for concurrent workers.
+
+import (
+	"reflect"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// Profile caches the derived forms of one attribute value. Only the fields
+// the producing ProfiledSim needs are populated; all fields are read-only
+// after Profile construction.
+type Profile struct {
+	// Raw is the original attribute value.
+	Raw string
+	// Norm is Normalize(Raw) (character-level measures).
+	Norm string
+	// NormSpace is NormalizeSpace(Raw) (case-folding equality).
+	NormSpace string
+	// Runes is []rune(Norm) (edit-distance and affix measures).
+	Runes []rune
+	// Tokens is Tokens(Raw) in order (Monge-Elkan, person names).
+	Tokens []string
+	// SortedTokens is the sorted, deduplicated token set.
+	SortedTokens []string
+	// Grams is the sorted, deduplicated FNV-1a hash set of the padded
+	// character n-grams (n fixed by the producing measure).
+	Grams []uint64
+	// Terms/Weights is the TF-IDF document vector sorted by term, and
+	// WeightNorm2 its squared Euclidean norm.
+	Terms       []string
+	Weights     []float64
+	WeightNorm2 float64
+	// Code is the Soundex code of the first token.
+	Code string
+	// Year is the parsed integer value; YearOK reports parse success.
+	Year   int
+	YearOK bool
+}
+
+// PairFunc scores a pair of precomputed profiles in [0,1].
+type PairFunc func(a, b *Profile) float64
+
+// ProfiledSim is a similarity measure split into a per-value profiling
+// stage and a pair-scoring stage. Profile is called once per attribute
+// value; Compare must be pure and safe for concurrent use over profiles
+// produced by the same ProfiledSim.
+type ProfiledSim interface {
+	// Profile builds the per-value cache this measure needs.
+	Profile(s string) *Profile
+	// Compare scores two profiles built by this measure's Profile.
+	Compare(a, b *Profile) float64
+}
+
+// Pair adapts a ProfiledSim's scoring stage to a PairFunc.
+func Pair(ps ProfiledSim) PairFunc { return ps.Compare }
+
+// profiledByFunc maps the code pointer of a built-in Func to its profiled
+// twin. Only static top-level functions are registered: method values (for
+// example (*TFIDF).Cosine) share one wrapper pointer across receivers and
+// must use an explicit ProfiledSim instead.
+var profiledByFunc = map[uintptr]ProfiledSim{}
+
+func registerProfiled(fn Func, ps ProfiledSim) {
+	profiledByFunc[reflect.ValueOf(fn).Pointer()] = ps
+}
+
+func init() {
+	registerProfiled(Equal, equalProfiled{})
+	registerProfiled(EqualFold, equalFoldProfiled{})
+	registerProfiled(Trigram, ngramProfiled{n: 3, dice: true})
+	registerProfiled(Bigram, ngramProfiled{n: 2, dice: true})
+	registerProfiled(TrigramJaccard, ngramProfiled{n: 3})
+	registerProfiled(Levenshtein, levenshteinProfiled{})
+	registerProfiled(Jaro, jaroProfiled{})
+	registerProfiled(JaroWinkler, jaroProfiled{winkler: true})
+	registerProfiled(Affix, affixProfiled{mode: affixBoth})
+	registerProfiled(Prefix, affixProfiled{mode: affixPrefix})
+	registerProfiled(Suffix, affixProfiled{mode: affixSuffix})
+	registerProfiled(TokenJaccard, tokenProfiled{})
+	registerProfiled(TokenDice, tokenProfiled{dice: true})
+	registerProfiled(MongeElkanJaroWinkler, mongeElkanProfiled{})
+	registerProfiled(SoundexSim, soundexProfiled{})
+	registerProfiled(YearSim, yearProfiled{})
+	registerProfiled(YearExact, yearProfiled{exact: true})
+	registerProfiled(PersonName, personNameProfiled{})
+}
+
+// ProfiledOf returns the profiled twin of a built-in similarity function.
+// Unknown functions (custom closures, method values) report false; callers
+// fall back to the string-based Func path.
+func ProfiledOf(fn Func) (ProfiledSim, bool) {
+	if fn == nil {
+		return nil, false
+	}
+	ps, ok := profiledByFunc[reflect.ValueOf(fn).Pointer()]
+	return ps, ok
+}
+
+// --- hashed character n-grams -------------------------------------------
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// hashedGrams returns the sorted, deduplicated 64-bit FNV-1a hashes of the
+// padded character n-grams of an already-normalized string. It mirrors
+// ngrams exactly (same padding, same dedup) but never materializes gram
+// strings, so a profile build allocates one []rune and one []uint64.
+func hashedGrams(norm string, n int) []uint64 {
+	if n < 1 || norm == "" {
+		return nil
+	}
+	pad := paddedRunes(norm, n)
+	if len(pad) < n {
+		return nil
+	}
+	out := make([]uint64, 0, len(pad)-n+1)
+	for i := 0; i+n <= len(pad); i++ {
+		h := fnvOffset64
+		for _, r := range pad[i : i+n] {
+			h ^= uint64(uint32(r))
+			h *= fnvPrime64
+		}
+		out = append(out, h)
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// overlapU64 returns |a ∩ b| for two sorted, deduplicated hash slices.
+func overlapU64(a, b []uint64) int {
+	i, j, cnt := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			cnt++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return cnt
+}
+
+type ngramProfiled struct {
+	n    int
+	dice bool
+}
+
+func (g ngramProfiled) Profile(s string) *Profile {
+	norm := Normalize(s)
+	return &Profile{Raw: s, Norm: norm, Grams: hashedGrams(norm, g.n)}
+}
+
+func (g ngramProfiled) Compare(a, b *Profile) float64 {
+	ga, gb := a.Grams, b.Grams
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	inter := overlapU64(ga, gb)
+	if g.dice {
+		return clamp01(2 * float64(inter) / float64(len(ga)+len(gb)))
+	}
+	union := len(ga) + len(gb) - inter
+	return clamp01(float64(inter) / float64(union))
+}
+
+// --- token-set measures --------------------------------------------------
+
+type tokenProfiled struct {
+	dice bool
+}
+
+func (t tokenProfiled) Profile(s string) *Profile {
+	return &Profile{Raw: s, SortedTokens: uniqueSorted(Tokens(s))}
+}
+
+func (t tokenProfiled) Compare(a, b *Profile) float64 {
+	ta, tb := a.SortedTokens, b.SortedTokens
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	inter := overlap(ta, tb)
+	if t.dice {
+		return clamp01(2 * float64(inter) / float64(len(ta)+len(tb)))
+	}
+	union := len(ta) + len(tb) - inter
+	return clamp01(float64(inter) / float64(union))
+}
+
+// --- equality measures ---------------------------------------------------
+
+type equalProfiled struct{}
+
+func (equalProfiled) Profile(s string) *Profile { return &Profile{Raw: s} }
+
+func (equalProfiled) Compare(a, b *Profile) float64 {
+	if a.Raw == b.Raw {
+		return 1
+	}
+	return 0
+}
+
+type equalFoldProfiled struct{}
+
+func (equalFoldProfiled) Profile(s string) *Profile {
+	return &Profile{Raw: s, NormSpace: NormalizeSpace(s)}
+}
+
+func (equalFoldProfiled) Compare(a, b *Profile) float64 {
+	if strings.EqualFold(a.NormSpace, b.NormSpace) {
+		return 1
+	}
+	return 0
+}
+
+// --- edit-distance measures ----------------------------------------------
+
+type levenshteinProfiled struct{}
+
+func (levenshteinProfiled) Profile(s string) *Profile {
+	return &Profile{Raw: s, Runes: []rune(Normalize(s))}
+}
+
+func (levenshteinProfiled) Compare(a, b *Profile) float64 {
+	ra, rb := a.Runes, b.Runes
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	maxLen := len(ra)
+	if len(rb) > maxLen {
+		maxLen = len(rb)
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	return clamp01(1 - float64(editDistanceRunes(ra, rb))/float64(maxLen))
+}
+
+type jaroProfiled struct {
+	winkler bool
+}
+
+func (jaroProfiled) Profile(s string) *Profile {
+	return &Profile{Raw: s, Runes: []rune(Normalize(s))}
+}
+
+func (j jaroProfiled) Compare(a, b *Profile) float64 {
+	if j.winkler {
+		return jaroWinklerRunes(a.Runes, b.Runes)
+	}
+	return jaroRunes(a.Runes, b.Runes)
+}
+
+// --- affix measures ------------------------------------------------------
+
+type affixMode int
+
+const (
+	affixBoth affixMode = iota
+	affixPrefix
+	affixSuffix
+)
+
+type affixProfiled struct {
+	mode affixMode
+}
+
+func (affixProfiled) Profile(s string) *Profile {
+	return &Profile{Raw: s, Runes: []rune(Normalize(s))}
+}
+
+func (m affixProfiled) Compare(a, b *Profile) float64 {
+	ra, rb := a.Runes, b.Runes
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	minLen := len(ra)
+	if len(rb) < minLen {
+		minLen = len(rb)
+	}
+	best := 0
+	if m.mode != affixSuffix {
+		lcp := 0
+		for lcp < minLen && ra[lcp] == rb[lcp] {
+			lcp++
+		}
+		best = lcp
+	}
+	if m.mode != affixPrefix {
+		lcs := 0
+		for lcs < minLen && ra[len(ra)-1-lcs] == rb[len(rb)-1-lcs] {
+			lcs++
+		}
+		if lcs > best {
+			best = lcs
+		}
+	}
+	return clamp01(float64(best) / float64(minLen))
+}
+
+// --- token-sequence measures ---------------------------------------------
+
+type mongeElkanProfiled struct{}
+
+func (mongeElkanProfiled) Profile(s string) *Profile {
+	return &Profile{Raw: s, Tokens: Tokens(s)}
+}
+
+func (mongeElkanProfiled) Compare(a, b *Profile) float64 {
+	return symMongeElkanTokens(a.Tokens, b.Tokens, JaroWinkler)
+}
+
+type personNameProfiled struct{}
+
+func (personNameProfiled) Profile(s string) *Profile {
+	return &Profile{Raw: s, Tokens: Tokens(s)}
+}
+
+func (personNameProfiled) Compare(a, b *Profile) float64 {
+	return personNameTokens(a.Tokens, b.Tokens)
+}
+
+// --- phonetic and numeric measures ---------------------------------------
+
+type soundexProfiled struct{}
+
+func (soundexProfiled) Profile(s string) *Profile {
+	return &Profile{Raw: s, Code: Soundex(s)}
+}
+
+func (soundexProfiled) Compare(a, b *Profile) float64 {
+	if a.Code == "" || b.Code == "" {
+		return 0
+	}
+	if a.Code == b.Code {
+		return 1
+	}
+	return 0
+}
+
+type yearProfiled struct {
+	exact bool
+}
+
+func (yearProfiled) Profile(s string) *Profile {
+	y, err := strconv.Atoi(strings.TrimSpace(s))
+	return &Profile{Raw: s, Year: y, YearOK: err == nil}
+}
+
+func (p yearProfiled) Compare(a, b *Profile) float64 {
+	if !a.YearOK || !b.YearOK {
+		return 0
+	}
+	switch d := a.Year - b.Year; {
+	case d == 0:
+		return 1
+	case !p.exact && (d == 1 || d == -1):
+		return 0.5
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// profileEdgeCases are the inputs most likely to expose divergence between
+// the string-based measures and their profiled twins: empty strings, pure
+// whitespace, punctuation-only values, multi-byte Unicode (exercising the
+// []rune padding path in ngrams), strings shorter than the gram size n,
+// initials, and numeric/year strings.
+var profileEdgeCases = []string{
+	"",
+	" ",
+	" \t\n ",
+	"a",
+	"ab",
+	"abc",
+	"!!!",
+	"--",
+	"界",
+	"日本 語",
+	"héllo wörld",
+	"ÅNGSTRÖM unit",
+	"ﬁne",
+	"A. Thor",
+	"Andreas Thor",
+	"thor a",
+	"E. Rahm",
+	"SIGMOD Rec.",
+	"SIGMOD Record",
+	"the the the",
+	"C++ & Java!",
+	"2003",
+	" 2004 ",
+	"2004",
+	"7.5",
+	"notayear",
+	"A formal perspective on the view selection problem",
+	"A formal perspective on the view selection problem revisited",
+}
+
+// TestProfiledMatchesFunc asserts that every registered built-in measure
+// has a profiled twin and that the twin returns bit-identical scores on
+// the full cross product of the edge cases. This is the guard that keeps
+// the profile optimization from silently changing Table 1-10 numbers.
+func TestProfiledMatchesFunc(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range reg.Names() {
+		fn, ok := reg.Lookup(name)
+		if !ok {
+			t.Fatalf("registry lost %q", name)
+		}
+		ps, ok := ProfiledOf(fn)
+		if !ok {
+			t.Errorf("%s: no profiled twin registered", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			// Profile each value once, as a matcher would.
+			profiles := make([]*Profile, len(profileEdgeCases))
+			for i, s := range profileEdgeCases {
+				profiles[i] = ps.Profile(s)
+			}
+			for i, a := range profileEdgeCases {
+				for j, b := range profileEdgeCases {
+					want := fn(a, b)
+					got := ps.Compare(profiles[i], profiles[j])
+					if got != want {
+						t.Errorf("%s(%q, %q): profiled %v, string %v", name, a, b, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProfiledOfUnknownFunc asserts custom measures fall back cleanly.
+func TestProfiledOfUnknownFunc(t *testing.T) {
+	custom := func(a, b string) float64 { return 0.5 }
+	if _, ok := ProfiledOf(custom); ok {
+		t.Error("ProfiledOf claimed a profiled twin for a custom closure")
+	}
+	if _, ok := ProfiledOf(nil); ok {
+		t.Error("ProfiledOf claimed a profiled twin for nil")
+	}
+}
+
+// TestTFIDFProfiledMatchesCosine asserts the profiled TF-IDF measure
+// matches the cached string path on the same corpus.
+func TestTFIDFProfiledMatchesCosine(t *testing.T) {
+	corpus := NewTFIDF()
+	corpus.AddAll(profileEdgeCases)
+	ps := corpus.Profiled()
+	profiles := make([]*Profile, len(profileEdgeCases))
+	for i, s := range profileEdgeCases {
+		profiles[i] = ps.Profile(s)
+	}
+	for i, a := range profileEdgeCases {
+		for j, b := range profileEdgeCases {
+			want := corpus.Cosine(a, b)
+			got := ps.Compare(profiles[i], profiles[j])
+			if got != want {
+				t.Errorf("tfidf(%q, %q): profiled %v, string %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestTFIDFAddInvalidatesCache asserts that adding documents after scoring
+// drops cached vectors built under stale corpus statistics.
+func TestTFIDFAddInvalidatesCache(t *testing.T) {
+	corpus := NewTFIDF()
+	corpus.Add("view selection")
+	corpus.Add("view maintenance")
+	before := corpus.Cosine("view selection", "view maintenance")
+	// Dilute "view": its idf drops, so the cosine must change.
+	for i := 0; i < 20; i++ {
+		corpus.Add(fmt.Sprintf("view paper %d", i))
+	}
+	after := corpus.Cosine("view selection", "view maintenance")
+	if before == after {
+		t.Errorf("cosine unchanged (%v) after corpus grew; stale vector cache?", before)
+	}
+	// And the cached path must agree with a fresh corpus built identically.
+	fresh := NewTFIDF()
+	fresh.Add("view selection")
+	fresh.Add("view maintenance")
+	for i := 0; i < 20; i++ {
+		fresh.Add(fmt.Sprintf("view paper %d", i))
+	}
+	if want := fresh.Cosine("view selection", "view maintenance"); after != want {
+		t.Errorf("cached cosine %v, fresh corpus %v", after, want)
+	}
+}
+
+// TestHashedGramsMirrorNgrams asserts the hashed gram sets have the same
+// cardinality as the string gram sets ngrams builds (the quantity the Dice
+// and Jaccard formulas consume).
+func TestHashedGramsMirrorNgrams(t *testing.T) {
+	for _, s := range profileEdgeCases {
+		for _, n := range []int{2, 3, 4} {
+			want := len(ngrams(s, n))
+			got := len(hashedGrams(Normalize(s), n))
+			if got != want {
+				t.Errorf("|grams(%q, %d)|: hashed %d, strings %d", s, n, got, want)
+			}
+		}
+	}
+}

@@ -10,6 +10,12 @@
 // exposed as Func values and registered by name in a Registry so matcher
 // configurations (and the script language) can refer to them textually,
 // e.g. attrMatch(..., Trigram, 0.5, ...).
+//
+// Each built-in Func also has a profiled twin (see Profile, ProfiledSim and
+// ProfiledOf in profile.go) that hoists normalization, tokenization and
+// n-gram construction out of the per-pair hot path: profiles are built once
+// per attribute value, and the pair stage compares cached token sets, rune
+// slices or hashed gram sets with identical scores.
 package sim
 
 import (
@@ -39,8 +45,8 @@ func NewRegistry() *Registry {
 		{"Equal", Equal},
 		{"EqualFold", EqualFold},
 		{"Trigram", Trigram},
-		{"Bigram", func(a, b string) float64 { return NGramDice(a, b, 2) }},
-		{"NGramJaccard", func(a, b string) float64 { return NGramJaccard(a, b, 3) }},
+		{"Bigram", Bigram},
+		{"NGramJaccard", TrigramJaccard},
 		{"Levenshtein", Levenshtein},
 		{"Jaro", Jaro},
 		{"JaroWinkler", JaroWinkler},

@@ -3,24 +3,49 @@ package sim
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // TFIDF holds corpus statistics for the TF/IDF cosine measure named in §2.2.
 // Build it once from the attribute values of both match inputs, then use
 // Cosine (or the Func adapter) to score pairs. Rare tokens then weigh more
 // than stop-words, which is what makes TF/IDF effective on titles.
+//
+// Document vectors are computed once per distinct document and cached:
+// Cosine tokenizes and weights each attribute value on first sight only,
+// instead of on every one of the O(n·m) pair comparisons. The cache is
+// guarded by a mutex so concurrent scoring workers may share one corpus;
+// Add/AddAll must still finish before scoring starts (they invalidate the
+// cache, since new documents change every idf).
 type TFIDF struct {
 	docFreq map[string]int
 	docs    int
+
+	mu   sync.RWMutex
+	vecs map[string]*docVec
+}
+
+// docVec is one cached tf-idf document vector: terms sorted, weights
+// aligned with terms, norm2 the squared Euclidean norm of the weights.
+type docVec struct {
+	terms   []string
+	weights []float64
+	norm2   float64
 }
 
 // NewTFIDF returns an empty corpus model.
 func NewTFIDF() *TFIDF {
-	return &TFIDF{docFreq: make(map[string]int)}
+	return &TFIDF{docFreq: make(map[string]int), vecs: make(map[string]*docVec)}
 }
 
 // Add registers one document (attribute value) with the corpus.
 func (t *TFIDF) Add(doc string) {
+	t.mu.Lock()
+	if len(t.vecs) > 0 {
+		// Corpus statistics change every idf; drop stale vectors.
+		t.vecs = make(map[string]*docVec)
+	}
+	t.mu.Unlock()
 	t.docs++
 	for _, tok := range uniqueSorted(Tokens(doc)) {
 		t.docFreq[tok]++
@@ -70,17 +95,47 @@ func (t *TFIDF) vector(doc string) ([]string, []float64) {
 	return terms, weights
 }
 
-// Cosine returns the cosine similarity of the tf-idf vectors of a and b.
-func (t *TFIDF) Cosine(a, b string) float64 {
-	ta, wa := t.vector(a)
-	tb, wb := t.vector(b)
+// buildVec materializes the cached form of a document vector.
+func (t *TFIDF) buildVec(doc string) *docVec {
+	terms, weights := t.vector(doc)
+	v := &docVec{terms: terms, weights: weights}
+	for _, w := range weights {
+		v.norm2 += w * w
+	}
+	return v
+}
+
+// cachedVector returns the document vector of doc, computing it at most
+// once per corpus state. Safe for concurrent use.
+func (t *TFIDF) cachedVector(doc string) *docVec {
+	t.mu.RLock()
+	v, ok := t.vecs[doc]
+	t.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = t.buildVec(doc)
+	t.mu.Lock()
+	if prior, ok := t.vecs[doc]; ok {
+		v = prior // another worker won the race; keep one canonical vector
+	} else {
+		t.vecs[doc] = v
+	}
+	t.mu.Unlock()
+	return v
+}
+
+// cosineVec is the cosine of two pre-built document vectors. The merge
+// walks both term lists in sorted order, exactly as the original per-pair
+// computation did, so scores are bit-identical.
+func cosineVec(ta []string, wa []float64, na float64, tb []string, wb []float64, nb float64) float64 {
 	if len(ta) == 0 && len(tb) == 0 {
 		return 1
 	}
 	if len(ta) == 0 || len(tb) == 0 {
 		return 0
 	}
-	var dot, na, nb float64
+	var dot float64
 	i, j := 0, 0
 	for i < len(ta) && j < len(tb) {
 		switch {
@@ -94,17 +149,40 @@ func (t *TFIDF) Cosine(a, b string) float64 {
 			j++
 		}
 	}
-	for _, w := range wa {
-		na += w * w
-	}
-	for _, w := range wb {
-		nb += w * w
-	}
 	if na == 0 || nb == 0 {
 		return 0
 	}
 	return clamp01(dot / (math.Sqrt(na) * math.Sqrt(nb)))
 }
 
+// Cosine returns the cosine similarity of the tf-idf vectors of a and b.
+// Vectors are cached per distinct document string for the corpus lifetime
+// (a match input has few distinct values relative to pairs); a long-lived
+// corpus scoring an unbounded stream of distinct strings should be rebuilt
+// periodically to release the cache.
+func (t *TFIDF) Cosine(a, b string) float64 {
+	va, vb := t.cachedVector(a), t.cachedVector(b)
+	return cosineVec(va.terms, va.weights, va.norm2, vb.terms, vb.weights, vb.norm2)
+}
+
 // Func adapts the corpus model to the sim.Func interface.
 func (t *TFIDF) Func() Func { return t.Cosine }
+
+// Profiled returns the profile-based form of the corpus cosine: Profile
+// builds a document vector once per attribute value, Compare is the merge
+// dot product. Cosine is a method value and therefore invisible to
+// ProfiledOf; matchers that use a TFIDF corpus pass this explicitly.
+func (t *TFIDF) Profiled() ProfiledSim { return tfidfProfiled{t: t} }
+
+type tfidfProfiled struct {
+	t *TFIDF
+}
+
+func (p tfidfProfiled) Profile(s string) *Profile {
+	v := p.t.buildVec(s)
+	return &Profile{Raw: s, Terms: v.terms, Weights: v.weights, WeightNorm2: v.norm2}
+}
+
+func (p tfidfProfiled) Compare(a, b *Profile) float64 {
+	return cosineVec(a.Terms, a.Weights, a.WeightNorm2, b.Terms, b.Weights, b.WeightNorm2)
+}

@@ -156,7 +156,11 @@ func SoundexSim(a, b string) float64 {
 // are compared with Jaro-Winkler; the remaining given-name tokens are
 // aligned pairwise, where an initial matches any name starting with it.
 func PersonName(a, b string) float64 {
-	ta, tb := Tokens(a), Tokens(b)
+	return personNameTokens(Tokens(a), Tokens(b))
+}
+
+// personNameTokens is PersonName over pre-tokenized names.
+func personNameTokens(ta, tb []string) float64 {
 	if len(ta) == 0 && len(tb) == 0 {
 		return 1
 	}

@@ -23,6 +23,38 @@
 // registry and the iFuice-style script interpreter together; Workflow and
 // Engine execute multi-step match processes; NhMatch is the §4.2
 // neighborhood matcher.
+//
+// # Similarity profiles
+//
+// Attribute matchers evaluate their similarity function over O(n·m)
+// candidate pairs, but a match input only contains n+m distinct attribute
+// values. The similarity-profile layer exploits this: every built-in
+// SimFunc has a profiled twin (ProfiledSim) that preprocesses each value
+// once — normalization, tokenization, hashed character n-gram sets, TF-IDF
+// vectors — into a SimProfile, and then scores pairs over the cached
+// profiles with identical results. AttributeMatcher and
+// MultiAttributeMatcher upgrade built-in measures automatically via
+// ProfiledOf; custom closures keep the string-based path. A corpus-backed
+// measure is wired explicitly:
+//
+//	corpus := moma.NewTFIDF()
+//	// ... corpus.AddAll(titles) ...
+//	m := &moma.AttributeMatcher{AttrA: "title", AttrB: "title",
+//		Profiled: corpus.Profiled(), Threshold: 0.6}
+//
+// Profiles are immutable after construction, so matchers with Workers > 1
+// score them concurrently without locks.
+//
+// # Benchmarks
+//
+// The pair-scoring hot path is covered by benchmarks at the repo root:
+//
+//	go test -bench 'Trigram|AttributeMatcherBlocked|Table2' -benchmem .
+//
+// BenchmarkAttributeMatcherBlockedUnprofiled pins the pre-profile baseline
+// (the measure hidden behind a closure); BenchmarkAttributeMatcherBlocked
+// runs the same match on the profiled path. Set MOMA_BENCH_SCALE=paper to
+// run the table benchmarks at the paper's full scale.
 package moma
 
 import (
@@ -163,6 +195,13 @@ type (
 	SimRegistry = sim.Registry
 	// TFIDF is a corpus model for TF-IDF cosine similarity.
 	TFIDF = sim.TFIDF
+	// SimProfile caches the derived forms of one attribute value.
+	SimProfile = sim.Profile
+	// ProfiledSim is a measure split into per-value profiling and
+	// pair scoring; built-ins are resolved via ProfiledOf.
+	ProfiledSim = sim.ProfiledSim
+	// SimPairFunc scores a pair of precomputed profiles.
+	SimPairFunc = sim.PairFunc
 )
 
 // Built-in similarity functions.
@@ -184,6 +223,8 @@ var (
 
 	NewSimRegistry = sim.NewRegistry
 	NewTFIDF       = sim.NewTFIDF
+	// ProfiledOf resolves the profiled twin of a built-in measure.
+	ProfiledOf = sim.ProfiledOf
 )
 
 // Matchers (package match) and blocking (package block).
