@@ -279,6 +279,55 @@ func BenchmarkAttributeMatcherBlocked(b *testing.B) {
 	}
 }
 
+// BenchmarkAttributeMatcherStreamWorkers measures the streaming scoring
+// pipeline at different parallelism levels: candidates flow from the
+// blocker through batched worker channels, and only kept correspondences
+// are materialized (no O(n·m) scored-pair slice).
+func BenchmarkAttributeMatcherStreamWorkers(b *testing.B) {
+	s := benchSettingFor(b)
+	for _, workers := range []int{1, 4} {
+		m := &AttributeMatcher{
+			AttrA: "title", AttrB: "name", Sim: Trigram, Threshold: 0.82,
+			Blocker: TokenBlocking{AttrA: "title", AttrB: "name", MinShared: 2},
+			Workers: workers,
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Match(s.D.DBLP.Pubs, s.D.ACM.Pubs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBlockerPairsEach isolates candidate generation: the streaming
+// entry point visits every candidate without materializing the pair slice
+// that Pairs builds.
+func BenchmarkBlockerPairsEach(b *testing.B) {
+	s := benchSettingFor(b)
+	blockers := []Blocker{
+		TokenBlocking{AttrA: "title", AttrB: "name", MinShared: 2},
+		SortedNeighborhood{AttrA: "title", AttrB: "name", Window: 5},
+	}
+	for _, bl := range blockers {
+		b.Run(bl.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				bl.PairsEach(s.D.DBLP.Pubs, s.D.ACM.Pubs, func(p Pair) bool {
+					n++
+					return true
+				})
+				if n == 0 {
+					b.Fatal("no candidates")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAttributeMatcherBlockedUnprofiled is the same match with the
 // measure hidden behind a closure, forcing the per-pair string path — the
 // baseline the similarity-profile layer is measured against.

@@ -5,18 +5,21 @@
 //
 // Usage:
 //
-//	moma-bench [-scale paper|small] [-only "Table 2,Table 9"] [-seed N]
+//	moma-bench [-scale paper|small] [-only "Table 2,Table 9"] [-seed N] [-workers N]
 //
 // At paper scale the dataset matches Table 1 exactly (DBLP 2616
 // publications, ACM 2294, GS 64263); the full run takes a couple of
 // minutes. -only restricts the run to a comma-separated list of experiment
-// IDs.
+// IDs. -workers caps the scoring parallelism of the streaming match
+// pipeline (matchers default their worker count to GOMAXPROCS), which is
+// useful for comparing sequential and parallel runs on the same hardware.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,7 +31,15 @@ func main() {
 	scale := flag.String("scale", "paper", "dataset scale: paper or small")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. \"Table 2,Figure 9\")")
 	seed := flag.Int64("seed", 0, "override the dataset seed (0 keeps the default)")
+	workers := flag.Int("workers", 0, "cap GOMAXPROCS and thereby the default scoring parallelism (0 = all cores, clamped to the core count)")
 	flag.Parse()
+
+	if *workers > 0 {
+		if *workers > runtime.NumCPU() {
+			*workers = runtime.NumCPU()
+		}
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	var cfg sources.Config
 	switch *scale {

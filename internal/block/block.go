@@ -30,22 +30,52 @@ type Pair struct {
 type Blocker interface {
 	// Pairs returns deduplicated candidate pairs in deterministic order.
 	Pairs(a, b *model.ObjectSet) []Pair
+	// PairsEach streams the exact sequence Pairs returns to yield, one pair
+	// at a time, without materializing the full candidate set. Iteration
+	// stops early when yield returns false. A candidate set can be orders of
+	// magnitude larger than the kept correspondences, so streaming keeps the
+	// match core's memory proportional to the output, not to the candidates.
+	PairsEach(a, b *model.ObjectSet, yield func(Pair) bool)
 	// String names the strategy for reports.
 	String() string
+}
+
+// Collect drains a PairsEach stream into a slice — the Pairs implementation
+// shared by the built-in blockers.
+func Collect(stream func(yield func(Pair) bool)) []Pair {
+	var out []Pair
+	stream(func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
 }
 
 // CrossProduct compares every instance of a with every instance of b.
 type CrossProduct struct{}
 
 // Pairs implements Blocker.
-func (CrossProduct) Pairs(a, b *model.ObjectSet) []Pair {
+func (c CrossProduct) Pairs(a, b *model.ObjectSet) []Pair {
 	out := make([]Pair, 0, a.Len()*b.Len())
-	for _, ida := range a.IDs() {
-		for _, idb := range b.IDs() {
-			out = append(out, Pair{A: ida, B: idb})
-		}
-	}
+	c.PairsEach(a, b, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
 	return out
+}
+
+// PairsEach implements Blocker.
+func (CrossProduct) PairsEach(a, b *model.ObjectSet, yield func(Pair) bool) {
+	stopped := false
+	a.Each(func(ina *model.Instance) bool {
+		b.Each(func(inb *model.Instance) bool {
+			if !yield(Pair{A: ina.ID, B: inb.ID}) {
+				stopped = true
+			}
+			return !stopped
+		})
+		return !stopped
+	})
 }
 
 func (CrossProduct) String() string { return "cross-product" }
@@ -59,36 +89,99 @@ type TokenBlocking struct {
 	MinShared int
 }
 
+// TokenStreamer is a Blocker that tokenizes attribute columns while
+// generating candidates and can share that work with callers — the match
+// layer's profile build reuses the columns instead of re-tokenizing the
+// same values. TokenBlocking implements it; decorators wrapping a
+// token-based blocker can forward these methods to keep the reuse path.
+type TokenStreamer interface {
+	Blocker
+	// BlockingAttrs names the attributes tokenized on the two inputs.
+	BlockingAttrs() (attrA, attrB string)
+	// TokenizeColumns tokenizes the blocking attribute of both inputs.
+	TokenizeColumns(a, b *model.ObjectSet) (colA, colB Tokens)
+	// PairsEachTokens streams the PairsEach sequence over pre-tokenized
+	// columns from TokenizeColumns.
+	PairsEachTokens(a, b *model.ObjectSet, colA, colB Tokens, yield func(Pair) bool)
+}
+
+var _ TokenStreamer = TokenBlocking{}
+
+// Tokens caches the sim.Tokens output of one blocking-attribute column,
+// keyed by instance id. Only instances with a non-empty attribute value have
+// an entry. The slices are shared, not copied; consumers must treat them as
+// read-only.
+type Tokens map[model.ID][]string
+
+// TokenizeColumns tokenizes the blocking attribute of both inputs exactly
+// once with the canonical sim.Tokens. The returned columns drive
+// PairsEachTokens and can be handed to downstream consumers — the
+// similarity-profile build reuses them instead of re-tokenizing the same
+// attribute values.
+func (t TokenBlocking) TokenizeColumns(a, b *model.ObjectSet) (colA, colB Tokens) {
+	colA = make(Tokens, a.Len())
+	a.Each(func(in *model.Instance) bool {
+		if v := in.Attr(t.AttrA); v != "" {
+			colA[in.ID] = sim.Tokens(v)
+		}
+		return true
+	})
+	colB = make(Tokens, b.Len())
+	b.Each(func(in *model.Instance) bool {
+		if v := in.Attr(t.AttrB); v != "" {
+			colB[in.ID] = sim.Tokens(v)
+		}
+		return true
+	})
+	return colA, colB
+}
+
 // Pairs implements Blocker.
 func (t TokenBlocking) Pairs(a, b *model.ObjectSet) []Pair {
+	return Collect(func(yield func(Pair) bool) { t.PairsEach(a, b, yield) })
+}
+
+// PairsEach implements Blocker.
+func (t TokenBlocking) PairsEach(a, b *model.ObjectSet, yield func(Pair) bool) {
+	colA, colB := t.TokenizeColumns(a, b)
+	t.PairsEachTokens(a, b, colA, colB, yield)
+}
+
+// PairsEachTokens streams candidates over pre-tokenized columns from
+// TokenizeColumns, building the inverted index over colB and probing it with
+// colA. Callers that need the token columns for their own work (profile
+// builds) use this entry point to tokenize each value exactly once overall.
+func (t TokenBlocking) PairsEachTokens(a, b *model.ObjectSet, colA, colB Tokens, yield func(Pair) bool) {
 	minShared := t.MinShared
 	if minShared < 1 {
 		minShared = 1
 	}
-	// Tokenize each attribute value exactly once with the canonical
-	// sim.Tokens — the same tokenization the similarity profiles cache —
-	// and feed the token slices straight to the inverted index.
 	ix := index.New()
 	b.Each(func(in *model.Instance) bool {
-		if v := in.Attr(t.AttrB); v != "" {
-			ix.AddTokens(in.ID, sim.Tokens(v))
+		if toks, ok := colB[in.ID]; ok {
+			ix.AddTokens(in.ID, toks)
 		}
 		return true
 	})
 	ix.Freeze()
-	var out []Pair
+	stopped := false
 	a.Each(func(in *model.Instance) bool {
-		v := in.Attr(t.AttrA)
-		if v == "" {
+		toks, ok := colA[in.ID]
+		if !ok {
 			return true
 		}
-		for _, idb := range ix.CandidatesSharingTokens(sim.Tokens(v), minShared) {
-			out = append(out, Pair{A: in.ID, B: idb})
-		}
-		return true
+		ix.EachCandidateSharingTokens(toks, minShared, func(idb model.ID) bool {
+			if !yield(Pair{A: in.ID, B: idb}) {
+				stopped = true
+			}
+			return !stopped
+		})
+		return !stopped
 	})
-	return out
 }
+
+// BlockingAttrs implements TokenStreamer.
+func (t TokenBlocking) BlockingAttrs() (string, string) { return t.AttrA, t.AttrB }
 
 func (t TokenBlocking) String() string {
 	return fmt.Sprintf("token-blocking(%s~%s, shared>=%d)", t.AttrA, t.AttrB, t.MinShared)
@@ -105,6 +198,15 @@ type SortedNeighborhood struct {
 
 // Pairs implements Blocker.
 func (s SortedNeighborhood) Pairs(a, b *model.ObjectSet) []Pair {
+	return Collect(func(yield func(Pair) bool) { s.PairsEach(a, b, yield) })
+}
+
+// PairsEach implements Blocker. Instances whose blocking attribute is
+// missing or normalizes to the empty string are skipped entirely: an empty
+// sort key carries no evidence of similarity, yet it would cluster all
+// attribute-less instances at the front of the sort and pair them with each
+// other inside the window, producing spurious candidates.
+func (s SortedNeighborhood) PairsEach(a, b *model.ObjectSet, yield func(Pair) bool) {
 	w := s.Window
 	if w < 2 {
 		w = 2
@@ -116,11 +218,15 @@ func (s SortedNeighborhood) Pairs(a, b *model.ObjectSet) []Pair {
 	}
 	entries := make([]entry, 0, a.Len()+b.Len())
 	a.Each(func(in *model.Instance) bool {
-		entries = append(entries, entry{key: sim.Normalize(in.Attr(s.AttrA)), id: in.ID, from: 0})
+		if key := sim.Normalize(in.Attr(s.AttrA)); key != "" {
+			entries = append(entries, entry{key: key, id: in.ID, from: 0})
+		}
 		return true
 	})
 	b.Each(func(in *model.Instance) bool {
-		entries = append(entries, entry{key: sim.Normalize(in.Attr(s.AttrB)), id: in.ID, from: 1})
+		if key := sim.Normalize(in.Attr(s.AttrB)); key != "" {
+			entries = append(entries, entry{key: key, id: in.ID, from: 1})
+		}
 		return true
 	})
 	sort.Slice(entries, func(i, j int) bool {
@@ -132,8 +238,10 @@ func (s SortedNeighborhood) Pairs(a, b *model.ObjectSet) []Pair {
 		}
 		return entries[i].id < entries[j].id
 	})
-	seen := make(map[Pair]bool)
-	var out []Pair
+	// No dedup set is needed: every instance contributes exactly one entry,
+	// so a cross-set pair corresponds to one position pair (x, y) and is
+	// emitted only at anchor x — the stream is duplicate-free by
+	// construction and holds no per-pair state.
 	for i := range entries {
 		hi := i + w
 		if hi > len(entries) {
@@ -147,13 +255,11 @@ func (s SortedNeighborhood) Pairs(a, b *model.ObjectSet) []Pair {
 			if entries[i].from == 1 {
 				p = Pair{A: entries[j].id, B: entries[i].id}
 			}
-			if !seen[p] {
-				seen[p] = true
-				out = append(out, p)
+			if !yield(p) {
+				return
 			}
 		}
 	}
-	return out
 }
 
 func (s SortedNeighborhood) String() string {

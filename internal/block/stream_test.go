@@ -1,0 +1,167 @@
+package block
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// streamFixture builds larger, noisier inputs than blockFixture so that all
+// three blockers produce non-trivial candidate sequences, including
+// duplicate-prone windows for sorted neighborhood.
+func streamFixture(n int) (*model.ObjectSet, *model.ObjectSet) {
+	topics := []string{
+		"generic schema matching with cupid",
+		"a formal perspective on the view selection problem",
+		"mapping based object matching",
+		"entity resolution over web data sources",
+		"adaptive blocking for scalable record linkage",
+	}
+	a := model.NewObjectSet(dblpPub)
+	b := model.NewObjectSet(acmPub)
+	for i := 0; i < n; i++ {
+		topic := topics[i%len(topics)]
+		a.AddNew(model.ID(fmt.Sprintf("a%02d", i)), map[string]string{
+			"title": fmt.Sprintf("%s part %d", topic, i/len(topics)),
+		})
+		b.AddNew(model.ID(fmt.Sprintf("b%02d", i)), map[string]string{
+			"title": fmt.Sprintf("%s part %d revised", topic, (i+2)/len(topics)),
+		})
+	}
+	return a, b
+}
+
+// collectEach drains PairsEach into a slice.
+func collectEach(bl Blocker, a, b *model.ObjectSet) []Pair {
+	var out []Pair
+	bl.PairsEach(a, b, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// streamBlockers returns one instance of each built-in strategy.
+func streamBlockers() []Blocker {
+	return []Blocker{
+		CrossProduct{},
+		TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 1},
+		TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 2},
+		SortedNeighborhood{AttrA: "title", AttrB: "title", Window: 4},
+		SortedNeighborhood{AttrA: "title", AttrB: "title", Window: 9},
+	}
+}
+
+// TestPairsEachMatchesPairsSequence is the streaming/slice equivalence
+// property: for every built-in blocker, PairsEach must visit exactly the
+// sequence Pairs returns, in order, over a range of input sizes.
+func TestPairsEachMatchesPairsSequence(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 40} {
+		a, b := streamFixture(n)
+		for _, bl := range streamBlockers() {
+			want := bl.Pairs(a, b)
+			got := collectEach(bl, a, b)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("n=%d %s: PairsEach sequence diverges from Pairs\n got %v\nwant %v",
+					n, bl, got, want)
+			}
+		}
+	}
+}
+
+// TestPairsEachStopsEarly asserts yield returning false halts the stream
+// immediately for every blocker.
+func TestPairsEachStopsEarly(t *testing.T) {
+	a, b := streamFixture(25)
+	for _, bl := range streamBlockers() {
+		total := len(bl.Pairs(a, b))
+		if total < 3 {
+			t.Fatalf("%s: fixture too small (%d pairs)", bl, total)
+		}
+		stopAfter := total / 2
+		var got []Pair
+		bl.PairsEach(a, b, func(p Pair) bool {
+			got = append(got, p)
+			return len(got) < stopAfter
+		})
+		if len(got) != stopAfter {
+			t.Errorf("%s: visited %d pairs after stopping at %d", bl, len(got), stopAfter)
+		}
+		if want := bl.Pairs(a, b)[:stopAfter]; !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: early-stopped prefix diverges", bl)
+		}
+	}
+}
+
+// TestTokenBlockingPairsEachTokens asserts the pre-tokenized entry point
+// yields the same stream as PairsEach, and that the columns it consumes are
+// exactly the sim.Tokens output of the non-empty attribute values.
+func TestTokenBlockingPairsEachTokens(t *testing.T) {
+	a, b := streamFixture(20)
+	a.AddNew("a-empty", nil)
+	b.AddNew("b-empty", map[string]string{"title": ""})
+	tb := TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 2}
+	colA, colB := tb.TokenizeColumns(a, b)
+	if _, ok := colA["a-empty"]; ok {
+		t.Error("attribute-less instance must have no token column entry")
+	}
+	if _, ok := colB["b-empty"]; ok {
+		t.Error("empty attribute must have no token column entry")
+	}
+	for id, toks := range colA {
+		if want := sim.Tokens(a.Get(id).Attr("title")); !reflect.DeepEqual(toks, want) {
+			t.Fatalf("column tokens for %s = %v, want %v", id, toks, want)
+		}
+	}
+	var got []Pair
+	tb.PairsEachTokens(a, b, colA, colB, func(p Pair) bool {
+		got = append(got, p)
+		return true
+	})
+	if want := tb.Pairs(a, b); !reflect.DeepEqual(got, want) {
+		t.Errorf("PairsEachTokens diverges from Pairs:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestSortedNeighborhoodSkipsEmptyKeys is the regression test for the
+// empty-key bug: instances whose blocking attribute is missing used to sort
+// under the key "" at the front and pair with each other inside the window.
+func TestSortedNeighborhoodSkipsEmptyKeys(t *testing.T) {
+	a := model.NewObjectSet(dblpPub)
+	a.AddNew("a-miss1", nil)
+	a.AddNew("a-miss2", map[string]string{"title": "   "})
+	a.AddNew("a1", map[string]string{"title": "view selection"})
+	b := model.NewObjectSet(acmPub)
+	b.AddNew("b-miss1", nil)
+	b.AddNew("b-miss2", map[string]string{"title": "!!!"})
+	b.AddNew("b1", map[string]string{"title": "view selection"})
+	pairs := SortedNeighborhood{AttrA: "title", AttrB: "title", Window: 4}.Pairs(a, b)
+	for _, p := range pairs {
+		if p.A != "a1" || p.B != "b1" {
+			t.Errorf("attribute-less instances must not produce candidates, got %v", p)
+		}
+	}
+	if len(pairs) != 1 || pairs[0] != (Pair{"a1", "b1"}) {
+		t.Errorf("pairs = %v, want exactly [{a1 b1}]", pairs)
+	}
+}
+
+// TestCollect covers the stream-draining helper shared by the blockers.
+func TestCollect(t *testing.T) {
+	got := Collect(func(yield func(Pair) bool) {
+		yield(Pair{"x", "y"})
+		yield(Pair{"u", "v"})
+	})
+	if want := []Pair{{"x", "y"}, {"u", "v"}}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Collect = %v, want %v", got, want)
+	}
+	if Collect(func(func(Pair) bool) {}) != nil {
+		t.Error("empty stream must collect to nil")
+	}
+}

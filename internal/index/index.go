@@ -207,11 +207,25 @@ func (ix *Index) CandidatesSharing(query string, minShared int) []model.ID {
 
 // CandidatesSharingTokens is CandidatesSharing over a pre-tokenized query.
 func (ix *Index) CandidatesSharingTokens(toks []string, minShared int) []model.ID {
+	var out []model.ID
+	ix.EachCandidateSharingTokens(toks, minShared, func(id model.ID) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// EachCandidateSharingTokens streams the documents sharing at least
+// minShared of the (pre-tokenized) query tokens to yield, in ascending id
+// order, stopping early when yield returns false. It is the streaming
+// primitive behind token blocking: per probe only the per-document overlap
+// counters live in memory, never a global candidate-pair set.
+func (ix *Index) EachCandidateSharingTokens(toks []string, minShared int, yield func(model.ID) bool) {
 	if minShared < 1 {
 		minShared = 1
 	}
 	counts := make(map[model.ID]int)
-	seen := make(map[string]bool)
+	seen := make(map[string]bool, len(toks))
 	for _, tok := range toks {
 		if seen[tok] {
 			continue
@@ -221,14 +235,18 @@ func (ix *Index) CandidatesSharingTokens(toks []string, minShared int) []model.I
 			counts[p.doc]++
 		}
 	}
-	var out []model.ID
+	hits := make([]model.ID, 0, len(counts))
 	for id, c := range counts {
 		if c >= minShared {
-			out = append(out, id)
+			hits = append(hits, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	sort.Slice(hits, func(i, j int) bool { return hits[i] < hits[j] })
+	for _, id := range hits {
+		if !yield(id) {
+			return
+		}
+	}
 }
 
 // String summarizes the index.

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/model"
+	"repro/internal/sim"
 )
 
 func sampleIndex() *Index {
@@ -127,6 +128,33 @@ func TestCandidatesSharing(t *testing.T) {
 	}
 	if got := ix.CandidatesSharing("view", 0); got == nil {
 		t.Error("minShared<1 should clamp to 1")
+	}
+}
+
+// TestEachCandidateSharingTokens asserts the streaming primitive visits
+// exactly the CandidatesSharingTokens sequence and honors early stop.
+func TestEachCandidateSharingTokens(t *testing.T) {
+	ix := sampleIndex()
+	toks := sim.Tokens("the view selection problem")
+	want := ix.CandidatesSharingTokens(toks, 2)
+	var got []model.ID
+	ix.EachCandidateSharingTokens(toks, 2, func(id model.ID) bool {
+		got = append(got, id)
+		return true
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("EachCandidateSharingTokens = %v, want %v", got, want)
+	}
+	if len(want) < 2 {
+		t.Fatalf("fixture too small: %v", want)
+	}
+	got = nil
+	ix.EachCandidateSharingTokens(toks, 2, func(id model.ID) bool {
+		got = append(got, id)
+		return false
+	})
+	if len(got) != 1 || got[0] != want[0] {
+		t.Errorf("early stop visited %v, want just %v", got, want[:1])
 	}
 }
 

@@ -45,7 +45,17 @@ func (m *Attribute) Name() string {
 	return fmt.Sprintf("attr(%s~%s)", m.AttrA, m.AttrB)
 }
 
-// Match implements Matcher.
+// WithWorkers implements ConfigurableWorkers.
+func (m *Attribute) WithWorkers(n int) Matcher {
+	cp := *m
+	cp.Workers = n
+	return &cp
+}
+
+// Match implements Matcher. Candidates are streamed from the blocker
+// through a bounded scoring pipeline (see streamScore); only kept
+// correspondences are ever materialized, so memory is proportional to the
+// result, not to the candidate count.
 func (m *Attribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
 	if err := requireSameType(a, b); err != nil {
 		return nil, err
@@ -53,27 +63,24 @@ func (m *Attribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
 	if m.Sim == nil && m.Profiled == nil {
 		return nil, fmt.Errorf("match: %s has no similarity function", m.Name())
 	}
-	blocker := m.Blocker
-	if blocker == nil {
-		blocker = block.CrossProduct{}
-	}
-	pairs := blocker.Pairs(a, b)
+	stream, colA, colB := candidateStream(m.Blocker, a, b)
 	var score func(block.Pair) (float64, bool)
 	if ps := m.profiledSim(); ps != nil {
 		// Profiled path: preprocess each attribute value once (O(n+m)),
-		// then score pairs over the read-only profile maps.
-		profA := profileColumn(a, m.AttrA, ps)
-		profB := profileColumn(b, m.AttrB, ps)
+		// then score pairs over read-only dense profile columns, reusing the
+		// blocking layer's token work where the attributes coincide.
+		profA := profileColumn(a, m.AttrA, ps, colA)
+		profB := profileColumn(b, m.AttrB, ps, colB)
 		// Blockers may emit IDs absent from the inputs; the string path
 		// scored those as "" (nil-safe Instance.Attr), so mirror that.
 		empty := ps.Profile("")
 		score = func(p block.Pair) (float64, bool) {
-			pa, pb := profA[p.A], profB[p.B]
-			if pa == nil {
-				pa = empty
+			pa, pb := empty, empty
+			if i := a.IndexOf(p.A); i >= 0 {
+				pa = profA[i]
 			}
-			if pb == nil {
-				pb = empty
+			if j := b.IndexOf(p.B); j >= 0 {
+				pb = profB[j]
 			}
 			if m.SkipMissing && (pa.Raw == "" || pb.Raw == "") {
 				return 0, false
@@ -92,13 +99,10 @@ func (m *Attribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
 			return s, s >= m.Threshold
 		}
 	}
-	scored := scorePairs(pairs, m.Workers, score)
 	out := mapping.NewSame(a.LDS(), b.LDS())
-	for _, sp := range scored {
-		if sp.keep {
-			out.AddMax(sp.pair.A, sp.pair.B, sp.sim)
-		}
-	}
+	streamScore(stream, m.Workers, score, func(p block.Pair, s float64) {
+		out.AddMax(p.A, p.B, s)
+	})
 	return out, nil
 }
 
@@ -113,14 +117,60 @@ func (m *Attribute) profiledSim() sim.ProfiledSim {
 	return ps
 }
 
-// profileColumn builds the per-instance profile of one attribute column,
-// the O(n+m) preprocessing the profiled scoring path reads from. The maps
-// are never mutated after this returns, so concurrent scoring workers need
-// no locks.
-func profileColumn(set *model.ObjectSet, attr string, ps sim.ProfiledSim) map[model.ID]*sim.Profile {
-	out := make(map[model.ID]*sim.Profile, set.Len())
+// candidateStream resolves the blocker (nil means cross product) into a
+// pair stream plus, for token-streaming blockers (block.TokenStreamer),
+// the tokenized attribute columns keyed by blocking-attribute name, so
+// profile builds can reuse the blocking layer's tokenization. colA/colB
+// are nil for every other blocker.
+func candidateStream(blocker block.Blocker, a, b *model.ObjectSet) (stream func(func(block.Pair) bool), colA, colB *attrTokens) {
+	if blocker == nil {
+		blocker = block.CrossProduct{}
+	}
+	if ts, ok := blocker.(block.TokenStreamer); ok {
+		ca, cb := ts.TokenizeColumns(a, b)
+		attrA, attrB := ts.BlockingAttrs()
+		stream = func(yield func(block.Pair) bool) {
+			ts.PairsEachTokens(a, b, ca, cb, yield)
+		}
+		return stream, &attrTokens{attr: attrA, toks: ca}, &attrTokens{attr: attrB, toks: cb}
+	}
+	return func(yield func(block.Pair) bool) { blocker.PairsEach(a, b, yield) }, nil, nil
+}
+
+// attrTokens is one tokenized attribute column produced while blocking.
+type attrTokens struct {
+	attr string
+	toks block.Tokens
+}
+
+// profileColumn builds the per-instance profiles of one attribute column —
+// the O(n+m) preprocessing the profiled scoring path reads from — as a
+// dense array aligned with ObjectSet ordinals (IndexOf). Scoring resolves
+// each pair's ordinals once and then reads every column by array index:
+// single-column matchers break even with the previous map[ID]*Profile
+// representation (IndexOf is itself one map lookup), multi-column matchers
+// drop one map lookup per extra column per side, and the ordinal form is
+// what a future blocker-emits-ordinals optimization needs. When the
+// blocking layer already tokenized this attribute (cached non-nil,
+// matching attr) and the measure can profile from tokens, the cached
+// slices are reused instead of re-tokenizing. The array is never mutated
+// after this returns, so concurrent scoring workers need no locks.
+func profileColumn(set *model.ObjectSet, attr string, ps sim.ProfiledSim, cached *attrTokens) []*sim.Profile {
+	var toks block.Tokens
+	tp, reuse := ps.(sim.TokenProfiler)
+	if reuse && cached != nil && cached.attr == attr {
+		toks = cached.toks
+	}
+	out := make([]*sim.Profile, 0, set.Len())
 	set.Each(func(in *model.Instance) bool {
-		out[in.ID] = ps.Profile(in.Attr(attr))
+		v := in.Attr(attr)
+		if toks != nil {
+			if ts, ok := toks[in.ID]; ok {
+				out = append(out, tp.ProfileTokens(v, ts))
+				return true
+			}
+		}
+		out = append(out, ps.Profile(v))
 		return true
 	})
 	return out
@@ -179,16 +229,14 @@ func (m *MultiAttribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) 
 	if totalWeight == 0 {
 		return nil, fmt.Errorf("match: %s has zero total weight", m.Name())
 	}
-	blocker := m.Blocker
-	if blocker == nil {
-		blocker = block.CrossProduct{}
-	}
-	pairs := blocker.Pairs(a, b)
+	stream, colTokA, colTokB := candidateStream(m.Blocker, a, b)
 	// One profile column per attribute pair whose measure has a profiled
-	// form; pairs without one fall back to the string path in place.
+	// form; pairs without one fall back to the string path in place. The
+	// columns are dense arrays aligned with ObjectSet ordinals, so each
+	// scored pair resolves its ordinals once and reads k columns by index.
 	type column struct {
 		ps           sim.ProfiledSim
-		profA, profB map[model.ID]*sim.Profile
+		profA, profB []*sim.Profile
 		empty        *sim.Profile
 	}
 	cols := make([]column, len(m.Pairs))
@@ -200,42 +248,58 @@ func (m *MultiAttribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) 
 		if ps != nil {
 			cols[i] = column{
 				ps:    ps,
-				profA: profileColumn(a, ap.AttrA, ps),
-				profB: profileColumn(b, ap.AttrB, ps),
+				profA: profileColumn(a, ap.AttrA, ps, colTokA),
+				profB: profileColumn(b, ap.AttrB, ps, colTokB),
 				empty: ps.Profile(""),
 			}
 		}
 	}
-	scored := scorePairs(pairs, m.Workers, func(p block.Pair) (float64, bool) {
-		var ia, ib *model.Instance
+	hasProfiled := false
+	for i := range cols {
+		if cols[i].ps != nil {
+			hasProfiled = true
+			break
+		}
+	}
+	score := func(p block.Pair) (float64, bool) {
+		ia, ib := -1, -1
+		if hasProfiled {
+			ia, ib = a.IndexOf(p.A), b.IndexOf(p.B)
+		}
+		var insA, insB *model.Instance
 		var sum float64
 		for i, ap := range m.Pairs {
 			if c := &cols[i]; c.ps != nil {
-				pa, pb := c.profA[p.A], c.profB[p.B]
-				if pa == nil {
-					pa = c.empty
+				pa, pb := c.empty, c.empty
+				if ia >= 0 {
+					pa = c.profA[ia]
 				}
-				if pb == nil {
-					pb = c.empty
+				if ib >= 0 {
+					pb = c.profB[ib]
 				}
 				sum += ap.Weight * c.ps.Compare(pa, pb)
 				continue
 			}
-			if ia == nil {
-				ia, ib = a.Get(p.A), b.Get(p.B)
+			if insA == nil {
+				insA, insB = a.Get(p.A), b.Get(p.B)
 			}
-			sum += ap.Weight * ap.Sim(ia.Attr(ap.AttrA), ib.Attr(ap.AttrB))
+			sum += ap.Weight * ap.Sim(insA.Attr(ap.AttrA), insB.Attr(ap.AttrB))
 		}
 		s := sum / totalWeight
 		return s, s >= m.Threshold
-	})
-	out := mapping.NewSame(a.LDS(), b.LDS())
-	for _, sp := range scored {
-		if sp.keep {
-			out.AddMax(sp.pair.A, sp.pair.B, sp.sim)
-		}
 	}
+	out := mapping.NewSame(a.LDS(), b.LDS())
+	streamScore(stream, m.Workers, score, func(p block.Pair, s float64) {
+		out.AddMax(p.A, p.B, s)
+	})
 	return out, nil
+}
+
+// WithWorkers implements ConfigurableWorkers.
+func (m *MultiAttribute) WithWorkers(n int) Matcher {
+	cp := *m
+	cp.Workers = n
+	return &cp
 }
 
 // TFIDFAttribute matches one attribute pair under TF-IDF cosine similarity,
@@ -255,6 +319,13 @@ func (m *TFIDFAttribute) Name() string {
 		return m.MatcherName
 	}
 	return fmt.Sprintf("tfidf(%s~%s)", m.AttrA, m.AttrB)
+}
+
+// WithWorkers implements ConfigurableWorkers.
+func (m *TFIDFAttribute) WithWorkers(n int) Matcher {
+	cp := *m
+	cp.Workers = n
+	return &cp
 }
 
 // Match implements Matcher.

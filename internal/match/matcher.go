@@ -96,52 +96,125 @@ func (r *Registry) Names() []string {
 	return out
 }
 
-// scoredPair carries one candidate pair with its computed similarity.
-type scoredPair struct {
-	pair block.Pair
-	sim  float64
-	keep bool
+// ConfigurableWorkers is implemented by matchers whose scoring parallelism
+// can be configured externally. WithWorkers returns a copy with the given
+// worker count — matchers must stay safe for reuse, so the receiver is never
+// mutated. The workflow engine uses this to push one Workers setting through
+// every matcher of a workflow.
+type ConfigurableWorkers interface {
+	Matcher
+	// WithWorkers returns a copy of the matcher scoring with n workers.
+	WithWorkers(n int) Matcher
 }
 
-// scorePairs evaluates score over the candidate pairs, in parallel when
-// workers > 1, preserving input order in the result.
-func scorePairs(pairs []block.Pair, workers int, score func(block.Pair) (float64, bool)) []scoredPair {
-	out := make([]scoredPair, len(pairs))
+// scoreBatchSize is the number of candidate pairs handed to a scoring
+// worker at a time. Batches amortize channel operations; the pipeline holds
+// at most ~2·workers batches in flight, so memory stays bounded regardless
+// of how many candidates the blocker streams.
+const scoreBatchSize = 512
+
+// keptPair is one above-threshold correspondence tagged with the global
+// stream position of its candidate pair, so the parallel pipeline can
+// restore the blocker's emission order before inserting into the mapping.
+type keptPair struct {
+	seq  uint64
+	pair block.Pair
+	sim  float64
+}
+
+// streamScore drains a candidate-pair stream through a bounded worker
+// pipeline and calls emit, in stream order, for every pair score keeps.
+// Unlike a materialized scoring pass, memory is O(workers·batch + kept):
+// the full candidate set — potentially O(n·m) — never exists as a slice,
+// and only kept correspondences are retained. score must be safe for
+// concurrent use when workers > 1; emit runs on the calling goroutine.
+func streamScore(stream func(yield func(block.Pair) bool), workers int, score func(block.Pair) (float64, bool), emit func(block.Pair, float64)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
 	if workers <= 1 {
-		for i, p := range pairs {
-			s, keep := score(p)
-			out[i] = scoredPair{pair: p, sim: s, keep: keep}
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (len(pairs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				s, keep := score(pairs[i])
-				out[i] = scoredPair{pair: pairs[i], sim: s, keep: keep}
+		stream(func(p block.Pair) bool {
+			if s, keep := score(p); keep {
+				emit(p, s)
 			}
-		}(lo, hi)
+			return true
+		})
+		return
 	}
+	type batch struct {
+		seq   uint64 // stream position of pairs[0]
+		pairs []block.Pair
+	}
+	// Workers start lazily, on the first full batch: a stream that fits in
+	// one batch is scored inline below, where goroutine spin-up and the
+	// shard merge would cost more than the scoring itself.
+	var (
+		batches chan batch
+		shards  [][]keptPair
+		wg      sync.WaitGroup
+	)
+	startWorkers := func() {
+		batches = make(chan batch, workers)
+		shards = make([][]keptPair, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var mine []keptPair
+				for bt := range batches {
+					for i, p := range bt.pairs {
+						if s, keep := score(p); keep {
+							mine = append(mine, keptPair{seq: bt.seq + uint64(i), pair: p, sim: s})
+						}
+					}
+				}
+				shards[w] = mine
+			}(w)
+		}
+	}
+	var seq uint64
+	buf := make([]block.Pair, 0, scoreBatchSize)
+	stream(func(p block.Pair) bool {
+		buf = append(buf, p)
+		if len(buf) == scoreBatchSize {
+			if batches == nil {
+				startWorkers()
+			}
+			batches <- batch{seq: seq, pairs: buf}
+			seq += uint64(len(buf))
+			buf = make([]block.Pair, 0, scoreBatchSize)
+		}
+		return true
+	})
+	if batches == nil {
+		for _, p := range buf {
+			if s, keep := score(p); keep {
+				emit(p, s)
+			}
+		}
+		return
+	}
+	if len(buf) > 0 {
+		batches <- batch{seq: seq, pairs: buf}
+	}
+	close(batches)
 	wg.Wait()
-	return out
+	// Merge the per-worker shards back into stream order: results must be
+	// bit-identical to the sequential path, including mapping insertion
+	// order. Kept correspondences are few relative to candidates, so the
+	// sort is cheap.
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	all := make([]keptPair, 0, total)
+	for _, s := range shards {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	for _, k := range all {
+		emit(k.pair, k.sim)
+	}
 }
 
 // requireSameType validates that both inputs hold the same object type.

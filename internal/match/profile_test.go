@@ -138,6 +138,14 @@ func (alienBlocker) Pairs(a, b *model.ObjectSet) []block.Pair {
 		block.Pair{A: "ghost-a", B: "ghost-b"})
 }
 
+func (g alienBlocker) PairsEach(a, b *model.ObjectSet, yield func(block.Pair) bool) {
+	for _, p := range g.Pairs(a, b) {
+		if !yield(p) {
+			return
+		}
+	}
+}
+
 func (alienBlocker) String() string { return "alien" }
 
 // TestAttributeProfiledAlienBlockerIDs asserts blocker-emitted unknown IDs

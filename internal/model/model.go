@@ -148,12 +148,13 @@ func (in *Instance) String() string {
 type ObjectSet struct {
 	lds   LDS
 	byID  map[ID]*Instance
+	pos   map[ID]int
 	order []ID
 }
 
 // NewObjectSet returns an empty object set for the given LDS.
 func NewObjectSet(lds LDS) *ObjectSet {
-	return &ObjectSet{lds: lds, byID: make(map[ID]*Instance)}
+	return &ObjectSet{lds: lds, byID: make(map[ID]*Instance), pos: make(map[ID]int)}
 }
 
 // LDS returns the logical data source this set draws from.
@@ -166,6 +167,7 @@ func (s *ObjectSet) Len() int { return len(s.order) }
 // position so iteration order stays stable.
 func (s *ObjectSet) Add(in *Instance) {
 	if _, exists := s.byID[in.ID]; !exists {
+		s.pos[in.ID] = len(s.order)
 		s.order = append(s.order, in.ID)
 	}
 	s.byID[in.ID] = in
@@ -180,6 +182,21 @@ func (s *ObjectSet) AddNew(id ID, attrs map[string]string) *Instance {
 
 // Get returns the instance with the given id, or nil.
 func (s *ObjectSet) Get(id ID) *Instance { return s.byID[id] }
+
+// IndexOf returns the insertion-order ordinal of the instance with the
+// given id, or -1 when absent. Ordinals are dense in [0, Len()) and stable
+// (instances are never removed from a set), which lets hot paths replace
+// per-id map lookups with array indexing.
+func (s *ObjectSet) IndexOf(id ID) int {
+	if i, ok := s.pos[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// At returns the instance at the given insertion-order ordinal. It panics
+// when i is out of [0, Len()), mirroring slice indexing.
+func (s *ObjectSet) At(i int) *Instance { return s.byID[s.order[i]] }
 
 // Has reports whether an instance with the given id is present.
 func (s *ObjectSet) Has(id ID) bool { _, ok := s.byID[id]; return ok }

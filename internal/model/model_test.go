@@ -179,6 +179,45 @@ func TestObjectSetReplaceKeepsOrder(t *testing.T) {
 	}
 }
 
+func TestObjectSetIndexOf(t *testing.T) {
+	s := NewObjectSet(LDS{"DBLP", Publication})
+	ids := []ID{"p1", "p2", "p3", "p4"}
+	for _, id := range ids {
+		s.AddNew(id, map[string]string{"id": string(id)})
+	}
+	for want, id := range ids {
+		if got := s.IndexOf(id); got != want {
+			t.Errorf("IndexOf(%s) = %d, want %d", id, got, want)
+		}
+		if got := s.At(want); got.ID != id {
+			t.Errorf("At(%d) = %s, want %s", want, got.ID, id)
+		}
+	}
+	if got := s.IndexOf("ghost"); got != -1 {
+		t.Errorf("IndexOf(ghost) = %d, want -1", got)
+	}
+	// Replacing keeps the ordinal; new instances extend the range.
+	s.AddNew("p2", map[string]string{"id": "replaced"})
+	if got := s.IndexOf("p2"); got != 1 {
+		t.Errorf("IndexOf after replace = %d, want 1", got)
+	}
+	if s.At(1).Attr("id") != "replaced" {
+		t.Error("At must observe the replacement")
+	}
+	s.AddNew("p5", nil)
+	if got := s.IndexOf("p5"); got != 4 {
+		t.Errorf("IndexOf(p5) = %d, want 4", got)
+	}
+	// Derived sets renumber densely from zero.
+	sub := s.Subset([]ID{"p3", "p1"})
+	if sub.IndexOf("p3") != 0 || sub.IndexOf("p1") != 1 {
+		t.Errorf("subset ordinals = %d, %d; want 0, 1", sub.IndexOf("p3"), sub.IndexOf("p1"))
+	}
+	if sub.IndexOf("p2") != -1 {
+		t.Error("subset must not index excluded instances")
+	}
+}
+
 func TestObjectSetEachEarlyStop(t *testing.T) {
 	s := NewObjectSet(LDS{"DBLP", Publication})
 	for _, id := range []ID{"a", "b", "c", "d"} {

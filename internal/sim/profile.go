@@ -71,6 +71,18 @@ type ProfiledSim interface {
 // Pair adapts a ProfiledSim's scoring stage to a PairFunc.
 func Pair(ps ProfiledSim) PairFunc { return ps.Compare }
 
+// TokenProfiler is implemented by profiled measures whose Profile stage
+// tokenizes the value. ProfileTokens builds the same profile from an
+// already-computed Tokens(s) slice, skipping the re-tokenization — the
+// blocking layer tokenizes the blocking attribute anyway, and when the match
+// attribute coincides the profile build reuses that work. toks must equal
+// Tokens(s) and is treated as read-only (implementations copy before
+// sorting), so one cached slice can feed several consumers.
+type TokenProfiler interface {
+	ProfiledSim
+	ProfileTokens(s string, toks []string) *Profile
+}
+
 // profiledByFunc maps the code pointer of a built-in Func to its profiled
 // twin. Only static top-level functions are registered: method values (for
 // example (*TFIDF).Cosine) share one wrapper pointer across receivers and
@@ -197,6 +209,12 @@ type tokenProfiled struct {
 
 func (t tokenProfiled) Profile(s string) *Profile {
 	return &Profile{Raw: s, SortedTokens: uniqueSorted(Tokens(s))}
+}
+
+// ProfileTokens implements TokenProfiler. uniqueSorted sorts in place, so
+// the shared slice is copied first.
+func (t tokenProfiled) ProfileTokens(s string, toks []string) *Profile {
+	return &Profile{Raw: s, SortedTokens: uniqueSorted(slices.Clone(toks))}
 }
 
 func (t tokenProfiled) Compare(a, b *Profile) float64 {
@@ -337,6 +355,12 @@ func (mongeElkanProfiled) Profile(s string) *Profile {
 	return &Profile{Raw: s, Tokens: Tokens(s)}
 }
 
+// ProfileTokens implements TokenProfiler; Compare never mutates Tokens, so
+// the shared slice is referenced directly.
+func (mongeElkanProfiled) ProfileTokens(s string, toks []string) *Profile {
+	return &Profile{Raw: s, Tokens: toks}
+}
+
 func (mongeElkanProfiled) Compare(a, b *Profile) float64 {
 	return symMongeElkanTokens(a.Tokens, b.Tokens, JaroWinkler)
 }
@@ -345,6 +369,11 @@ type personNameProfiled struct{}
 
 func (personNameProfiled) Profile(s string) *Profile {
 	return &Profile{Raw: s, Tokens: Tokens(s)}
+}
+
+// ProfileTokens implements TokenProfiler (read-only token access).
+func (personNameProfiled) ProfileTokens(s string, toks []string) *Profile {
+	return &Profile{Raw: s, Tokens: toks}
 }
 
 func (personNameProfiled) Compare(a, b *Profile) float64 {

@@ -76,6 +76,60 @@ func TestProfiledMatchesFunc(t *testing.T) {
 	}
 }
 
+// TestProfileTokensMatchesProfile asserts every TokenProfiler builds, from
+// a pre-computed Tokens(s) slice, a profile scoring bit-identically to the
+// one its Profile stage builds — and never mutates the shared slice. This
+// pins the blocking-layer token-reuse path of the match core.
+func TestProfileTokensMatchesProfile(t *testing.T) {
+	reg := NewRegistry()
+	corpus := NewTFIDF()
+	corpus.AddAll(profileEdgeCases)
+	profilers := map[string]ProfiledSim{"tfidf-corpus": corpus.Profiled()}
+	for _, name := range reg.Names() {
+		fn, _ := reg.Lookup(name)
+		if ps, ok := ProfiledOf(fn); ok {
+			profilers[name] = ps
+		}
+	}
+	tokenProfilers := 0
+	for name, ps := range profilers {
+		tp, ok := ps.(TokenProfiler)
+		if !ok {
+			continue
+		}
+		tokenProfilers++
+		for _, s := range profileEdgeCases {
+			toks := Tokens(s)
+			var shared []string
+			if toks != nil {
+				shared = append([]string(nil), toks...)
+			}
+			fromTokens := tp.ProfileTokens(s, shared)
+			fresh := tp.Profile(s)
+			for _, other := range profileEdgeCases {
+				po := tp.Profile(other)
+				if got, want := tp.Compare(fromTokens, po), tp.Compare(fresh, po); got != want {
+					t.Errorf("%s: ProfileTokens(%q) scores %v vs %q, Profile scores %v", name, s, got, other, want)
+				}
+			}
+			if len(shared) != len(toks) {
+				t.Fatalf("%s: ProfileTokens changed the shared slice length", name)
+			}
+			for i := range shared {
+				if shared[i] != toks[i] {
+					t.Errorf("%s: ProfileTokens(%q) mutated the shared token slice: %v != %v", name, s, shared, toks)
+					break
+				}
+			}
+		}
+	}
+	// tokenProfiled (x2), mongeElkan, personName, tfidf — guard that the
+	// interface is actually implemented where it should be.
+	if tokenProfilers < 5 {
+		t.Errorf("only %d token-profiling measures found, want >= 5", tokenProfilers)
+	}
+}
+
 // TestProfiledOfUnknownFunc asserts custom measures fall back cleanly.
 func TestProfiledOfUnknownFunc(t *testing.T) {
 	custom := func(a, b string) float64 { return 0.5 }

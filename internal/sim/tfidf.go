@@ -74,7 +74,12 @@ func (t *TFIDF) idf(token string) float64 {
 
 // vector builds the tf-idf weight vector (sorted by token) of a document.
 func (t *TFIDF) vector(doc string) ([]string, []float64) {
-	toks := Tokens(doc)
+	return t.vectorTokens(Tokens(doc))
+}
+
+// vectorTokens builds the weight vector from a pre-tokenized document. toks
+// is read-only: term counts go through a fresh map.
+func (t *TFIDF) vectorTokens(toks []string) ([]string, []float64) {
 	if len(toks) == 0 {
 		return nil, nil
 	}
@@ -181,6 +186,17 @@ type tfidfProfiled struct {
 func (p tfidfProfiled) Profile(s string) *Profile {
 	v := p.t.buildVec(s)
 	return &Profile{Raw: s, Terms: v.terms, Weights: v.weights, WeightNorm2: v.norm2}
+}
+
+// ProfileTokens implements TokenProfiler: the document vector is built from
+// an existing Tokens(s) slice instead of re-tokenizing.
+func (p tfidfProfiled) ProfileTokens(s string, toks []string) *Profile {
+	terms, weights := p.t.vectorTokens(toks)
+	out := &Profile{Raw: s, Terms: terms, Weights: weights}
+	for _, w := range weights {
+		out.WeightNorm2 += w * w
+	}
+	return out
 }
 
 func (p tfidfProfiled) Compare(a, b *Profile) float64 {

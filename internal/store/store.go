@@ -63,6 +63,16 @@ func (s *Store) Put(name string, m *mapping.Mapping) error {
 	defer s.mu.Unlock()
 	if _, exists := s.maps[name]; !exists {
 		s.order = append(s.order, name)
+	} else {
+		// Overwriting refreshes the entry's age: move it to the back of
+		// order so a bounded cache doesn't evict a just-written hot entry
+		// as if it were the oldest.
+		for i, n := range s.order {
+			if n == name {
+				s.order = append(append(s.order[:i:i], s.order[i+1:]...), name)
+				break
+			}
+		}
 	}
 	s.maps[name] = m
 	if s.wal != nil {

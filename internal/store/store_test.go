@@ -80,10 +80,13 @@ func TestNamesInsertionOrder(t *testing.T) {
 	s := NewRepository()
 	s.Put("b", sampleMapping(1))
 	s.Put("a", sampleMapping(1))
-	s.Put("b", sampleMapping(2)) // replace keeps position
+	s.Put("b", sampleMapping(2)) // replace refreshes the entry's age
 	names := s.Names()
-	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
-		t.Errorf("Names = %v", names)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v, want [a b]", names)
+	}
+	if m, _ := s.Get("b"); m.Len() != 2 {
+		t.Error("replacement not applied")
 	}
 }
 
@@ -100,6 +103,29 @@ func TestCacheEviction(t *testing.T) {
 	}
 	if !c.Has("m2") || !c.Has("m3") {
 		t.Error("newest entries should survive")
+	}
+}
+
+// TestCacheEvictionAfterOverwrite is the regression test for re-put aging:
+// overwriting an entry must refresh its age, so a bounded cache evicts the
+// actually-oldest entry instead of a just-overwritten hot one.
+func TestCacheEvictionAfterOverwrite(t *testing.T) {
+	c := NewCache(2)
+	c.Put("hot", sampleMapping(1))
+	c.Put("cold", sampleMapping(1))
+	c.Put("hot", sampleMapping(2)) // refresh: hot is now the newest entry
+	c.Put("m3", sampleMapping(1))  // exceeds the limit
+	if c.Has("cold") {
+		t.Error("cold is the oldest entry and should have been evicted")
+	}
+	if !c.Has("hot") || !c.Has("m3") {
+		t.Errorf("hot and m3 should survive, names = %v", c.Names())
+	}
+	if m, _ := c.Get("hot"); m.Len() != 2 {
+		t.Error("overwritten value lost")
+	}
+	if got := c.Names(); len(got) != 2 || got[0] != "hot" || got[1] != "m3" {
+		t.Errorf("Names = %v, want [hot m3]", got)
 	}
 }
 

@@ -114,6 +114,11 @@ func (w *Workflow) String() string {
 type Engine struct {
 	Repo  *store.Store
 	Cache *store.Store
+	// Workers, when > 0, sets the scoring parallelism of every matcher that
+	// supports external configuration (match.ConfigurableWorkers) for the
+	// duration of a run; 0 keeps each matcher's own setting. Matchers are
+	// never mutated — the engine runs a configured copy.
+	Workers int
 	// Trace receives progress lines when non-nil.
 	Trace func(string)
 }
@@ -154,6 +159,11 @@ func (e *Engine) Run(w *Workflow, a, b *model.ObjectSet) (*mapping.Mapping, erro
 		}
 		var inputs []*mapping.Mapping
 		for _, m := range s.Matchers {
+			if e.Workers > 0 {
+				if cw, ok := m.(match.ConfigurableWorkers); ok {
+					m = cw.WithWorkers(e.Workers)
+				}
+			}
 			mm, err := m.Match(a, b)
 			if err != nil {
 				return nil, fmt.Errorf("workflow: %s/%s: matcher %s: %w", w.Name, name, m.Name(), err)

@@ -140,6 +140,76 @@ func TestWorkflowAsMatcher(t *testing.T) {
 	}
 }
 
+// workersProbe records the Workers setting its Match invocation ran with,
+// mimicking a ConfigurableWorkers matcher.
+type workersProbe struct {
+	workers int
+	ran     *int
+}
+
+func (p *workersProbe) Name() string { return "probe" }
+
+func (p *workersProbe) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
+	*p.ran = p.workers
+	return mapping.NewSame(a.LDS(), b.LDS()), nil
+}
+
+func (p *workersProbe) WithWorkers(n int) match.Matcher {
+	cp := *p
+	cp.workers = n
+	return &cp
+}
+
+// TestEngineWorkersOverride asserts the engine pushes its Workers setting
+// through ConfigurableWorkers matchers without mutating the originals, and
+// leaves matchers alone when Workers is unset.
+func TestEngineWorkersOverride(t *testing.T) {
+	a, b := fixtureSets()
+	var ran int
+	probe := &workersProbe{workers: 1, ran: &ran}
+	w := New("workers").AddStep(MergeStep("s1", mapping.AvgCombiner, nil, probe))
+
+	e := &Engine{Cache: store.NewCache(0), Workers: 6}
+	if _, err := e.Run(w, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 6 {
+		t.Errorf("matcher ran with %d workers, want engine override 6", ran)
+	}
+	if probe.workers != 1 {
+		t.Error("engine mutated the registered matcher")
+	}
+
+	e.Workers = 0
+	if _, err := e.Run(w, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Errorf("matcher ran with %d workers, want its own setting 1", ran)
+	}
+
+	// The override must also produce identical match results on a real
+	// attribute matcher.
+	attr := &match.Attribute{
+		MatcherName: "title", AttrA: "title", AttrB: "title",
+		Sim: sim.Trigram, Threshold: 0.7,
+	}
+	wf := New("real").AddStep(MergeStep("s1", mapping.AvgCombiner, nil, attr))
+	seq := &Engine{Cache: store.NewCache(0)}
+	par := &Engine{Cache: store.NewCache(0), Workers: 8}
+	ms, err := seq.Run(wf, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := par.Run(wf, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ms.Equal(mp, 0) {
+		t.Error("engine-parallel run diverged from sequential run")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dblp, acm := fixtureSets()
 	e := NewEngine(store.NewRepository())

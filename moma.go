@@ -45,6 +45,23 @@
 // Profiles are immutable after construction, so matchers with Workers > 1
 // score them concurrently without locks.
 //
+// # Streaming match pipeline
+//
+// Candidate generation and scoring form a streaming pipeline: every
+// Blocker exposes PairsEach, which visits the candidate pairs one at a
+// time (Pairs remains as a materializing wrapper), and the attribute
+// matchers drain that stream through a bounded worker pipeline that keeps
+// only above-threshold correspondences. The candidate set — potentially
+// O(n·m) pairs — never exists in memory as a whole; a match's footprint is
+// the O(n+m) profile columns (dense arrays keyed by ObjectSet.IndexOf
+// ordinals) plus the kept correspondences. Token blocking additionally
+// shares its tokenization with the profile build: the sim.Tokens output
+// computed for the blocking attribute is reused by token-based measures on
+// the same attribute instead of re-tokenizing. Results are bit-identical
+// to the materialized path, including mapping insertion order, at any
+// worker count. The workflow Engine can push one Workers setting through
+// every matcher of a workflow (ConfigurableWorkers).
+//
 // # Benchmarks
 //
 // The pair-scoring hot path is covered by benchmarks at the repo root:
@@ -53,8 +70,10 @@
 //
 // BenchmarkAttributeMatcherBlockedUnprofiled pins the pre-profile baseline
 // (the measure hidden behind a closure); BenchmarkAttributeMatcherBlocked
-// runs the same match on the profiled path. Set MOMA_BENCH_SCALE=paper to
-// run the table benchmarks at the paper's full scale.
+// runs the same match on the profiled streaming path, and
+// BenchmarkAttributeMatcherStreamWorkers scales the worker count. Set
+// MOMA_BENCH_SCALE=paper to run the table benchmarks at the paper's full
+// scale.
 package moma
 
 import (
@@ -243,8 +262,14 @@ type (
 	NeighborhoodMatcher = match.Neighborhood
 	// MatcherRegistry is the extensible matcher library.
 	MatcherRegistry = match.Registry
-	// Blocker generates candidate pairs.
+	// ConfigurableWorkers is a matcher whose scoring parallelism can be set
+	// externally (the workflow engine's Workers field uses it).
+	ConfigurableWorkers = match.ConfigurableWorkers
+	// Blocker generates candidate pairs, as a slice (Pairs) or streamed
+	// one at a time (PairsEach).
 	Blocker = block.Blocker
+	// Pair is one candidate pair of instance ids.
+	Pair = block.Pair
 	// CrossProduct compares all pairs.
 	CrossProduct = block.CrossProduct
 	// TokenBlocking pairs instances sharing attribute tokens.

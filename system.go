@@ -2,6 +2,7 @@ package moma
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/mapping"
 	"repro/internal/match"
@@ -26,6 +27,10 @@ type System struct {
 	// Sims resolves similarity-function names.
 	Sims *SimRegistry
 
+	// mu guards sets and binding: the system is the shared Figure-3
+	// architecture, and like Store it must be safe for concurrent use
+	// (concurrent RunScript / AddObjectSet / RunWorkflow calls).
+	mu      sync.RWMutex
 	sets    map[string]*ObjectSet
 	binding *script.Binding
 	engine  *workflow.Engine
@@ -55,12 +60,14 @@ func newSystem(repo *store.Store) *System {
 		sets:     make(map[string]*ObjectSet),
 	}
 	s.engine = &workflow.Engine{Repo: s.Repo, Cache: s.Cache}
-	s.rebind()
+	s.rebindLocked()
 	return s
 }
 
-// rebind refreshes the script binding from the current stores and sets.
-func (s *System) rebind() {
+// rebindLocked refreshes the script binding from the current stores and
+// sets. Callers must hold mu (newSystem excepted: nothing else can see the
+// system yet).
+func (s *System) rebindLocked() {
 	b := script.NewBinding()
 	b.Sims = s.Sims
 	for _, name := range s.Repo.Names() {
@@ -85,6 +92,8 @@ func (s *System) AddObjectSet(name string, set *ObjectSet) error {
 	if name == "" || set == nil {
 		return fmt.Errorf("moma: AddObjectSet needs a name and a set")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.sets[name]; dup {
 		return fmt.Errorf("moma: object set %q already registered", name)
 	}
@@ -94,6 +103,8 @@ func (s *System) AddObjectSet(name string, set *ObjectSet) error {
 
 // ObjectSetByName returns a registered object set.
 func (s *System) ObjectSetByName(name string) (*ObjectSet, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	set, ok := s.sets[name]
 	return set, ok
 }
@@ -115,8 +126,11 @@ func (s *System) MappingByName(name string) (*Mapping, bool) {
 // system's sources and mappings. Top-level assignments become cache
 // entries, so later scripts (and workflows) can re-use them by name.
 func (s *System) RunScript(src string) (Value, error) {
-	s.rebind()
-	ip := script.New(s.binding)
+	s.mu.Lock()
+	s.rebindLocked()
+	binding := s.binding
+	s.mu.Unlock()
+	ip := script.New(binding)
 	v, err := ip.RunSource(src)
 	if err != nil {
 		return v, err
