@@ -1,0 +1,245 @@
+// Command moma-load drives a running moma-serve instance with synthetic
+// query traffic and reports throughput and latency percentiles — the load
+// harness of the online resolution subsystem (cf. honeycombio/loadgen's
+// generator/sender split, reduced to one binary).
+//
+// Queries are drawn from a generated sources world: by default the DBLP
+// publication titles are fired at the served ACM publication set, the
+// cross-source resolution the batch experiments run offline. Each worker
+// sends synchronous POST /sets/{set}/resolve requests; latencies are
+// collected per worker and merged for the final report.
+//
+// Usage:
+//
+//	moma-load [-url http://127.0.0.1:8080] [-set ACM.Publication] \
+//	          [-concurrency 8] [-duration 10s | -requests 5000] [flags]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	moma "repro"
+	"repro/internal/sources"
+)
+
+type resolveRequest struct {
+	ID    string            `json:"id,omitempty"`
+	Attrs map[string]string `json:"attrs"`
+	Limit int               `json:"limit,omitempty"`
+}
+
+type resolveResponse struct {
+	Matches []struct {
+		ID  string  `json:"id"`
+		Sim float64 `json:"sim"`
+	} `json:"matches"`
+	TookUS int64 `json:"took_us"`
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "moma-serve base URL")
+	set := flag.String("set", "ACM.Publication", "served set to resolve against")
+	source := flag.String("source", "DBLP", "world source supplying the query records (DBLP, ACM or GS)")
+	scale := flag.String("scale", "small", "query dataset scale: paper or small")
+	seed := flag.Int64("seed", 0, "override the dataset seed (0 keeps the default)")
+	queryAttr := flag.String("query-attr", "title", "attribute name sent in resolve requests")
+	concurrency := flag.Int("concurrency", 8, "concurrent workers")
+	duration := flag.Duration("duration", 10*time.Second, "run length (ignored with -requests)")
+	requests := flag.Int("requests", 0, "total request budget (0 = run for -duration)")
+	limit := flag.Int("limit", 5, "match limit per request")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
+	flag.Parse()
+
+	if err := run(*url, *set, *source, *scale, *seed, *queryAttr, *concurrency, *duration, *requests, *limit, *timeout); err != nil {
+		fmt.Fprintf(os.Stderr, "moma-load: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(baseURL, set, source, scale string, seed int64, queryAttr string, concurrency int, duration time.Duration, requests, limit int, timeout time.Duration) error {
+	var cfg sources.Config
+	switch scale {
+	case "paper":
+		cfg = sources.PaperConfig()
+	case "small":
+		cfg = sources.SmallConfig()
+	default:
+		return fmt.Errorf("unknown scale %q (want paper or small)", scale)
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	fmt.Printf("moma-load: generating %s-scale query world (seed %d)...\n", scale, cfg.Seed)
+	payloads, err := buildPayloads(cfg, source, queryAttr, limit)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("moma-load: %d query records from %s; target %s/sets/%s/resolve\n",
+		len(payloads), source, baseURL, set)
+
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	client := &http.Client{Timeout: timeout}
+	target := strings.TrimRight(baseURL, "/") + "/sets/" + set + "/resolve"
+
+	// Probe once so misconfiguration fails fast, not as N worker errors.
+	if err := probe(client, target, payloads[0]); err != nil {
+		return err
+	}
+
+	var (
+		sent     atomic.Int64
+		matched  atomic.Int64
+		errs     atomic.Int64
+		deadline = time.Now().Add(duration)
+		lats     = make([][]time.Duration, concurrency)
+		wg       sync.WaitGroup
+	)
+	budget := int64(requests)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([]time.Duration, 0, 4096)
+			for {
+				n := sent.Add(1)
+				if budget > 0 {
+					if n > budget {
+						break
+					}
+				} else if time.Now().After(deadline) {
+					break
+				}
+				body := payloads[int(n-1)%len(payloads)]
+				t0 := time.Now()
+				resp, err := client.Post(target, "application/json", bytes.NewReader(body))
+				took := time.Since(t0)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				var rr resolveResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&rr)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decErr != nil {
+					errs.Add(1)
+					continue
+				}
+				if len(rr.Matches) > 0 {
+					matched.Add(1)
+				}
+				mine = append(mine, took)
+			}
+			lats[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no successful requests (%d errors)", errs.Load())
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p / 100 * float64(len(all)-1))
+		return all[i]
+	}
+
+	ok := int64(len(all))
+	fmt.Printf("\nmoma-load: %d ok, %d errors in %v (%d workers)\n", ok, errs.Load(), wall.Round(time.Millisecond), concurrency)
+	fmt.Printf("  throughput  %.0f req/s\n", float64(ok)/wall.Seconds())
+	fmt.Printf("  match rate  %.1f%% of queries returned >=1 match\n", 100*float64(matched.Load())/float64(ok))
+	fmt.Printf("  latency     mean %v  p50 %v  p95 %v  p99 %v  max %v\n",
+		(sum / time.Duration(ok)).Round(time.Microsecond),
+		pct(50).Round(time.Microsecond), pct(95).Round(time.Microsecond),
+		pct(99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+	if errs.Load() > 0 {
+		return fmt.Errorf("%d requests failed", errs.Load())
+	}
+	return nil
+}
+
+// buildPayloads pre-serializes one resolve request per query record so the
+// hot loop does no JSON encoding.
+func buildPayloads(cfg sources.Config, source, queryAttr string, limit int) ([][]byte, error) {
+	d := sources.Generate(cfg)
+	var src *sources.Source
+	switch strings.ToUpper(source) {
+	case "DBLP":
+		src = d.DBLP
+	case "ACM":
+		src = d.ACM
+	case "GS":
+		src = d.GS
+	default:
+		return nil, fmt.Errorf("unknown source %q (want DBLP, ACM or GS)", source)
+	}
+	var payloads [][]byte
+	var err error
+	src.Pubs.Each(func(in *moma.Instance) bool {
+		// Source sets differ in their title attribute name; send the value
+		// under the attribute the server's resolvers read.
+		v := in.Attr("title")
+		if v == "" {
+			v = in.Attr("name")
+		}
+		if v == "" {
+			return true
+		}
+		var b []byte
+		b, err = json.Marshal(resolveRequest{
+			ID:    string(in.ID),
+			Attrs: map[string]string{queryAttr: v},
+			Limit: limit,
+		})
+		if err != nil {
+			return false
+		}
+		payloads = append(payloads, b)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(payloads) == 0 {
+		return nil, fmt.Errorf("source %s has no usable query records", source)
+	}
+	return payloads, nil
+}
+
+// probe sends one request and demands a 2xx, surfacing server-side config
+// errors before the load starts.
+func probe(client *http.Client, target string, payload []byte) error {
+	resp, err := client.Post(target, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("probe: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("probe: %s returned %d: %s", target, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+// Command moma-serve runs MOMA's online resolution subsystem as an HTTP
+// JSON service: it loads a world (a moma-gen CSV directory or an in-process
+// synthetic dataset), registers a live resolver per publication set, and
+// serves resolve / add / remove / mapping / health / metrics endpoints with
+// graceful shutdown. See cmd/moma-serve/README.md for the API.
+//
+// Usage:
+//
+//	moma-serve [-addr :8080] [-scale small|paper | -data DIR] [flags]
+//
+// Examples:
+//
+//	moma-serve -scale small
+//	moma-serve -data /tmp/world -addr 127.0.0.1:8080 -threshold 0.85
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/sets/ACM.Publication/resolve \
+//	  -d '{"attrs":{"title":"generic schema matching with cupid"}}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	moma "repro"
+	"repro/internal/serve"
+	"repro/internal/sources"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "load object sets from a moma-gen CSV directory instead of generating")
+	scale := flag.String("scale", "small", "generated dataset scale: paper or small (ignored with -data)")
+	seed := flag.Int64("seed", 0, "override the dataset seed (0 keeps the default)")
+	sets := flag.String("sets", "", "comma-separated set names to serve (default: every publication set)")
+	queryAttr := flag.String("query-attr", "title", "query attribute read from resolve requests")
+	setAttr := flag.String("set-attr", "", "set attribute matched against (default: title, falling back to name)")
+	minShared := flag.Int("min-shared", 2, "blocking: minimum shared tokens between query and candidate")
+	threshold := flag.Float64("threshold", 0.8, "minimum similarity of returned matches")
+	measure := flag.String("measure", "trigram", "similarity measure: trigram or tfidf")
+	flag.Parse()
+
+	if err := run(*addr, *data, *scale, *seed, *sets, *queryAttr, *setAttr, *minShared, *threshold, *measure); err != nil {
+		fmt.Fprintf(os.Stderr, "moma-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, data, scale string, seed int64, setsFlag, queryAttr, setAttr string, minShared int, threshold float64, measure string) error {
+	sys := moma.NewSystem()
+	if data != "" {
+		if err := loadCSVWorld(sys, data); err != nil {
+			return err
+		}
+	} else {
+		var cfg sources.Config
+		switch scale {
+		case "paper":
+			cfg = sources.PaperConfig()
+		case "small":
+			cfg = sources.SmallConfig()
+		default:
+			return fmt.Errorf("unknown scale %q (want paper or small)", scale)
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		fmt.Printf("moma-serve: generating %s-scale dataset (seed %d)...\n", scale, cfg.Seed)
+		d := sources.Generate(cfg)
+		for _, src := range []*sources.Source{d.DBLP, d.ACM, d.GS} {
+			if err := sys.LoadSource(src); err != nil {
+				return err
+			}
+		}
+	}
+
+	names := pickSets(sys, setsFlag)
+	if len(names) == 0 {
+		return fmt.Errorf("no servable sets found")
+	}
+	for _, name := range names {
+		set, ok := sys.ObjectSetByName(name)
+		if !ok {
+			return fmt.Errorf("unknown set %q", name)
+		}
+		attr := setAttr
+		if attr == "" {
+			attr = detectTitleAttr(set)
+		}
+		col := moma.LiveColumn{QueryAttr: queryAttr, SetAttr: attr}
+		switch measure {
+		case "trigram":
+			col.Sim = moma.Trigram
+		case "tfidf":
+			col.TFIDF = true
+		default:
+			return fmt.Errorf("unknown measure %q (want trigram or tfidf)", measure)
+		}
+		r, err := sys.RegisterResolver(name, moma.LiveConfig{
+			MinShared: minShared,
+			Threshold: threshold,
+			Columns:   []moma.LiveColumn{col},
+		})
+		if err != nil {
+			return err
+		}
+		st := r.Stats()
+		fmt.Printf("moma-serve: resolver %s ready (%d instances, %d index terms, %s~%s %s)\n",
+			name, st.Live, st.IndexTerms, queryAttr, attr, measure)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("moma-serve: listening on %s (SIGINT/SIGTERM for graceful shutdown)\n", addr)
+	if err := serve.New(sys).Run(ctx, addr); err != nil {
+		return err
+	}
+	fmt.Println("moma-serve: shut down cleanly")
+	return nil
+}
+
+// pickSets resolves the -sets flag; empty means every registered
+// publication set.
+func pickSets(sys *moma.System, flagVal string) []string {
+	if flagVal != "" {
+		var out []string
+		for _, n := range strings.Split(flagVal, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	var out []string
+	for _, suffix := range []string{string(moma.Publication)} {
+		for _, src := range []string{"DBLP", "ACM", "GS"} {
+			name := src + "." + suffix
+			if _, ok := sys.ObjectSetByName(name); ok {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// detectTitleAttr picks the title-bearing attribute of a set: DBLP and GS
+// publications use "title", ACM uses "name".
+func detectTitleAttr(set *moma.ObjectSet) string {
+	attr := "title"
+	set.Each(func(in *moma.Instance) bool {
+		if !in.HasAttr("title") && in.HasAttr("name") {
+			attr = "name"
+		}
+		return false // first instance decides
+	})
+	return attr
+}
+
+// loadCSVWorld registers every object-set CSV of a moma-gen output
+// directory under "<Source>.<Type>" and every mapping CSV under its file
+// stem. Files are classified by their metadata row.
+func loadCSVWorld(sys *moma.System, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	nSets, nMaps := 0, 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		set, serr := moma.ReadObjectSetCSV(f)
+		f.Close()
+		if serr == nil {
+			name := string(set.LDS().Source) + "." + string(set.LDS().Type)
+			if err := sys.AddObjectSet(name, set); err != nil {
+				return fmt.Errorf("%s: %w", e.Name(), err)
+			}
+			nSets++
+			continue
+		}
+		// Not an object set; try the mapping format.
+		f, err = os.Open(path)
+		if err != nil {
+			return err
+		}
+		m, merr := moma.ReadMappingCSV(f)
+		f.Close()
+		if merr != nil {
+			return fmt.Errorf("%s: neither object set (%v) nor mapping (%v)", e.Name(), serr, merr)
+		}
+		stem := strings.TrimSuffix(e.Name(), ".csv")
+		if err := sys.AddMapping(stem, m); err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		nMaps++
+	}
+	fmt.Printf("moma-serve: loaded %d object sets and %d mappings from %s\n", nSets, nMaps, dir)
+	return nil
+}

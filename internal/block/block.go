@@ -15,15 +15,20 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/index"
 	"repro/internal/model"
 	"repro/internal/sim"
 )
 
 // Pair is a candidate pair of instance ids (A from the domain input, B from
-// the range input).
+// the range input). OrdA and OrdB carry the insertion-order ordinals of A
+// and B in the two match inputs (model.ObjectSet.IndexOf) so the scoring
+// layer can read its dense profile columns by array index without a per-pair
+// map lookup. The built-in blockers always fill them; hand-built pairs leave
+// them zero, which is a valid-looking but wrong ordinal — consumers must
+// trust ordinals only when the producing blocker implements OrdinalPairer.
 type Pair struct {
-	A, B model.ID
+	A, B       model.ID
+	OrdA, OrdB int
 }
 
 // Blocker generates candidate pairs between two object sets.
@@ -38,6 +43,17 @@ type Blocker interface {
 	PairsEach(a, b *model.ObjectSet, yield func(Pair) bool)
 	// String names the strategy for reports.
 	String() string
+}
+
+// OrdinalPairer marks blockers whose emitted pairs carry valid OrdA/OrdB
+// ordinals into the match inputs. All built-in blockers do; third-party
+// blockers that construct Pair values by hand typically do not, and the
+// match layer falls back to id lookups for them.
+type OrdinalPairer interface {
+	Blocker
+	// PairsCarryOrdinals reports whether every emitted Pair has OrdA/OrdB
+	// set to the instances' ObjectSet ordinals.
+	PairsCarryOrdinals() bool
 }
 
 // Collect drains a PairsEach stream into a slice — the Pairs implementation
@@ -67,16 +83,23 @@ func (c CrossProduct) Pairs(a, b *model.ObjectSet) []Pair {
 // PairsEach implements Blocker.
 func (CrossProduct) PairsEach(a, b *model.ObjectSet, yield func(Pair) bool) {
 	stopped := false
+	ordA := 0
 	a.Each(func(ina *model.Instance) bool {
+		ordB := 0
 		b.Each(func(inb *model.Instance) bool {
-			if !yield(Pair{A: ina.ID, B: inb.ID}) {
+			if !yield(Pair{A: ina.ID, B: inb.ID, OrdA: ordA, OrdB: ordB}) {
 				stopped = true
 			}
+			ordB++
 			return !stopped
 		})
+		ordA++
 		return !stopped
 	})
 }
+
+// PairsCarryOrdinals implements OrdinalPairer.
+func (CrossProduct) PairsCarryOrdinals() bool { return true }
 
 func (CrossProduct) String() string { return "cross-product" }
 
@@ -106,34 +129,39 @@ type TokenStreamer interface {
 }
 
 var _ TokenStreamer = TokenBlocking{}
+var _ OrdinalPairer = TokenBlocking{}
 
-// Tokens caches the sim.Tokens output of one blocking-attribute column,
-// keyed by instance id. Only instances with a non-empty attribute value have
-// an entry. The slices are shared, not copied; consumers must treat them as
-// read-only.
-type Tokens map[model.ID][]string
+// Tokens caches the sim.Tokens output of one blocking-attribute column as a
+// dense slice aligned with the producing ObjectSet's insertion ordinals
+// (model.ObjectSet.IndexOf). Instances whose attribute is missing or empty
+// have a nil entry. The slices are shared, not copied; consumers must treat
+// them as read-only.
+type Tokens [][]string
 
-// TokenizeColumns tokenizes the blocking attribute of both inputs exactly
-// once with the canonical sim.Tokens. The returned columns drive
-// PairsEachTokens and can be handed to downstream consumers — the
-// similarity-profile build reuses them instead of re-tokenizing the same
-// attribute values.
+// tokenizeColumn builds the dense token column of one blocking attribute.
+func tokenizeColumn(set *model.ObjectSet, attr string) Tokens {
+	col := make(Tokens, 0, set.Len())
+	set.Each(func(in *model.Instance) bool {
+		var toks []string
+		if v := in.Attr(attr); v != "" {
+			toks = sim.Tokens(v)
+		}
+		col = append(col, toks)
+		return true
+	})
+	return col
+}
+
+// TokenizeColumns returns the blocking-attribute token columns of both
+// inputs, tokenized with the canonical sim.Tokens at most once per object-set
+// version: columns are served from a process-wide cache keyed by object-set
+// identity (see cache.go), so matchers sharing a blocker — and the online
+// resolution path sharing the same structures — amortize the tokenization
+// across matches. The returned columns drive PairsEachTokens and can be
+// handed to downstream consumers — the similarity-profile build reuses them
+// instead of re-tokenizing the same attribute values.
 func (t TokenBlocking) TokenizeColumns(a, b *model.ObjectSet) (colA, colB Tokens) {
-	colA = make(Tokens, a.Len())
-	a.Each(func(in *model.Instance) bool {
-		if v := in.Attr(t.AttrA); v != "" {
-			colA[in.ID] = sim.Tokens(v)
-		}
-		return true
-	})
-	colB = make(Tokens, b.Len())
-	b.Each(func(in *model.Instance) bool {
-		if v := in.Attr(t.AttrB); v != "" {
-			colB[in.ID] = sim.Tokens(v)
-		}
-		return true
-	})
-	return colA, colB
+	return cachedColumn(a, t.AttrA), cachedColumn(b, t.AttrB)
 }
 
 // Pairs implements Blocker.
@@ -148,40 +176,39 @@ func (t TokenBlocking) PairsEach(a, b *model.ObjectSet, yield func(Pair) bool) {
 }
 
 // PairsEachTokens streams candidates over pre-tokenized columns from
-// TokenizeColumns, building the inverted index over colB and probing it with
-// colA. Callers that need the token columns for their own work (profile
-// builds) use this entry point to tokenize each value exactly once overall.
+// TokenizeColumns, probing an ordinal inverted index over colB with colA.
+// The index is cached per (object set, attribute, version) — see cache.go —
+// so matchers sharing a blocking attribute build it once, not once per
+// match. Candidates stream in ascending B-ordinal order (the range set's
+// insertion order) within each A instance. Both columns must be
+// ordinal-aligned with their sets (TokenizeColumns output).
 func (t TokenBlocking) PairsEachTokens(a, b *model.ObjectSet, colA, colB Tokens, yield func(Pair) bool) {
 	minShared := t.MinShared
 	if minShared < 1 {
 		minShared = 1
 	}
-	ix := index.New()
-	b.Each(func(in *model.Instance) bool {
-		if toks, ok := colB[in.ID]; ok {
-			ix.AddTokens(in.ID, toks)
-		}
-		return true
-	})
-	ix.Freeze()
+	ix := cachedOrdIndex(b, t.AttrB, colB)
 	stopped := false
-	a.Each(func(in *model.Instance) bool {
-		toks, ok := colA[in.ID]
-		if !ok {
-			return true
+	for ordA := 0; ordA < len(colA) && !stopped; ordA++ {
+		toks := colA[ordA]
+		if len(toks) == 0 {
+			continue
 		}
-		ix.EachCandidateSharingTokens(toks, minShared, func(idb model.ID) bool {
-			if !yield(Pair{A: in.ID, B: idb}) {
+		ida := a.IDAt(ordA)
+		ix.EachCandidate(toks, minShared, func(ordB int) bool {
+			if !yield(Pair{A: ida, B: b.IDAt(ordB), OrdA: ordA, OrdB: ordB}) {
 				stopped = true
 			}
 			return !stopped
 		})
-		return !stopped
-	})
+	}
 }
 
 // BlockingAttrs implements TokenStreamer.
 func (t TokenBlocking) BlockingAttrs() (string, string) { return t.AttrA, t.AttrB }
+
+// PairsCarryOrdinals implements OrdinalPairer.
+func (TokenBlocking) PairsCarryOrdinals() bool { return true }
 
 func (t TokenBlocking) String() string {
 	return fmt.Sprintf("token-blocking(%s~%s, shared>=%d)", t.AttrA, t.AttrB, t.MinShared)
@@ -214,19 +241,24 @@ func (s SortedNeighborhood) PairsEach(a, b *model.ObjectSet, yield func(Pair) bo
 	type entry struct {
 		key  string
 		id   model.ID
+		ord  int // ObjectSet ordinal within its input
 		from int // 0 = a, 1 = b
 	}
 	entries := make([]entry, 0, a.Len()+b.Len())
+	ord := 0
 	a.Each(func(in *model.Instance) bool {
 		if key := sim.Normalize(in.Attr(s.AttrA)); key != "" {
-			entries = append(entries, entry{key: key, id: in.ID, from: 0})
+			entries = append(entries, entry{key: key, id: in.ID, ord: ord, from: 0})
 		}
+		ord++
 		return true
 	})
+	ord = 0
 	b.Each(func(in *model.Instance) bool {
 		if key := sim.Normalize(in.Attr(s.AttrB)); key != "" {
-			entries = append(entries, entry{key: key, id: in.ID, from: 1})
+			entries = append(entries, entry{key: key, id: in.ID, ord: ord, from: 1})
 		}
+		ord++
 		return true
 	})
 	sort.Slice(entries, func(i, j int) bool {
@@ -251,9 +283,9 @@ func (s SortedNeighborhood) PairsEach(a, b *model.ObjectSet, yield func(Pair) bo
 			if entries[i].from == entries[j].from {
 				continue
 			}
-			p := Pair{A: entries[i].id, B: entries[j].id}
+			p := Pair{A: entries[i].id, B: entries[j].id, OrdA: entries[i].ord, OrdB: entries[j].ord}
 			if entries[i].from == 1 {
-				p = Pair{A: entries[j].id, B: entries[i].id}
+				p = Pair{A: entries[j].id, B: entries[i].id, OrdA: entries[j].ord, OrdB: entries[i].ord}
 			}
 			if !yield(p) {
 				return
@@ -262,17 +294,26 @@ func (s SortedNeighborhood) PairsEach(a, b *model.ObjectSet, yield func(Pair) bo
 	}
 }
 
+// PairsCarryOrdinals implements OrdinalPairer.
+func (SortedNeighborhood) PairsCarryOrdinals() bool { return true }
+
 func (s SortedNeighborhood) String() string {
 	return fmt.Sprintf("sorted-neighborhood(%s~%s, w=%d)", s.AttrA, s.AttrB, s.Window)
 }
 
-// Dedup removes duplicate pairs preserving first occurrence.
+// idPair keys pair sets by instance ids alone: two Pairs naming the same
+// instances are the same candidate regardless of ordinal provenance.
+type idPair struct{ a, b model.ID }
+
+// Dedup removes duplicate pairs (same A and B ids) preserving first
+// occurrence.
 func Dedup(pairs []Pair) []Pair {
-	seen := make(map[Pair]bool, len(pairs))
+	seen := make(map[idPair]bool, len(pairs))
 	out := pairs[:0:0]
 	for _, p := range pairs {
-		if !seen[p] {
-			seen[p] = true
+		k := idPair{p.A, p.B}
+		if !seen[k] {
+			seen[k] = true
 			out = append(out, p)
 		}
 	}
@@ -300,13 +341,13 @@ func PairCompleteness(pairs []Pair, truth []Pair) float64 {
 	if len(truth) == 0 {
 		return 1
 	}
-	set := make(map[Pair]bool, len(pairs))
+	set := make(map[idPair]bool, len(pairs))
 	for _, p := range pairs {
-		set[p] = true
+		set[idPair{p.A, p.B}] = true
 	}
 	hit := 0
 	for _, p := range truth {
-		if set[p] {
+		if set[idPair{p.A, p.B}] {
 			hit++
 		}
 	}

@@ -24,31 +24,63 @@ func blockFixture() (*model.ObjectSet, *model.ObjectSet) {
 	return a, b
 }
 
+// pairIDs projects a pair set onto ids for membership checks.
+func pairIDs(pairs []Pair) map[idPair]bool {
+	set := make(map[idPair]bool, len(pairs))
+	for _, p := range pairs {
+		set[idPair{p.A, p.B}] = true
+	}
+	return set
+}
+
 func TestCrossProduct(t *testing.T) {
 	a, b := blockFixture()
 	pairs := CrossProduct{}.Pairs(a, b)
 	if len(pairs) != 9 {
 		t.Fatalf("pairs = %d, want 9", len(pairs))
 	}
-	if pairs[0] != (Pair{"a1", "b1"}) {
-		t.Errorf("first pair = %v", pairs[0])
+	if pairs[0] != (Pair{A: "a1", B: "b1", OrdA: 0, OrdB: 0}) {
+		t.Errorf("first pair = %+v", pairs[0])
+	}
+	if pairs[5] != (Pair{A: "a2", B: "b3", OrdA: 1, OrdB: 2}) {
+		t.Errorf("sixth pair = %+v", pairs[5])
+	}
+}
+
+// TestPairOrdinals pins the ordinal contract of every built-in blocker:
+// each emitted pair's OrdA/OrdB are the IndexOf ordinals of its ids.
+func TestPairOrdinals(t *testing.T) {
+	a, b := blockFixture()
+	blockers := []Blocker{
+		CrossProduct{},
+		TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 1},
+		SortedNeighborhood{AttrA: "title", AttrB: "title", Window: 4},
+	}
+	for _, bl := range blockers {
+		op, ok := bl.(OrdinalPairer)
+		if !ok || !op.PairsCarryOrdinals() {
+			t.Fatalf("%s must be an OrdinalPairer", bl)
+		}
+		for _, p := range bl.Pairs(a, b) {
+			if p.OrdA != a.IndexOf(p.A) || p.OrdB != b.IndexOf(p.B) {
+				t.Errorf("%s: pair %+v ordinals disagree with IndexOf (%d, %d)",
+					bl, p, a.IndexOf(p.A), b.IndexOf(p.B))
+			}
+		}
 	}
 }
 
 func TestTokenBlockingFindsSharedTokens(t *testing.T) {
 	a, b := blockFixture()
 	pairs := TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 2}.Pairs(a, b)
-	set := map[Pair]bool{}
-	for _, p := range pairs {
-		set[p] = true
-	}
-	if !set[Pair{"a1", "b1"}] {
+	set := pairIDs(pairs)
+	if !set[idPair{"a1", "b1"}] {
 		t.Error("identical titles must be candidates")
 	}
-	if !set[Pair{"a2", "b2"}] {
+	if !set[idPair{"a2", "b2"}] {
 		t.Error("titles sharing 'view selection problem' must be candidates")
 	}
-	if set[Pair{"a3", "b3"}] {
+	if set[idPair{"a3", "b3"}] {
 		t.Error("unrelated titles must not be candidates")
 	}
 	if len(pairs) >= 9 {
@@ -78,15 +110,13 @@ func TestTokenBlockingMissingAttr(t *testing.T) {
 func TestSortedNeighborhood(t *testing.T) {
 	a, b := blockFixture()
 	pairs := SortedNeighborhood{AttrA: "title", AttrB: "title", Window: 3}.Pairs(a, b)
-	set := map[Pair]bool{}
 	for _, p := range pairs {
-		set[p] = true
 		// Orientation: A side must come from set a.
 		if p.A[0] != 'a' || p.B[0] != 'b' {
 			t.Errorf("pair orientation wrong: %v", p)
 		}
 	}
-	if !set[Pair{"a1", "b1"}] {
+	if !pairIDs(pairs)[idPair{"a1", "b1"}] {
 		t.Error("adjacent identical titles must pair within the window")
 	}
 }
@@ -109,9 +139,9 @@ func TestSortedNeighborhoodFullWindowIsCrossProduct(t *testing.T) {
 }
 
 func TestDedup(t *testing.T) {
-	in := []Pair{{"a", "b"}, {"a", "b"}, {"c", "d"}}
+	in := []Pair{{A: "a", B: "b"}, {A: "a", B: "b", OrdA: 7}, {A: "c", B: "d"}}
 	got := Dedup(in)
-	if len(got) != 2 || got[0] != (Pair{"a", "b"}) || got[1] != (Pair{"c", "d"}) {
+	if len(got) != 2 || got[0].A != "a" || got[0].B != "b" || got[1].A != "c" || got[1].B != "d" {
 		t.Errorf("Dedup = %v", got)
 	}
 }
@@ -131,8 +161,8 @@ func TestReductionRatio(t *testing.T) {
 }
 
 func TestPairCompleteness(t *testing.T) {
-	pairs := []Pair{{"a1", "b1"}, {"a2", "b2"}}
-	truth := []Pair{{"a1", "b1"}, {"a3", "b3"}}
+	pairs := []Pair{{A: "a1", B: "b1"}, {A: "a2", B: "b2"}}
+	truth := []Pair{{A: "a1", B: "b1"}, {A: "a3", B: "b3"}}
 	if pc := PairCompleteness(pairs, truth); pc != 0.5 {
 		t.Errorf("completeness = %v, want 0.5", pc)
 	}
@@ -158,11 +188,37 @@ func TestTokenBlockingRecallVsCross(t *testing.T) {
 	// that shares at least one token — a recall guarantee.
 	a, b := blockFixture()
 	tb := TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 1}.Pairs(a, b)
-	set := map[Pair]bool{}
-	for _, p := range tb {
-		set[p] = true
-	}
-	if !set[Pair{"a2", "b2"}] || !set[Pair{"a1", "b1"}] {
+	set := pairIDs(tb)
+	if !set[idPair{"a2", "b2"}] || !set[idPair{"a1", "b1"}] {
 		t.Error("token blocking dropped a sharing pair")
+	}
+}
+
+// TestBlockCacheInvalidation proves the per-set token/index cache serves the
+// same column while a set is unchanged and rebuilds it after an Add.
+func TestBlockCacheInvalidation(t *testing.T) {
+	a, b := blockFixture()
+	tb := TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 1}
+	_, col1 := tb.TokenizeColumns(a, b)
+	_, col2 := tb.TokenizeColumns(a, b)
+	if !sameColumn(col1, col2) {
+		t.Fatal("unchanged set must be served the cached column")
+	}
+	before := len(tb.Pairs(a, b))
+
+	b.AddNew("b4", map[string]string{"title": "the view selection problem again"})
+	_, col3 := tb.TokenizeColumns(a, b)
+	if sameColumn(col2, col3) {
+		t.Fatal("Add must invalidate the cached column")
+	}
+	if len(col3) != b.Len() {
+		t.Fatalf("rebuilt column has %d entries, want %d", len(col3), b.Len())
+	}
+	after := tb.Pairs(a, b)
+	if len(after) <= before {
+		t.Fatalf("new instance must produce new candidates: %d -> %d", before, len(after))
+	}
+	if !pairIDs(after)[idPair{"a2", "b4"}] {
+		t.Error("candidates must include the added instance")
 	}
 }

@@ -1,0 +1,174 @@
+package block
+
+// Per-set blocking cache: tokenized attribute columns and ordinal inverted
+// indexes keyed by object-set identity.
+//
+// Token blocking used to rebuild its inverted index on every match, so a
+// workflow running k matchers over the same inputs tokenized and indexed the
+// same attribute column k times. This cache amortizes that work across
+// matches: entries are keyed by (ObjectSet pointer, attribute) and validated
+// against ObjectSet.Version, so any Add to the set invalidates its cached
+// derivations on the next match. The index is the same incremental
+// index.Ords structure the online resolution path (internal/live) keeps
+// resident, so batch and online candidate generation share one
+// implementation.
+//
+// The cache is bounded (oldest entry evicted first) and keys sets through
+// weak pointers, so it never extends an object set's lifetime: entries of
+// collected sets — throwaway Filter/Subset results matched once — are swept
+// on the next store instead of pinning the set and its token columns until
+// eviction.
+
+import (
+	"runtime"
+	"sync"
+	"weak"
+
+	"repro/internal/index"
+	"repro/internal/model"
+)
+
+// cacheLimit bounds the number of cached columns. A workflow touches a
+// handful of (set, attribute) combinations; a serving process a few dozen.
+const cacheLimit = 64
+
+type cacheKey struct {
+	set  weak.Pointer[model.ObjectSet]
+	attr string
+}
+
+type cacheEntry struct {
+	version uint64
+	toks    Tokens
+	ix      *index.Ords // built on first probe use, nil until then
+}
+
+var blockCache = struct {
+	sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	order   []cacheKey
+}{entries: make(map[cacheKey]*cacheEntry)}
+
+// cachedColumn returns the dense token column of the set's attribute,
+// building and caching it when absent or stale.
+func cachedColumn(set *model.ObjectSet, attr string) Tokens {
+	key := cacheKey{set: weak.Make(set), attr: attr}
+	ver := set.Version()
+	blockCache.Lock()
+	if e, ok := blockCache.entries[key]; ok && e.version == ver {
+		toks := e.toks
+		blockCache.Unlock()
+		return toks
+	}
+	blockCache.Unlock()
+
+	toks := tokenizeColumn(set, attr)
+	storeEntry(set, key, &cacheEntry{version: ver, toks: toks})
+	return toks
+}
+
+// cachedOrdIndex returns the ordinal inverted index over the given token
+// column. The index is cached only when col is the cache's own column for
+// (set, attr) at the set's current version — callers probing a hand-built
+// column get a transient index instead, so foreign columns can never poison
+// the cache.
+func cachedOrdIndex(set *model.ObjectSet, attr string, col Tokens) *index.Ords {
+	key := cacheKey{set: weak.Make(set), attr: attr}
+	ver := set.Version()
+	blockCache.Lock()
+	e, ok := blockCache.entries[key]
+	if ok && e.version == ver && sameColumn(e.toks, col) {
+		if e.ix != nil {
+			ix := e.ix
+			blockCache.Unlock()
+			return ix
+		}
+		blockCache.Unlock()
+		ix := buildOrdIndex(col)
+		blockCache.Lock()
+		// Re-check: the entry may have been evicted or refreshed meanwhile.
+		if e2, ok := blockCache.entries[key]; ok && e2.version == ver && sameColumn(e2.toks, col) {
+			if e2.ix == nil {
+				e2.ix = ix
+			} else {
+				ix = e2.ix // another goroutine won the build race
+			}
+		}
+		blockCache.Unlock()
+		return ix
+	}
+	blockCache.Unlock()
+	return buildOrdIndex(col)
+}
+
+// storeEntry inserts an entry, refreshing its age, sweeping entries whose
+// sets were garbage-collected, and evicting the oldest entries beyond the
+// cache limit. A runtime cleanup on the set also sweeps when the set is
+// collected, so a process that goes quiet after a burst of matches over
+// throwaway sets does not retain their columns until some future store.
+func storeEntry(set *model.ObjectSet, key cacheKey, e *cacheEntry) {
+	blockCache.Lock()
+	defer blockCache.Unlock()
+	fresh := true
+	kept := blockCache.order[:0]
+	for _, k := range blockCache.order {
+		switch {
+		case k == key:
+			// Re-appended below as the newest entry.
+			fresh = false
+		case k.set.Value() == nil:
+			delete(blockCache.entries, k)
+		default:
+			kept = append(kept, k)
+		}
+	}
+	blockCache.order = append(kept, key)
+	blockCache.entries[key] = e
+	for len(blockCache.order) > cacheLimit {
+		victim := blockCache.order[0]
+		blockCache.order = blockCache.order[1:]
+		delete(blockCache.entries, victim)
+	}
+	if fresh {
+		// The cleanup must not capture set strongly (it would never run);
+		// it receives the weak key part instead.
+		runtime.AddCleanup(set, sweepDeadSet, key.set)
+	}
+}
+
+// sweepDeadSet drops every cache entry of a collected set. It runs from
+// the runtime's cleanup goroutine once the set is unreachable.
+func sweepDeadSet(wp weak.Pointer[model.ObjectSet]) {
+	blockCache.Lock()
+	defer blockCache.Unlock()
+	kept := blockCache.order[:0]
+	for _, k := range blockCache.order {
+		if k.set == wp {
+			delete(blockCache.entries, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	blockCache.order = kept
+}
+
+// buildOrdIndex indexes a dense token column under its ordinals.
+func buildOrdIndex(col Tokens) *index.Ords {
+	ix := index.NewOrds()
+	for ord, toks := range col {
+		if len(toks) > 0 {
+			ix.Add(ord, toks)
+		}
+	}
+	return ix
+}
+
+// sameColumn reports whether two token columns are the same slice (identity,
+// not content): the cache only ever reuses an index for the exact column it
+// was built from.
+func sameColumn(a, b Tokens) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}

@@ -108,15 +108,21 @@ func TestTokenBlockingPairsEachTokens(t *testing.T) {
 	b.AddNew("b-empty", map[string]string{"title": ""})
 	tb := TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 2}
 	colA, colB := tb.TokenizeColumns(a, b)
-	if _, ok := colA["a-empty"]; ok {
-		t.Error("attribute-less instance must have no token column entry")
+	if len(colA) != a.Len() || len(colB) != b.Len() {
+		t.Fatalf("columns must be ordinal-aligned: %d/%d vs %d/%d", len(colA), a.Len(), len(colB), b.Len())
 	}
-	if _, ok := colB["b-empty"]; ok {
-		t.Error("empty attribute must have no token column entry")
+	if colA[a.IndexOf("a-empty")] != nil {
+		t.Error("attribute-less instance must have a nil token column entry")
 	}
-	for id, toks := range colA {
-		if want := sim.Tokens(a.Get(id).Attr("title")); !reflect.DeepEqual(toks, want) {
-			t.Fatalf("column tokens for %s = %v, want %v", id, toks, want)
+	if colB[b.IndexOf("b-empty")] != nil {
+		t.Error("empty attribute must have a nil token column entry")
+	}
+	for ord, toks := range colA {
+		if toks == nil {
+			continue
+		}
+		if want := sim.Tokens(a.At(ord).Attr("title")); !reflect.DeepEqual(toks, want) {
+			t.Fatalf("column tokens for ordinal %d = %v, want %v", ord, toks, want)
 		}
 	}
 	var got []Pair
@@ -147,18 +153,18 @@ func TestSortedNeighborhoodSkipsEmptyKeys(t *testing.T) {
 			t.Errorf("attribute-less instances must not produce candidates, got %v", p)
 		}
 	}
-	if len(pairs) != 1 || pairs[0] != (Pair{"a1", "b1"}) {
-		t.Errorf("pairs = %v, want exactly [{a1 b1}]", pairs)
+	if len(pairs) != 1 || pairs[0] != (Pair{A: "a1", B: "b1", OrdA: 2, OrdB: 2}) {
+		t.Errorf("pairs = %+v, want exactly [{a1 b1 2 2}]", pairs)
 	}
 }
 
 // TestCollect covers the stream-draining helper shared by the blockers.
 func TestCollect(t *testing.T) {
 	got := Collect(func(yield func(Pair) bool) {
-		yield(Pair{"x", "y"})
-		yield(Pair{"u", "v"})
+		yield(Pair{A: "x", B: "y"})
+		yield(Pair{A: "u", B: "v"})
 	})
-	if want := []Pair{{"x", "y"}, {"u", "v"}}; !reflect.DeepEqual(got, want) {
+	if want := []Pair{{A: "x", B: "y"}, {A: "u", B: "v"}}; !reflect.DeepEqual(got, want) {
 		t.Errorf("Collect = %v, want %v", got, want)
 	}
 	if Collect(func(func(Pair) bool) {}) != nil {

@@ -1,0 +1,132 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func collectOrds(x *Ords, toks []string, minShared int) []int {
+	var out []int
+	x.EachCandidate(toks, minShared, func(ord int) bool {
+		out = append(out, ord)
+		return true
+	})
+	return out
+}
+
+func TestOrdsCandidates(t *testing.T) {
+	x := NewOrds()
+	x.Add(0, []string{"view", "selection", "problem"})
+	x.Add(1, []string{"view", "maintenance"})
+	x.Add(2, []string{"query", "optimization"})
+
+	if got := collectOrds(x, []string{"view", "selection"}, 1); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("minShared=1: got %v", got)
+	}
+	if got := collectOrds(x, []string{"view", "selection"}, 2); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("minShared=2: got %v", got)
+	}
+	if got := collectOrds(x, []string{"nothing"}, 1); got != nil {
+		t.Fatalf("unknown token: got %v", got)
+	}
+	// Duplicate query tokens count once, like Index.EachCandidateSharingTokens.
+	if got := collectOrds(x, []string{"view", "view"}, 2); got != nil {
+		t.Fatalf("duplicate query tokens must not double-count: got %v", got)
+	}
+}
+
+func TestOrdsRemove(t *testing.T) {
+	x := NewOrds()
+	toks1 := []string{"a", "b"}
+	toks2 := []string{"b", "c"}
+	x.Add(0, toks1)
+	x.Add(1, toks2)
+	if x.Docs() != 2 {
+		t.Fatalf("docs = %d, want 2", x.Docs())
+	}
+	x.Remove(0, toks1)
+	if x.Docs() != 1 {
+		t.Fatalf("docs after remove = %d, want 1", x.Docs())
+	}
+	if got := collectOrds(x, []string{"a", "b"}, 1); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("after remove: got %v", got)
+	}
+	// Removing again is a no-op.
+	x.Remove(0, toks1)
+	if x.Docs() != 1 {
+		t.Fatalf("docs after double remove = %d, want 1", x.Docs())
+	}
+	// Re-add at the same ordinal (replace flow: Remove then Add).
+	x.Add(0, []string{"c", "d"})
+	if got := collectOrds(x, []string{"c"}, 1); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("after re-add: got %v", got)
+	}
+}
+
+func TestOrdsOutOfOrderAdd(t *testing.T) {
+	x := NewOrds()
+	x.Add(5, []string{"t"})
+	x.Add(1, []string{"t"})
+	x.Add(3, []string{"t"})
+	if got := collectOrds(x, []string{"t"}, 1); !reflect.DeepEqual(got, []int{1, 3, 5}) {
+		t.Fatalf("out-of-order adds must keep postings sorted: got %v", got)
+	}
+}
+
+// TestOrdsMatchesIndexCandidates differentially pins the ordinal index
+// against the ID-keyed Index on random token sets: same documents, same
+// candidate membership for every probe and minShared.
+func TestOrdsMatchesIndexCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vocab := []string{"data", "view", "query", "match", "join", "web", "graph", "xml", "mining", "cache"}
+	randToks := func() []string {
+		n := 1 + rng.Intn(5)
+		out := make([]string, n)
+		for i := range out {
+			out[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return out
+	}
+	const docs = 60
+	ix := New()
+	ox := NewOrds()
+	docToks := make([][]string, docs)
+	for d := 0; d < docs; d++ {
+		docToks[d] = randToks()
+		ix.AddTokens(model.ID(fmt.Sprintf("doc%03d", d)), docToks[d])
+		ox.Add(d, docToks[d])
+	}
+	ix.Freeze()
+	for probe := 0; probe < 50; probe++ {
+		q := randToks()
+		for minShared := 1; minShared <= 3; minShared++ {
+			want := map[string]bool{}
+			for _, id := range ix.CandidatesSharingTokens(q, minShared) {
+				want[string(id)] = true
+			}
+			got := map[string]bool{}
+			ox.EachCandidate(q, minShared, func(ord int) bool {
+				got[fmt.Sprintf("doc%03d", ord)] = true
+				return true
+			})
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("probe %v minShared=%d: ords %v != index %v", q, minShared, got, want)
+			}
+		}
+	}
+}
+
+func TestOrdsRealTokens(t *testing.T) {
+	x := NewOrds()
+	x.Add(0, sim.Tokens("A Formal Perspective on the View Selection Problem"))
+	x.Add(1, sim.Tokens("The View Selection Problem Revisited"))
+	got := collectOrds(x, sim.Tokens("view selection"), 2)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,464 @@
+// Package live implements MOMA's online resolution subsystem: a resident,
+// incrementally-maintained match state with a query API on top.
+//
+// Every other entry point in this repository is batch — matching one new
+// instance against a known source would rebuild the token inverted index and
+// re-score the whole set. A Resolver instead registers an ObjectSet once and
+// keeps its derived structures resident: an incremental ordinal inverted
+// index over the blocking attribute (index.Ords, the same structure the
+// batch blocking cache uses), dense similarity-profile columns keyed by slot
+// ordinals, and per-column TF-IDF corpora. Resolve then blocks, scores and
+// thresholds one query record against the set in time proportional to its
+// candidates, not to the set; Add and Remove update the resident structures
+// in place instead of re-matching.
+//
+// Scoring mirrors the batch matchers exactly: a query blocked by shared
+// tokens (block.TokenBlocking semantics) and scored as the weighted average
+// of per-column similarities (match.MultiAttribute semantics) produces
+// bit-identical similarities to a batch re-match with the same
+// configuration — the differential tests in live_test.go pin this. The one
+// deliberate divergence is TF-IDF: a batch TFIDFAttribute builds its corpus
+// from both match inputs, while a Resolver's corpus covers the registered
+// set only (queries arrive one at a time and must not shift document
+// frequencies).
+//
+// A Resolver is safe for concurrent use: Resolve takes a read lock, Add and
+// Remove a write lock, so a serving process interleaves lookups and updates
+// freely. Slots are append-only with tombstones; a resolver under unbounded
+// churn grows by one slot per Add and is rebuilt (NewResolver) to compact.
+package live
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Column configures one attribute comparison, mirroring match.AttrPair:
+// QueryAttr is read from query instances, SetAttr from registered instances.
+type Column struct {
+	QueryAttr, SetAttr string
+	// Sim scores the pair; built-ins are upgraded via sim.ProfiledOf.
+	Sim sim.Func
+	// Profiled optionally overrides the upgrade (see match.Attribute).
+	Profiled sim.ProfiledSim
+	// TFIDF scores the column under TF-IDF cosine over a resident corpus of
+	// the registered set's values. Sim and Profiled are then ignored.
+	TFIDF bool
+	// Weight is the column's share of the weighted average; 0 means 1.
+	Weight float64
+}
+
+// Config configures a Resolver.
+type Config struct {
+	// BlockQueryAttr/BlockSetAttr drive token blocking: a query is a
+	// candidate against the set instances sharing at least MinShared tokens
+	// of these attributes. Empty values default to the first column's
+	// attributes. MinShared < 1 means 1.
+	BlockQueryAttr, BlockSetAttr string
+	MinShared                    int
+	// Threshold is the minimum weighted-average similarity of a Match.
+	Threshold float64
+	// Columns are the scored attribute comparisons.
+	Columns []Column
+}
+
+// Match is one resolution result: a registered instance at or above the
+// threshold.
+type Match struct {
+	ID  model.ID
+	Sim float64
+}
+
+// colState is the resident per-column state.
+type colState struct {
+	cfg    Column
+	ps     sim.ProfiledSim // nil means the string fallback via cfg.Sim
+	corpus *sim.TFIDF      // non-nil for TFIDF columns
+	w      float64
+
+	profs []*sim.Profile // per slot, profiled columns
+	raws  []string       // per slot, raw values (fallback scoring, corpus removal)
+}
+
+// Resolver holds one registered object set in resident, incrementally
+// maintained form. Create with NewResolver.
+type Resolver struct {
+	mu  sync.RWMutex
+	lds model.LDS
+	cfg Config
+
+	minShared int
+	totalW    float64
+	cols      []colState
+
+	ids       []model.ID       // slot -> id (stale after Remove, see alive)
+	slots     map[model.ID]int // id -> slot, alive instances only
+	alive     []bool           // slot liveness
+	liveCount int
+	blockToks [][]string // slot -> blocking-attribute tokens (index removal)
+	ix        *index.Ords
+}
+
+// NewResolver registers the object set under the configuration and builds
+// the resident structures. The set is snapshotted: later mutations of the
+// set are invisible to the resolver — route updates through Add and Remove.
+func NewResolver(set *model.ObjectSet, cfg Config) (*Resolver, error) {
+	if set == nil {
+		return nil, fmt.Errorf("live: NewResolver needs an object set")
+	}
+	if len(cfg.Columns) == 0 {
+		return nil, fmt.Errorf("live: config needs at least one column")
+	}
+	if cfg.BlockQueryAttr == "" {
+		cfg.BlockQueryAttr = cfg.Columns[0].QueryAttr
+	}
+	if cfg.BlockSetAttr == "" {
+		cfg.BlockSetAttr = cfg.Columns[0].SetAttr
+	}
+	if cfg.BlockQueryAttr == "" || cfg.BlockSetAttr == "" {
+		return nil, fmt.Errorf("live: blocking attributes must not be empty")
+	}
+	r := &Resolver{
+		lds:       set.LDS(),
+		cfg:       cfg,
+		minShared: cfg.MinShared,
+		slots:     make(map[model.ID]int, set.Len()),
+		ix:        index.NewOrds(),
+	}
+	if r.minShared < 1 {
+		r.minShared = 1
+	}
+	r.cols = make([]colState, len(cfg.Columns))
+	for i, c := range cfg.Columns {
+		if c.QueryAttr == "" || c.SetAttr == "" {
+			return nil, fmt.Errorf("live: column %d needs QueryAttr and SetAttr", i)
+		}
+		if c.Weight < 0 {
+			return nil, fmt.Errorf("live: column %d has negative weight", i)
+		}
+		cs := colState{cfg: c, w: c.Weight}
+		if cs.w == 0 {
+			cs.w = 1
+		}
+		switch {
+		case c.TFIDF:
+			cs.corpus = sim.NewTFIDF()
+			cs.ps = cs.corpus.Profiled()
+		case c.Profiled != nil:
+			cs.ps = c.Profiled
+		case c.Sim != nil:
+			cs.ps, _ = sim.ProfiledOf(c.Sim)
+		default:
+			return nil, fmt.Errorf("live: column %d has no similarity function", i)
+		}
+		r.cols[i] = cs
+		r.totalW += cs.w
+	}
+	// Bulk build: register every corpus document first and profile each
+	// column exactly once at the end — the per-arrival reprofile of Add
+	// would make a TFIDF construction O(n²).
+	set.Each(func(in *model.Instance) bool {
+		r.addLocked(in, true)
+		return true
+	})
+	for i := range r.cols {
+		if c := &r.cols[i]; c.corpus != nil {
+			r.reprofileLocked(c)
+		}
+	}
+	return r, nil
+}
+
+// LDS returns the logical data source of the registered set.
+func (r *Resolver) LDS() model.LDS { return r.lds }
+
+// Len returns the number of live (added and not removed) instances.
+func (r *Resolver) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.liveCount
+}
+
+// Has reports whether the id is live in the resolver.
+func (r *Resolver) Has(id model.ID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.slots[id]
+	return ok
+}
+
+// Resolve blocks, scores and thresholds one query record against the
+// registered set. Matches stream back in the set's insertion order with the
+// exact similarities a batch matcher of the same configuration computes.
+// After warm-up, a Resolve allocates proportionally to its candidates —
+// never to the set size.
+func (r *Resolver) Resolve(q *model.Instance) []Match {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.resolveLocked(q, false)
+}
+
+// resolveLocked is Resolve under a held lock (any mode). asMember selects
+// which attribute names the record is read under: false for query-side
+// records (Resolve, ResolveSet), true for set-side records — an arriving
+// member resolved against its peers (AddResolve) carries the set's
+// attribute names, not the query schema's.
+func (r *Resolver) resolveLocked(q *model.Instance, asMember bool) []Match {
+	blockAttr := r.cfg.BlockQueryAttr
+	if asMember {
+		blockAttr = r.cfg.BlockSetAttr
+	}
+	blockVal := q.Attr(blockAttr)
+	if blockVal == "" {
+		return nil
+	}
+	toks := sim.Tokens(blockVal)
+	if len(toks) == 0 {
+		return nil
+	}
+	// Profile the query once per column, exactly as a batch profile build
+	// does for every domain instance.
+	type queryCol struct {
+		prof *sim.Profile
+		raw  string
+	}
+	qcols := make([]queryCol, len(r.cols))
+	for i := range r.cols {
+		attr := r.cols[i].cfg.QueryAttr
+		if asMember {
+			attr = r.cols[i].cfg.SetAttr
+		}
+		v := q.Attr(attr)
+		if r.cols[i].ps != nil {
+			qcols[i].prof = r.cols[i].ps.Profile(v)
+		} else {
+			qcols[i].raw = v
+		}
+	}
+	var out []Match
+	r.ix.EachCandidate(toks, r.minShared, func(ord int) bool {
+		var sum float64
+		for i := range r.cols {
+			c := &r.cols[i]
+			if c.ps != nil {
+				sum += c.w * c.ps.Compare(qcols[i].prof, c.profs[ord])
+			} else {
+				sum += c.w * c.cfg.Sim(qcols[i].raw, c.raws[ord])
+			}
+		}
+		if s := sum / r.totalW; s >= r.cfg.Threshold {
+			out = append(out, Match{ID: r.ids[ord], Sim: s})
+		}
+		return true
+	})
+	return out
+}
+
+// ResolveSet resolves every instance of a query set and collects the
+// results into a same-mapping from the query LDS to the registered LDS —
+// the online counterpart of a batch Matcher.Match call.
+func (r *Resolver) ResolveSet(queries *model.ObjectSet) (*mapping.Mapping, error) {
+	if !queries.LDS().SameType(r.lds) {
+		return nil, fmt.Errorf("live: query set %s does not share the object type of %s", queries.LDS(), r.lds)
+	}
+	out := mapping.NewSame(queries.LDS(), r.lds)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	queries.Each(func(q *model.Instance) bool {
+		for _, m := range r.resolveLocked(q, false) {
+			out.AddMax(q.ID, m.ID, m.Sim)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// Add inserts the instance into the resident state: index postings, profile
+// columns and TF-IDF corpora update in place. Adding an id that is already
+// live replaces it. Cost is O(columns) plus the instance's token count;
+// TF-IDF columns additionally reprofile the column (corpus statistics shift
+// with every document), which is the documented price of corpus-backed
+// measures online.
+func (r *Resolver) Add(in *model.Instance) error {
+	if in == nil || in.ID == "" {
+		return fmt.Errorf("live: Add needs an instance with an id")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addLocked(in, false)
+	return nil
+}
+
+// AddResolve resolves the instance against the current live members and
+// then adds it — the arrival path of online deduplication: the result is
+// the delta the instance contributes to the set's same-mapping, without
+// re-matching anything already resolved. The arrival is a member record and
+// is read under the set-side attribute names (SetAttr, BlockSetAttr). When
+// the id is already live this is a replace: the previous version is dropped
+// before resolving, so an instance never matches its own stale self.
+func (r *Resolver) AddResolve(in *model.Instance) ([]Match, error) {
+	if in == nil || in.ID == "" {
+		return nil, fmt.Errorf("live: AddResolve needs an instance with an id")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if slot, live := r.slots[in.ID]; live {
+		// The intermediate reprofile keeps corpus-backed columns exact for
+		// the resolve below (the previous version is already gone).
+		r.dropSlotLocked(slot, true)
+	}
+	matches := r.resolveLocked(in, true)
+	r.addLocked(in, false)
+	return matches, nil
+}
+
+// addLocked inserts or replaces under a held write lock. bulk suppresses
+// the per-arrival reprofile of corpus-backed columns during construction,
+// where NewResolver reprofiles once at the end instead.
+func (r *Resolver) addLocked(in *model.Instance, bulk bool) {
+	slot, replacing := r.slots[in.ID]
+	var droppedCorpus []bool
+	if replacing {
+		// Remember which corpus columns the drop will change, and skip the
+		// drop's reprofile: nothing observes the intermediate state, and the
+		// insertion below reprofiles once for drop and add together.
+		droppedCorpus = make([]bool, len(r.cols))
+		for i := range r.cols {
+			c := &r.cols[i]
+			droppedCorpus[i] = c.corpus != nil && r.alive[slot] && c.raws[slot] != ""
+		}
+		r.dropSlotLocked(slot, false)
+	} else {
+		slot = len(r.ids)
+		r.ids = append(r.ids, in.ID)
+		r.alive = append(r.alive, false)
+		r.blockToks = append(r.blockToks, nil)
+		for i := range r.cols {
+			c := &r.cols[i]
+			c.raws = append(c.raws, "")
+			c.profs = append(c.profs, nil)
+		}
+	}
+	r.slots[in.ID] = slot
+	r.alive[slot] = true
+	r.liveCount++
+	if v := in.Attr(r.cfg.BlockSetAttr); v != "" {
+		toks := sim.Tokens(v)
+		r.blockToks[slot] = toks
+		r.ix.Add(slot, toks)
+	} else {
+		r.blockToks[slot] = nil
+	}
+	for i := range r.cols {
+		c := &r.cols[i]
+		v := in.Attr(c.cfg.SetAttr)
+		c.raws[slot] = v
+		if c.corpus != nil {
+			changed := droppedCorpus != nil && droppedCorpus[i]
+			if v != "" {
+				c.corpus.Add(v)
+				changed = true
+			}
+			if bulk {
+				// NewResolver reprofiles the column once after all corpus
+				// documents are in; a vector built now would be discarded.
+				continue
+			}
+			if changed {
+				// The corpus changed, so every resident vector is stale.
+				r.reprofileLocked(c)
+				continue
+			}
+		}
+		if c.ps != nil {
+			c.profs[slot] = c.ps.Profile(v)
+		}
+	}
+}
+
+// Remove tombstones the instance: its index postings disappear, its corpus
+// contributions are reversed, and it can no longer match. It reports
+// whether the id was live.
+func (r *Resolver) Remove(id model.ID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot, ok := r.slots[id]
+	if !ok {
+		return false
+	}
+	r.dropSlotLocked(slot, true)
+	delete(r.slots, id)
+	return true
+}
+
+// dropSlotLocked reverses a slot's contributions under a held write lock.
+// reprofile controls whether corpus-backed columns rebuild their resident
+// vectors immediately; a caller that changes the corpus again right after
+// (addLocked's replace path) passes false and reprofiles once at the end.
+func (r *Resolver) dropSlotLocked(slot int, reprofile bool) {
+	if !r.alive[slot] {
+		return
+	}
+	r.alive[slot] = false
+	r.liveCount--
+	if toks := r.blockToks[slot]; len(toks) > 0 {
+		r.ix.Remove(slot, toks)
+		r.blockToks[slot] = nil
+	}
+	for i := range r.cols {
+		c := &r.cols[i]
+		if c.corpus != nil && c.raws[slot] != "" {
+			c.corpus.Remove(c.raws[slot])
+			if reprofile {
+				r.reprofileLocked(c)
+			}
+		}
+		c.raws[slot] = ""
+		c.profs[slot] = nil
+	}
+}
+
+// reprofileLocked rebuilds a corpus-backed column's profiles after the
+// corpus changed: TF-IDF weights of every document shift with any
+// document-frequency change, so cached vectors are rebuilt eagerly — reads
+// stay lock-free and exact.
+func (r *Resolver) reprofileLocked(c *colState) {
+	for slot := range c.profs {
+		if r.alive[slot] {
+			c.profs[slot] = c.ps.Profile(c.raws[slot])
+		}
+	}
+}
+
+// Stats summarizes the resident state.
+type Stats struct {
+	// Live is the number of live instances; Slots the allocated slot count
+	// (tombstones included).
+	Live, Slots int
+	// IndexedDocs/IndexTerms size the blocking index.
+	IndexedDocs, IndexTerms int
+}
+
+// Stats returns resident-state statistics.
+func (r *Resolver) Stats() Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return Stats{
+		Live:        r.liveCount,
+		Slots:       len(r.ids),
+		IndexedDocs: r.ix.Docs(),
+		IndexTerms:  r.ix.Terms(),
+	}
+}
+
+// String summarizes the resolver.
+func (r *Resolver) String() string {
+	st := r.Stats()
+	return fmt.Sprintf("live.Resolver{%s, live: %d, slots: %d, index: %d docs/%d terms}",
+		r.lds, st.Live, st.Slots, st.IndexedDocs, st.IndexTerms)
+}

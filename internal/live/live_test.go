@@ -1,0 +1,423 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/match"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+var (
+	dblpPub = model.LDS{Source: "DBLP", Type: model.Publication}
+	acmPub  = model.LDS{Source: "ACM", Type: model.Publication}
+)
+
+// syntheticSets builds two noisy publication sets with overlapping titles,
+// mirroring the fixtures of the match package tests.
+func syntheticSets(n int) (queries, set *model.ObjectSet) {
+	topics := []string{
+		"generic schema matching with cupid",
+		"a formal perspective on the view selection problem",
+		"mapping based object matching for data integration",
+		"entity resolution over heterogeneous web data sources",
+		"adaptive blocking techniques for scalable record linkage",
+		"similarity joins for near duplicate detection",
+	}
+	queries = model.NewObjectSet(dblpPub)
+	set = model.NewObjectSet(acmPub)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < n; i++ {
+		topic := topics[i%len(topics)]
+		queries.AddNew(model.ID(fmt.Sprintf("d%03d", i)), map[string]string{
+			"title":   fmt.Sprintf("%s part %d", topic, i/len(topics)),
+			"authors": fmt.Sprintf("author %c thor", 'a'+byte(i%7)),
+			"year":    fmt.Sprintf("%d", 1994+i%10),
+		})
+		title := fmt.Sprintf("%s part %d", topic, i/len(topics))
+		if rng.Intn(3) == 0 {
+			title += " revised"
+		}
+		set.AddNew(model.ID(fmt.Sprintf("g%03d", i)), map[string]string{
+			"name":    title,
+			"authors": fmt.Sprintf("author %c thor", 'a'+byte((i+1)%7)),
+			"year":    fmt.Sprintf("%d", 1994+i%10),
+		})
+	}
+	return queries, set
+}
+
+func testConfig() Config {
+	return Config{
+		MinShared: 2,
+		Threshold: 0.5,
+		Columns: []Column{
+			{QueryAttr: "title", SetAttr: "name", Sim: sim.Trigram, Weight: 3},
+			{QueryAttr: "authors", SetAttr: "authors", Sim: sim.TokenJaccard, Weight: 1},
+			{QueryAttr: "year", SetAttr: "year", Sim: sim.YearSim, Weight: 2},
+		},
+	}
+}
+
+// batchMatcher is the batch twin of testConfig: identical blocking, columns,
+// weights and threshold.
+func batchMatcher(cfg Config) *match.MultiAttribute {
+	pairs := make([]match.AttrPair, len(cfg.Columns))
+	for i, c := range cfg.Columns {
+		pairs[i] = match.AttrPair{AttrA: c.QueryAttr, AttrB: c.SetAttr, Sim: c.Sim, Weight: c.Weight}
+	}
+	return &match.MultiAttribute{
+		MatcherName: "batch-twin",
+		Pairs:       pairs,
+		Threshold:   cfg.Threshold,
+		Blocker: block.TokenBlocking{
+			AttrA:     cfg.Columns[0].QueryAttr,
+			AttrB:     cfg.Columns[0].SetAttr,
+			MinShared: cfg.MinShared,
+		},
+		Workers: 1,
+	}
+}
+
+// TestResolveMatchesBatch pins the core equivalence: resolving a query set
+// record-by-record against a Resolver equals a batch match, bit-identically
+// including correspondence insertion order.
+func TestResolveMatchesBatch(t *testing.T) {
+	queries, set := syntheticSets(120)
+	cfg := testConfig()
+	r, err := NewResolver(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := r.ResolveSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := batchMatcher(cfg).Match(queries, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online.Len() == 0 {
+		t.Fatal("fixture produced no matches; fixture broken")
+	}
+	if !reflect.DeepEqual(online.Correspondences(), batch.Correspondences()) {
+		t.Fatalf("online mapping diverges from batch:\nonline %v\nbatch  %v", online, batch)
+	}
+}
+
+// TestIncrementalAddMatchesBatch is the differential incremental-correctness
+// test of the PR: a Resolver seeded with a prefix of the set and grown by N
+// incremental Adds must resolve exactly like a batch re-match against the
+// full set — same correspondences, same similarities (eps 0), same order.
+func TestIncrementalAddMatchesBatch(t *testing.T) {
+	queries, set := syntheticSets(150)
+	cfg := testConfig()
+
+	ids := set.IDs()
+	seed := set.Subset(ids[:50])
+	r, err := NewResolver(seed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids[50:] {
+		if err := r.Add(set.Get(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != set.Len() {
+		t.Fatalf("resolver holds %d instances, want %d", r.Len(), set.Len())
+	}
+
+	online, err := r.ResolveSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := batchMatcher(cfg).Match(queries, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !online.Equal(batch, 0) {
+		t.Fatalf("incremental resolver diverges from batch re-match (eps 0):\nonline %v\nbatch  %v", online, batch)
+	}
+	if !reflect.DeepEqual(online.Correspondences(), batch.Correspondences()) {
+		t.Fatal("correspondence insertion order diverges from batch")
+	}
+}
+
+// TestRemoveMatchesRebuild: removing instances must resolve like a fresh
+// resolver over the surviving subset.
+func TestRemoveMatchesRebuild(t *testing.T) {
+	queries, set := syntheticSets(100)
+	cfg := testConfig()
+	r, err := NewResolver(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := set.IDs()
+	removed := map[model.ID]bool{}
+	for i, id := range ids {
+		if i%3 == 0 {
+			if !r.Remove(id) {
+				t.Fatalf("Remove(%s) = false, want true", id)
+			}
+			removed[id] = true
+		}
+	}
+	if r.Remove("nonexistent") {
+		t.Fatal("Remove of unknown id must report false")
+	}
+	survivors := set.Filter(func(in *model.Instance) bool { return !removed[in.ID] })
+	fresh, err := NewResolver(survivors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ResolveSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.ResolveSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 0) {
+		t.Fatalf("post-remove resolver diverges from rebuild:\ngot %v\nwant %v", got, want)
+	}
+	for _, c := range got.Correspondences() {
+		if removed[c.Range] {
+			t.Fatalf("removed instance %s still matches", c.Range)
+		}
+	}
+}
+
+// TestAddReplace: re-adding a live id replaces its attributes in place.
+func TestAddReplace(t *testing.T) {
+	_, set := syntheticSets(30)
+	cfg := testConfig()
+	r, err := NewResolver(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := set.IDs()[0]
+	q := model.NewInstance("q", map[string]string{
+		"title": "an entirely fresh replacement title", "authors": "author x", "year": "2001",
+	})
+	if got := r.Resolve(q); len(got) != 0 {
+		t.Fatalf("fresh title must not match yet, got %v", got)
+	}
+	repl := model.NewInstance(victim, map[string]string{
+		"name": "an entirely fresh replacement title", "authors": "author x", "year": "2001",
+	})
+	if err := r.Add(repl); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != set.Len() {
+		t.Fatalf("replace must not grow the live count: %d != %d", r.Len(), set.Len())
+	}
+	got := r.Resolve(q)
+	if len(got) != 1 || got[0].ID != victim {
+		t.Fatalf("replacement must match the query, got %v", got)
+	}
+}
+
+// TestAddResolveDelta: AddResolve returns the matches against the members
+// present before the add — the same-mapping delta of the arrival — and the
+// instance is live afterwards.
+func TestAddResolveDelta(t *testing.T) {
+	lds := acmPub
+	set := model.NewObjectSet(lds)
+	set.AddNew("g1", map[string]string{"name": "the view selection problem", "authors": "thor", "year": "2000"})
+	// Query and set schemas deliberately differ: arrivals are member records
+	// and must be read under the set-side attribute names.
+	r, err := NewResolver(set, Config{
+		MinShared: 1,
+		Threshold: 0.6,
+		Columns:   []Column{{QueryAttr: "title", SetAttr: "name", Sim: sim.Trigram}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := model.NewInstance("g2", map[string]string{"name": "the view selection problem", "authors": "thor", "year": "2000"})
+	matches, err := r.AddResolve(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].ID != "g1" || matches[0].Sim != 1 {
+		t.Fatalf("arrival delta = %v, want exact duplicate of g1", matches)
+	}
+	if !r.Has("g2") {
+		t.Fatal("instance must be live after AddResolve")
+	}
+	// A second identical arrival now sees both.
+	matches, err = r.AddResolve(model.NewInstance("g3", dup.Attrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("second arrival delta = %v, want 2 matches", matches)
+	}
+	// Re-adding a live id is a replace: it must not match its own previous
+	// version, only its peers.
+	matches, err = r.AddResolve(model.NewInstance("g3", dup.Attrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		if m.ID == "g3" {
+			t.Fatalf("replaced instance matched its own stale self: %v", matches)
+		}
+	}
+	if len(matches) != 2 {
+		t.Fatalf("replace delta = %v, want the 2 peers", matches)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("live count after replace = %d, want 3", r.Len())
+	}
+}
+
+// TestTFIDFIncrementalMatchesRebuild: corpus-backed columns stay exact under
+// incremental Add/Remove — the corpus document frequencies and all resident
+// vectors equal a from-scratch build at every step.
+func TestTFIDFIncrementalMatchesRebuild(t *testing.T) {
+	queries, set := syntheticSets(60)
+	cfg := Config{
+		MinShared: 1,
+		Threshold: 0.3,
+		Columns:   []Column{{QueryAttr: "title", SetAttr: "name", TFIDF: true}},
+	}
+	ids := set.IDs()
+	r, err := NewResolver(set.Subset(ids[:20]), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids[20:] {
+		if err := r.Add(set.Get(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, id := range ids {
+		if i%4 == 0 {
+			r.Remove(id)
+		}
+	}
+	survivors := set.Filter(func(in *model.Instance) bool {
+		i := set.IndexOf(in.ID)
+		return i%4 != 0
+	})
+	fresh, err := NewResolver(survivors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ResolveSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.ResolveSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() == 0 {
+		t.Fatal("tf-idf fixture produced no matches; fixture broken")
+	}
+	if !got.Equal(want, 0) {
+		t.Fatalf("incremental tf-idf resolver diverges from rebuild:\ngot %v\nwant %v", got, want)
+	}
+}
+
+// TestResolverConfigErrors covers constructor validation.
+func TestResolverConfigErrors(t *testing.T) {
+	_, set := syntheticSets(5)
+	cases := []Config{
+		{},                                    // no columns
+		{Columns: []Column{{}}},               // no attrs
+		{Columns: []Column{{QueryAttr: "t"}}}, // no set attr
+		{Columns: []Column{{QueryAttr: "t", SetAttr: "n"}}},                               // no measure
+		{Columns: []Column{{QueryAttr: "t", SetAttr: "n", Sim: sim.Trigram, Weight: -1}}}, // negative weight
+	}
+	for i, cfg := range cases {
+		if _, err := NewResolver(set, cfg); err == nil {
+			t.Errorf("case %d: NewResolver accepted invalid config", i)
+		}
+	}
+	if _, err := NewResolver(nil, testConfig()); err == nil {
+		t.Error("nil set must be rejected")
+	}
+}
+
+// TestResolveSetTypeMismatch rejects query sets of a different object type.
+func TestResolveSetTypeMismatch(t *testing.T) {
+	_, set := syntheticSets(5)
+	r, err := NewResolver(set, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	authors := model.NewObjectSet(model.LDS{Source: "DBLP", Type: model.Author})
+	if _, err := r.ResolveSet(authors); err == nil {
+		t.Fatal("type mismatch must be rejected")
+	}
+}
+
+// TestConcurrentResolveAdd hammers one Resolver with concurrent Resolve,
+// Add and Remove traffic; under -race this proves the locking discipline,
+// and every observed result must be internally consistent (matches only at
+// or above threshold).
+func TestConcurrentResolveAdd(t *testing.T) {
+	queries, set := syntheticSets(80)
+	cfg := testConfig()
+	ids := set.IDs()
+	r, err := NewResolver(set.Subset(ids[:40]), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qids := queries.IDs()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries.Get(qids[(i*7+w)%len(qids)])
+				for _, m := range r.Resolve(q) {
+					if m.Sim < cfg.Threshold {
+						t.Errorf("match below threshold: %v", m)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for round := 0; round < 3; round++ {
+			for _, id := range ids[40:] {
+				if err := r.Add(set.Get(id)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			for _, id := range ids[40:] {
+				r.Remove(id)
+			}
+		}
+	}()
+	wg.Wait()
+	if r.Len() != 40 {
+		t.Fatalf("post-churn live count = %d, want 40", r.Len())
+	}
+	st := r.Stats()
+	if st.Live != 40 || st.Slots < 80 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

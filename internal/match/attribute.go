@@ -63,12 +63,15 @@ func (m *Attribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
 	if m.Sim == nil && m.Profiled == nil {
 		return nil, fmt.Errorf("match: %s has no similarity function", m.Name())
 	}
-	stream, colA, colB := candidateStream(m.Blocker, a, b)
+	stream, colA, colB, ords := candidateStream(m.Blocker, a, b)
 	var score func(block.Pair) (float64, bool)
 	if ps := m.profiledSim(); ps != nil {
 		// Profiled path: preprocess each attribute value once (O(n+m)),
 		// then score pairs over read-only dense profile columns, reusing the
-		// blocking layer's token work where the attributes coincide.
+		// blocking layer's token work where the attributes coincide. When the
+		// blocker carries ObjectSet ordinals in its pairs (all built-ins do),
+		// the columns are read directly by Pair.OrdA/OrdB — no per-pair map
+		// lookup at all.
 		profA := profileColumn(a, m.AttrA, ps, colA)
 		profB := profileColumn(b, m.AttrB, ps, colB)
 		// Blockers may emit IDs absent from the inputs; the string path
@@ -76,11 +79,15 @@ func (m *Attribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
 		empty := ps.Profile("")
 		score = func(p block.Pair) (float64, bool) {
 			pa, pb := empty, empty
-			if i := a.IndexOf(p.A); i >= 0 {
-				pa = profA[i]
-			}
-			if j := b.IndexOf(p.B); j >= 0 {
-				pb = profB[j]
+			if ords {
+				pa, pb = profA[p.OrdA], profB[p.OrdB]
+			} else {
+				if i := a.IndexOf(p.A); i >= 0 {
+					pa = profA[i]
+				}
+				if j := b.IndexOf(p.B); j >= 0 {
+					pb = profB[j]
+				}
 			}
 			if m.SkipMissing && (pa.Raw == "" || pb.Raw == "") {
 				return 0, false
@@ -121,10 +128,15 @@ func (m *Attribute) profiledSim() sim.ProfiledSim {
 // pair stream plus, for token-streaming blockers (block.TokenStreamer),
 // the tokenized attribute columns keyed by blocking-attribute name, so
 // profile builds can reuse the blocking layer's tokenization. colA/colB
-// are nil for every other blocker.
-func candidateStream(blocker block.Blocker, a, b *model.ObjectSet) (stream func(func(block.Pair) bool), colA, colB *attrTokens) {
+// are nil for every other blocker. ords reports whether the stream's pairs
+// carry valid ObjectSet ordinals (block.OrdinalPairer): scoring then reads
+// the dense profile columns by Pair.OrdA/OrdB instead of id lookups.
+func candidateStream(blocker block.Blocker, a, b *model.ObjectSet) (stream func(func(block.Pair) bool), colA, colB *attrTokens, ords bool) {
 	if blocker == nil {
 		blocker = block.CrossProduct{}
+	}
+	if op, ok := blocker.(block.OrdinalPairer); ok {
+		ords = op.PairsCarryOrdinals()
 	}
 	if ts, ok := blocker.(block.TokenStreamer); ok {
 		ca, cb := ts.TokenizeColumns(a, b)
@@ -132,9 +144,9 @@ func candidateStream(blocker block.Blocker, a, b *model.ObjectSet) (stream func(
 		stream = func(yield func(block.Pair) bool) {
 			ts.PairsEachTokens(a, b, ca, cb, yield)
 		}
-		return stream, &attrTokens{attr: attrA, toks: ca}, &attrTokens{attr: attrB, toks: cb}
+		return stream, &attrTokens{attr: attrA, toks: ca}, &attrTokens{attr: attrB, toks: cb}, ords
 	}
-	return func(yield func(block.Pair) bool) { blocker.PairsEach(a, b, yield) }, nil, nil
+	return func(yield func(block.Pair) bool) { blocker.PairsEach(a, b, yield) }, nil, nil, ords
 }
 
 // attrTokens is one tokenized attribute column produced while blocking.
@@ -145,16 +157,14 @@ type attrTokens struct {
 
 // profileColumn builds the per-instance profiles of one attribute column —
 // the O(n+m) preprocessing the profiled scoring path reads from — as a
-// dense array aligned with ObjectSet ordinals (IndexOf). Scoring resolves
-// each pair's ordinals once and then reads every column by array index:
-// single-column matchers break even with the previous map[ID]*Profile
-// representation (IndexOf is itself one map lookup), multi-column matchers
-// drop one map lookup per extra column per side, and the ordinal form is
-// what a future blocker-emits-ordinals optimization needs. When the
-// blocking layer already tokenized this attribute (cached non-nil,
-// matching attr) and the measure can profile from tokens, the cached
-// slices are reused instead of re-tokenizing. The array is never mutated
-// after this returns, so concurrent scoring workers need no locks.
+// dense array aligned with ObjectSet ordinals (IndexOf). Blockers that
+// carry ordinals in their pairs let scoring read every column by plain
+// array index; for ordinal-less blockers each pair resolves its ordinals
+// once via IndexOf. When the blocking layer already tokenized this
+// attribute (cached non-nil, matching attr) and the measure can profile
+// from tokens, the cached slices are reused instead of re-tokenizing. The
+// array is never mutated after this returns, so concurrent scoring workers
+// need no locks.
 func profileColumn(set *model.ObjectSet, attr string, ps sim.ProfiledSim, cached *attrTokens) []*sim.Profile {
 	var toks block.Tokens
 	tp, reuse := ps.(sim.TokenProfiler)
@@ -162,15 +172,18 @@ func profileColumn(set *model.ObjectSet, attr string, ps sim.ProfiledSim, cached
 		toks = cached.toks
 	}
 	out := make([]*sim.Profile, 0, set.Len())
+	ord := 0
 	set.Each(func(in *model.Instance) bool {
 		v := in.Attr(attr)
-		if toks != nil {
-			if ts, ok := toks[in.ID]; ok {
+		if ord < len(toks) {
+			if ts := toks[ord]; ts != nil {
 				out = append(out, tp.ProfileTokens(v, ts))
+				ord++
 				return true
 			}
 		}
 		out = append(out, ps.Profile(v))
+		ord++
 		return true
 	})
 	return out
@@ -229,7 +242,7 @@ func (m *MultiAttribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) 
 	if totalWeight == 0 {
 		return nil, fmt.Errorf("match: %s has zero total weight", m.Name())
 	}
-	stream, colTokA, colTokB := candidateStream(m.Blocker, a, b)
+	stream, colTokA, colTokB, ords := candidateStream(m.Blocker, a, b)
 	// One profile column per attribute pair whose measure has a profiled
 	// form; pairs without one fall back to the string path in place. The
 	// columns are dense arrays aligned with ObjectSet ordinals, so each
@@ -264,7 +277,11 @@ func (m *MultiAttribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) 
 	score := func(p block.Pair) (float64, bool) {
 		ia, ib := -1, -1
 		if hasProfiled {
-			ia, ib = a.IndexOf(p.A), b.IndexOf(p.B)
+			if ords {
+				ia, ib = p.OrdA, p.OrdB
+			} else {
+				ia, ib = a.IndexOf(p.A), b.IndexOf(p.B)
+			}
 		}
 		var insA, insB *model.Instance
 		var sum float64

@@ -105,7 +105,11 @@ func (in *Instance) IntAttr(name string) (v int, ok bool) {
 	return n, true
 }
 
-// SetAttr sets an attribute value, allocating the map if needed.
+// SetAttr sets an attribute value, allocating the map if needed. When the
+// instance belongs to an ObjectSet that may have cached derivations (the
+// blocking layer caches token columns keyed by ObjectSet.Version), call
+// the set's Touch afterwards — in-place mutation is invisible to the
+// version counter and would otherwise serve stale tokens.
 func (in *Instance) SetAttr(name, value string) {
 	if in.Attrs == nil {
 		in.Attrs = make(map[string]string)
@@ -146,10 +150,11 @@ func (in *Instance) String() string {
 // paper's match inputs "need not be entire LDS but only subsets", §2.1).
 // Iteration order is insertion order, which keeps runs deterministic.
 type ObjectSet struct {
-	lds   LDS
-	byID  map[ID]*Instance
-	pos   map[ID]int
-	order []ID
+	lds     LDS
+	byID    map[ID]*Instance
+	pos     map[ID]int
+	order   []ID
+	version uint64
 }
 
 // NewObjectSet returns an empty object set for the given LDS.
@@ -171,7 +176,20 @@ func (s *ObjectSet) Add(in *Instance) {
 		s.order = append(s.order, in.ID)
 	}
 	s.byID[in.ID] = in
+	s.version++
 }
+
+// Version returns a counter that changes on every Add. Derived structures
+// (the blocking layer's per-set token and index cache) key their validity on
+// it: an unchanged (set, version) pair guarantees the set's membership and
+// instances are the ones the structure was built from. Mutating an instance
+// in place (SetAttr) does not bump the version; call Touch afterwards when
+// the instance belongs to a set that may have cached derivations.
+func (s *ObjectSet) Version() uint64 { return s.version }
+
+// Touch bumps the version without changing membership, invalidating cached
+// derivations after in-place instance mutation.
+func (s *ObjectSet) Touch() { s.version++ }
 
 // AddNew is a convenience for Add(NewInstance(id, attrs)).
 func (s *ObjectSet) AddNew(id ID, attrs map[string]string) *Instance {
@@ -197,6 +215,10 @@ func (s *ObjectSet) IndexOf(id ID) int {
 // At returns the instance at the given insertion-order ordinal. It panics
 // when i is out of [0, Len()), mirroring slice indexing.
 func (s *ObjectSet) At(i int) *Instance { return s.byID[s.order[i]] }
+
+// IDAt returns the id at the given insertion-order ordinal without the map
+// lookup At performs — the ordinal-to-id translation on blocking hot paths.
+func (s *ObjectSet) IDAt(i int) ID { return s.order[i] }
 
 // Has reports whether an instance with the given id is present.
 func (s *ObjectSet) Has(id ID) bool { _, ok := s.byID[id]; return ok }

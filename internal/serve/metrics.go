@@ -1,0 +1,113 @@
+package serve
+
+// Request metrics: per-route counters and latency histograms, exposed in
+// Prometheus text format on /metrics. Hand-rolled (no client library
+// dependency): a fixed bucket layout and a mutex are all a single-process
+// service needs, and the text exposition format is trivial to emit.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning the
+// expected range of a resolver hit: tens of microseconds on warm indexes up
+// to seconds for pathological queries.
+var latencyBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+type counterKey struct {
+	route string
+	code  int
+}
+
+// histogram is one route's cumulative latency histogram.
+type histogram struct {
+	counts []uint64 // parallel to latencyBuckets
+	sum    float64  // seconds
+	total  uint64
+}
+
+// metrics collects request counts and latencies. Safe for concurrent use.
+type metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	requests map[counterKey]uint64
+	byRoute  map[string]*histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		requests: make(map[counterKey]uint64),
+		byRoute:  make(map[string]*histogram),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(route string, code int, took time.Duration) {
+	secs := took.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[counterKey{route, code}]++
+	h := m.byRoute[route]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets))}
+		m.byRoute[route] = h
+	}
+	h.total++
+	h.sum += secs
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			h.counts[i]++
+		}
+	}
+}
+
+// write emits the Prometheus text exposition.
+func (m *metrics) write(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP moma_requests_total Requests served, by route and status code.")
+	fmt.Fprintln(w, "# TYPE moma_requests_total counter")
+	keys := make([]counterKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "moma_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP moma_request_duration_seconds Request latency, by route.")
+	fmt.Fprintln(w, "# TYPE moma_request_duration_seconds histogram")
+	routes := make([]string, 0, len(m.byRoute))
+	for r := range m.byRoute {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, route := range routes {
+		h := m.byRoute[route]
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(w, "moma_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", route, ub, h.counts[i])
+		}
+		fmt.Fprintf(w, "moma_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, h.total)
+		fmt.Fprintf(w, "moma_request_duration_seconds_sum{route=%q} %g\n", route, h.sum)
+		fmt.Fprintf(w, "moma_request_duration_seconds_count{route=%q} %d\n", route, h.total)
+	}
+
+	fmt.Fprintln(w, "# HELP moma_uptime_seconds Seconds since the server started.")
+	fmt.Fprintln(w, "# TYPE moma_uptime_seconds gauge")
+	fmt.Fprintf(w, "moma_uptime_seconds %g\n", time.Since(m.start).Seconds())
+}

@@ -1,0 +1,414 @@
+// Package serve exposes MOMA's online resolution subsystem as an HTTP JSON
+// service over a moma.System: resolve a record against a registered set,
+// add or remove instances with incremental same-mapping deltas in the
+// repository, read stored mappings, and observe health and request metrics.
+// cmd/moma-serve is the thin binary wrapper; the package keeps the handlers
+// testable in-process (httptest) and reusable from examples.
+//
+// Routes:
+//
+//	POST   /sets/{set}/resolve        resolve one record (no state change)
+//	POST   /sets/{set}/instances      add (and by default resolve) a record
+//	DELETE /sets/{set}/instances/{id} remove a record from the live view
+//	GET    /mappings/{name}           read a stored mapping
+//	GET    /healthz                   liveness, uptime and resolver sizes
+//	GET    /metrics                   Prometheus text: counts + latency histograms
+//
+// Adding an instance resolves it against the live members first and records
+// the resulting correspondences in the repository mapping "live.<set>" —
+// the arrival's same-mapping delta; nothing already resolved is re-matched
+// (the incremental workflow style of rule-based matching processes).
+// Removing an instance drops its correspondences from that mapping.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	moma "repro"
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+// Server wires a moma.System to the HTTP API. Create with New.
+type Server struct {
+	sys     *moma.System
+	mux     *http.ServeMux
+	metrics *metrics
+	start   time.Time
+
+	// mu serializes state-changing requests and their same-mapping deltas:
+	// resolvers are internally concurrency-safe, but an add touches the
+	// object set, the resolver and the repository mapping together.
+	mu sync.Mutex
+}
+
+// New returns a server over the system. Resolvers must already be
+// registered (System.RegisterResolver) for their sets to be resolvable.
+func New(sys *moma.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), metrics: newMetrics(), start: time.Now()}
+	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("POST /sets/{set}/resolve", "resolve", s.handleResolve)
+	s.route("POST /sets/{set}/instances", "add_instance", s.handleAddInstance)
+	s.route("DELETE /sets/{set}/instances/{id}", "remove_instance", s.handleRemoveInstance)
+	s.route("GET /mappings/{name}", "get_mapping", s.handleGetMapping)
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.metrics.write(w)
+	})
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Run serves on addr until ctx is cancelled, then shuts down gracefully
+// (in-flight requests get up to five seconds to finish).
+func (s *Server) Run(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// route installs an instrumented handler: every request is counted and its
+// latency observed under the given metric label.
+func (s *Server) route(pattern, label string, h func(http.ResponseWriter, *http.Request) (int, error)) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		code, err := h(w, r)
+		if err != nil {
+			writeJSON(w, code, map[string]string{"error": err.Error()})
+		}
+		s.metrics.observe(label, code, time.Since(t0))
+	})
+}
+
+// --- wire types ----------------------------------------------------------
+
+// ResolveRequest asks a resolver to match one record.
+type ResolveRequest struct {
+	// ID optionally names the query record (echoed back; used as the domain
+	// id of same-mapping deltas on the add path).
+	ID string `json:"id,omitempty"`
+	// Attrs are the record's attribute values.
+	Attrs map[string]string `json:"attrs"`
+	// Limit caps the returned matches to the top-n by similarity (0 = all).
+	Limit int `json:"limit,omitempty"`
+}
+
+// MatchResult is one returned match.
+type MatchResult struct {
+	ID  string  `json:"id"`
+	Sim float64 `json:"sim"`
+}
+
+// ResolveResponse answers a resolve call.
+type ResolveResponse struct {
+	Set     string        `json:"set"`
+	QueryID string        `json:"query_id,omitempty"`
+	Matches []MatchResult `json:"matches"`
+	TookUS  int64         `json:"took_us"`
+}
+
+// AddInstanceRequest adds a record to a set's live view.
+type AddInstanceRequest struct {
+	ID    string            `json:"id"`
+	Attrs map[string]string `json:"attrs"`
+	// NoResolve skips the arrival resolution (and thus the same-mapping
+	// delta) — a pure index update.
+	NoResolve bool `json:"no_resolve,omitempty"`
+}
+
+// AddInstanceResponse answers an add call.
+type AddInstanceResponse struct {
+	Set     string        `json:"set"`
+	ID      string        `json:"id"`
+	Matches []MatchResult `json:"matches"`
+	// Mapping names the repository mapping holding the recorded delta
+	// (empty with NoResolve or when nothing matched).
+	Mapping string `json:"mapping,omitempty"`
+}
+
+// MappingResponse renders a stored mapping.
+type MappingResponse struct {
+	Name            string             `json:"name"`
+	Domain          string             `json:"domain"`
+	Range           string             `json:"range"`
+	Type            string             `json:"type"`
+	Len             int                `json:"len"`
+	Correspondences []CorrespondenceJS `json:"correspondences"`
+	Truncated       bool               `json:"truncated,omitempty"`
+}
+
+// CorrespondenceJS is one mapping row.
+type CorrespondenceJS struct {
+	Domain string  `json:"domain"`
+	Range  string  `json:"range"`
+	Sim    float64 `json:"sim"`
+}
+
+// HealthResponse reports liveness.
+type HealthResponse struct {
+	Status    string                    `json:"status"`
+	UptimeS   float64                   `json:"uptime_s"`
+	Resolvers map[string]ResolverHealth `json:"resolvers"`
+	Mappings  int                       `json:"mappings"`
+}
+
+// ResolverHealth sizes one resolver.
+type ResolverHealth struct {
+	Live       int `json:"live"`
+	Slots      int `json:"slots"`
+	IndexTerms int `json:"index_terms"`
+}
+
+// --- handlers ------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) (int, error) {
+	resp := HealthResponse{
+		Status:    "ok",
+		UptimeS:   time.Since(s.start).Seconds(),
+		Resolvers: make(map[string]ResolverHealth),
+		Mappings:  s.sys.Repo.Len(),
+	}
+	for _, name := range s.sys.ResolverNames() {
+		if res, ok := s.sys.Resolver(name); ok {
+			st := res.Stats()
+			resp.Resolvers[name] = ResolverHealth{Live: st.Live, Slots: st.Slots, IndexTerms: st.IndexTerms}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) (int, error) {
+	setName := r.PathValue("set")
+	res, ok := s.sys.Resolver(setName)
+	if !ok {
+		return http.StatusNotFound, fmt.Errorf("no resolver for set %q", setName)
+	}
+	var req ResolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	}
+	if len(req.Attrs) == 0 {
+		return http.StatusBadRequest, fmt.Errorf("attrs must not be empty")
+	}
+	t0 := time.Now()
+	matches := res.Resolve(model.NewInstance(model.ID(req.ID), req.Attrs))
+	took := time.Since(t0)
+	writeJSON(w, http.StatusOK, ResolveResponse{
+		Set:     setName,
+		QueryID: req.ID,
+		Matches: rankMatches(matches, req.Limit),
+		TookUS:  took.Microseconds(),
+	})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleAddInstance(w http.ResponseWriter, r *http.Request) (int, error) {
+	setName := r.PathValue("set")
+	res, ok := s.sys.Resolver(setName)
+	if !ok {
+		return http.StatusNotFound, fmt.Errorf("no resolver for set %q", setName)
+	}
+	var req AddInstanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	}
+	if req.ID == "" {
+		return http.StatusBadRequest, fmt.Errorf("id must not be empty")
+	}
+	in := model.NewInstance(model.ID(req.ID), req.Attrs)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A re-add replaces the instance: its correspondences in the delta
+	// mapping describe the previous attribute values and must not survive.
+	if res.Has(in.ID) {
+		if err := s.dropFromDeltaLocked(setName, in.ID); err != nil {
+			return http.StatusInternalServerError, err
+		}
+	}
+	var matches []moma.LiveMatch
+	var err error
+	if req.NoResolve {
+		err = res.Add(in)
+	} else {
+		matches, err = res.AddResolve(in)
+	}
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	// Keep the registered set in sync so later batch matches (and their
+	// cached blocking structures, which key on the set's version) see the
+	// arrival too. ObjectSet itself is not safe for concurrent mutation:
+	// an embedding program must not run batch matches over a set while
+	// also feeding it instances through this endpoint (the serve process
+	// is assumed to own mutation of the sets it serves).
+	if set, ok := s.sys.ObjectSetByName(setName); ok {
+		set.Add(in)
+	}
+	resp := AddInstanceResponse{Set: setName, ID: req.ID, Matches: rankMatches(matches, 0)}
+	if len(matches) > 0 {
+		name, err := s.recordDeltaLocked(setName, res, model.ID(req.ID), matches)
+		if err != nil {
+			// The instance is live but its delta was not persisted; surface
+			// that instead of answering 200 with a silently-missing mapping.
+			return http.StatusInternalServerError, fmt.Errorf("recording delta: %w", err)
+		}
+		resp.Mapping = name
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleRemoveInstance(w http.ResponseWriter, r *http.Request) (int, error) {
+	setName := r.PathValue("set")
+	id := model.ID(r.PathValue("id"))
+	res, ok := s.sys.Resolver(setName)
+	if !ok {
+		return http.StatusNotFound, fmt.Errorf("no resolver for set %q", setName)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !res.Remove(id) {
+		return http.StatusNotFound, fmt.Errorf("no live instance %q in %q", id, setName)
+	}
+	// Drop the removed instance's correspondences from the delta mapping.
+	// The registered ObjectSet intentionally keeps the instance: sets are
+	// append-only (profile columns and the blocking cache key on stable
+	// insertion ordinals), so removal is a live-view operation — batch
+	// matches over the raw set still see the instance until the set is
+	// rebuilt. The live resolver is the authority for online answers.
+	if err := s.dropFromDeltaLocked(setName, id); err != nil {
+		return http.StatusInternalServerError, err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"set": setName, "id": string(id), "removed": true})
+	return http.StatusOK, nil
+}
+
+// dropFromDeltaLocked removes every correspondence touching id from the
+// set's delta mapping. Callers hold s.mu.
+func (s *Server) dropFromDeltaLocked(setName string, id model.ID) error {
+	name := deltaMappingName(setName)
+	m, ok := s.sys.Repo.Get(name)
+	if !ok {
+		return nil
+	}
+	filtered := m.Filter(func(c mapping.Correspondence) bool {
+		return c.Domain != id && c.Range != id
+	})
+	if filtered.Len() == m.Len() {
+		return nil
+	}
+	return s.sys.Repo.Put(name, filtered)
+}
+
+func (s *Server) handleGetMapping(w http.ResponseWriter, r *http.Request) (int, error) {
+	name := r.PathValue("name")
+	m, ok := s.sys.MappingByName(name)
+	if !ok {
+		return http.StatusNotFound, fmt.Errorf("no mapping %q", name)
+	}
+	limit := 100
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			return http.StatusBadRequest, fmt.Errorf("bad limit %q (want a non-negative integer)", q)
+		}
+		limit = n
+	}
+	// Serialize under the server mutex: live.<set> mappings mutate on adds.
+	s.mu.Lock()
+	resp := MappingResponse{
+		Name:   name,
+		Domain: m.Domain().String(),
+		Range:  m.Range().String(),
+		Type:   string(m.Type()),
+		Len:    m.Len(),
+	}
+	for _, c := range m.Correspondences() {
+		if len(resp.Correspondences) >= limit {
+			resp.Truncated = true
+			break
+		}
+		resp.Correspondences = append(resp.Correspondences, CorrespondenceJS{
+			Domain: string(c.Domain), Range: string(c.Range), Sim: c.Sim,
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+// recordDeltaLocked appends an arrival's matches to the set's delta
+// same-mapping ("live.<set>") in the repository, creating it on first use.
+// Callers hold s.mu.
+func (s *Server) recordDeltaLocked(setName string, res *moma.LiveResolver, id model.ID, matches []moma.LiveMatch) (string, error) {
+	name := deltaMappingName(setName)
+	m, ok := s.sys.Repo.Get(name)
+	if !ok {
+		m = mapping.NewSame(res.LDS(), res.LDS())
+	}
+	for _, match := range matches {
+		m.AddMax(id, match.ID, match.Sim)
+	}
+	// Put (re-)stores the mapping: a no-op rebind for the in-memory store,
+	// a WAL append for persistent repositories.
+	if err := s.sys.Repo.Put(name, m); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// deltaMappingName names the repository mapping accumulating a set's
+// online same-mapping deltas.
+func deltaMappingName(setName string) string { return "live." + setName }
+
+// rankMatches sorts by similarity descending (ties by id) and applies the
+// limit. The resolver returns set insertion order; an API consumer wants
+// the best first.
+func rankMatches(matches []moma.LiveMatch, limit int) []MatchResult {
+	out := make([]MatchResult, 0, len(matches))
+	for _, m := range matches {
+		out = append(out, MatchResult{ID: string(m.ID), Sim: m.Sim})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sim != out[j].Sim {
+			return out[i].Sim > out[j].Sim
+		}
+		return out[i].ID < out[j].ID
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	moma "repro"
+)
+
+// testServer builds a system with one resolvable publication set.
+func testServer(t *testing.T) (*Server, *moma.System) {
+	t.Helper()
+	sys := moma.NewSystem()
+	set := moma.NewObjectSet(moma.LDS{Source: "ACM", Type: moma.Publication})
+	titles := []string{
+		"generic schema matching with cupid",
+		"a formal perspective on the view selection problem",
+		"mapping based object matching",
+		"entity resolution over web data sources",
+	}
+	for i, title := range titles {
+		set.AddNew(moma.ID(fmt.Sprintf("g%d", i)), map[string]string{
+			"title": title, "year": fmt.Sprintf("%d", 2000+i),
+		})
+	}
+	if err := sys.AddObjectSet("ACM.Publication", set); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterResolver("ACM.Publication", moma.LiveConfig{
+		MinShared: 2,
+		Threshold: 0.7,
+		Columns: []moma.LiveColumn{
+			{QueryAttr: "title", SetAttr: "title", Sim: moma.Trigram},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return New(sys), sys
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: bad response %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t)
+	var resp HealthResponse
+	rec := doJSON(t, srv.Handler(), "GET", "/healthz", nil, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	if resp.Status != "ok" || resp.Resolvers["ACM.Publication"].Live != 4 {
+		t.Fatalf("healthz body = %+v", resp)
+	}
+}
+
+func TestResolveEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	var resp ResolveResponse
+	rec := doJSON(t, srv.Handler(), "POST", "/sets/ACM.Publication/resolve", ResolveRequest{
+		ID:    "q1",
+		Attrs: map[string]string{"title": "the view selection problem a formal perspective"},
+	}, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("resolve = %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Matches) == 0 || resp.Matches[0].ID != "g1" {
+		t.Fatalf("resolve body = %+v, want g1 first", resp)
+	}
+	if resp.QueryID != "q1" || resp.Set != "ACM.Publication" {
+		t.Fatalf("echo fields wrong: %+v", resp)
+	}
+
+	// Unknown set and malformed bodies are client errors.
+	if rec := doJSON(t, srv.Handler(), "POST", "/sets/Nope/resolve", ResolveRequest{Attrs: map[string]string{"title": "x"}}, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown set = %d", rec.Code)
+	}
+	req := httptest.NewRequest("POST", "/sets/ACM.Publication/resolve", strings.NewReader("{"))
+	rec2 := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body = %d", rec2.Code)
+	}
+}
+
+func TestResolveLimitAndRanking(t *testing.T) {
+	srv, _ := testServer(t)
+	var resp ResolveResponse
+	doJSON(t, srv.Handler(), "POST", "/sets/ACM.Publication/resolve", ResolveRequest{
+		Attrs: map[string]string{"title": "object matching with schema matching"},
+		Limit: 1,
+	}, &resp)
+	if len(resp.Matches) > 1 {
+		t.Fatalf("limit ignored: %+v", resp.Matches)
+	}
+}
+
+func TestAddInstanceRecordsDelta(t *testing.T) {
+	srv, sys := testServer(t)
+	var resp AddInstanceResponse
+	rec := doJSON(t, srv.Handler(), "POST", "/sets/ACM.Publication/instances", AddInstanceRequest{
+		ID:    "g99",
+		Attrs: map[string]string{"title": "a formal perspective on the view selection problem", "year": "2004"},
+	}, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("add = %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Matches) == 0 || resp.Matches[0].ID != "g1" || resp.Matches[0].Sim != 1 {
+		t.Fatalf("arrival must match g1 exactly: %+v", resp)
+	}
+	if resp.Mapping != "live.ACM.Publication" {
+		t.Fatalf("delta mapping name = %q", resp.Mapping)
+	}
+	// The delta is in the repository.
+	m, ok := sys.Repo.Get("live.ACM.Publication")
+	if !ok || !m.Has("g99", "g1") {
+		t.Fatalf("repository delta missing: ok=%v m=%v", ok, m)
+	}
+	// The registered set grew too.
+	set, _ := sys.ObjectSetByName("ACM.Publication")
+	if !set.Has("g99") {
+		t.Fatal("registered set must see the arrival")
+	}
+	// The instance is immediately resolvable.
+	var rr ResolveResponse
+	doJSON(t, srv.Handler(), "POST", "/sets/ACM.Publication/resolve", ResolveRequest{
+		Attrs: map[string]string{"title": "a formal perspective on the view selection problem"},
+	}, &rr)
+	found := false
+	for _, mt := range rr.Matches {
+		if mt.ID == "g99" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("arrival not resolvable: %+v", rr.Matches)
+	}
+
+	// GET /mappings serves the delta.
+	var mresp MappingResponse
+	doJSON(t, srv.Handler(), "GET", "/mappings/live.ACM.Publication", nil, &mresp)
+	if mresp.Len == 0 || mresp.Domain != "Publication@ACM" {
+		t.Fatalf("mapping response = %+v", mresp)
+	}
+}
+
+// TestReAddReplacesDelta: re-adding a live id must not self-match, and the
+// delta mapping must forget the correspondences of the previous version.
+func TestReAddReplacesDelta(t *testing.T) {
+	srv, sys := testServer(t)
+	add := func(title string) AddInstanceResponse {
+		var resp AddInstanceResponse
+		doJSON(t, srv.Handler(), "POST", "/sets/ACM.Publication/instances", AddInstanceRequest{
+			ID:    "g99",
+			Attrs: map[string]string{"title": title},
+		}, &resp)
+		return resp
+	}
+	first := add("a formal perspective on the view selection problem")
+	if len(first.Matches) == 0 {
+		t.Fatalf("first add must match g1: %+v", first)
+	}
+	// Replace with an unrelated title: no self-match, and the old g99->g1
+	// correspondence must be gone.
+	second := add("an unrelated replacement about nothing shared")
+	for _, m := range second.Matches {
+		if m.ID == "g99" {
+			t.Fatalf("replace matched its own stale self: %+v", second)
+		}
+	}
+	if m, ok := sys.Repo.Get("live.ACM.Publication"); ok {
+		for _, c := range m.Correspondences() {
+			if c.Domain == "g99" || c.Range == "g99" {
+				t.Fatalf("stale delta survived the replace: %v", c)
+			}
+		}
+	}
+}
+
+func TestRemoveInstance(t *testing.T) {
+	srv, sys := testServer(t)
+	// Seed a delta via an add.
+	doJSON(t, srv.Handler(), "POST", "/sets/ACM.Publication/instances", AddInstanceRequest{
+		ID:    "g99",
+		Attrs: map[string]string{"title": "a formal perspective on the view selection problem"},
+	}, nil)
+	rec := doJSON(t, srv.Handler(), "DELETE", "/sets/ACM.Publication/instances/g99", nil, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("remove = %d: %s", rec.Code, rec.Body.String())
+	}
+	if m, ok := sys.Repo.Get("live.ACM.Publication"); ok {
+		for _, c := range m.Correspondences() {
+			if c.Domain == "g99" || c.Range == "g99" {
+				t.Fatalf("delta still references removed instance: %v", c)
+			}
+		}
+	}
+	// Removed instances no longer resolve.
+	var rr ResolveResponse
+	doJSON(t, srv.Handler(), "POST", "/sets/ACM.Publication/resolve", ResolveRequest{
+		Attrs: map[string]string{"title": "a formal perspective on the view selection problem"},
+	}, &rr)
+	for _, mt := range rr.Matches {
+		if mt.ID == "g99" {
+			t.Fatal("removed instance still resolves")
+		}
+	}
+	// Double remove is a 404.
+	if rec := doJSON(t, srv.Handler(), "DELETE", "/sets/ACM.Publication/instances/g99", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("double remove = %d", rec.Code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	doJSON(t, srv.Handler(), "POST", "/sets/ACM.Publication/resolve", ResolveRequest{
+		Attrs: map[string]string{"title": "view selection problem"},
+	}, nil)
+	doJSON(t, srv.Handler(), "GET", "/healthz", nil, nil)
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{
+		`moma_requests_total{route="resolve",code="200"} 1`,
+		`moma_requests_total{route="healthz",code="200"} 1`,
+		`moma_request_duration_seconds_bucket{route="resolve",le="+Inf"} 1`,
+		"moma_request_duration_seconds_count",
+		"moma_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestGetMappingNotFound(t *testing.T) {
+	srv, _ := testServer(t)
+	if rec := doJSON(t, srv.Handler(), "GET", "/mappings/nope", nil, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown mapping = %d", rec.Code)
+	}
+}

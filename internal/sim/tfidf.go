@@ -59,6 +59,27 @@ func (t *TFIDF) AddAll(docs []string) {
 	}
 }
 
+// Remove unregisters one previously Added document, reversing its document
+// frequencies. Like Add it invalidates cached vectors (removals change every
+// idf). Removing a document that was never added corrupts the statistics;
+// callers track membership (the live Resolver keeps one raw value per slot
+// for exactly this purpose).
+func (t *TFIDF) Remove(doc string) {
+	t.mu.Lock()
+	if len(t.vecs) > 0 {
+		t.vecs = make(map[string]*docVec)
+	}
+	t.mu.Unlock()
+	t.docs--
+	for _, tok := range uniqueSorted(Tokens(doc)) {
+		if t.docFreq[tok] <= 1 {
+			delete(t.docFreq, tok)
+		} else {
+			t.docFreq[tok]--
+		}
+	}
+}
+
 // Docs returns the number of registered documents.
 func (t *TFIDF) Docs() int { return t.docs }
 

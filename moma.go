@@ -62,6 +62,34 @@
 // worker count. The workflow Engine can push one Workers setting through
 // every matcher of a workflow (ConfigurableWorkers).
 //
+// # Online resolution
+//
+// The live subsystem answers single-record match queries against a resident
+// set without re-matching: a LiveResolver registers an ObjectSet once and
+// keeps its blocking index, similarity-profile columns and TF-IDF corpora
+// incrementally maintained, so Resolve blocks, scores and thresholds one
+// query in time proportional to its candidates — and Add/Remove update the
+// resident structures in place. Scoring is bit-identical to a batch
+// re-match of the same configuration (blocking attributes, columns,
+// weights, threshold).
+//
+//	sys.AddObjectSet("ACM.Publication", acm)
+//	r, err := sys.RegisterResolver("ACM.Publication", moma.LiveConfig{
+//		MinShared: 2, Threshold: 0.8,
+//		Columns: []moma.LiveColumn{
+//			{QueryAttr: "title", SetAttr: "title", Sim: moma.Trigram},
+//		},
+//	})
+//	matches := r.Resolve(instance) // sub-millisecond on warm indexes
+//
+// cmd/moma-serve exposes registered resolvers over an HTTP JSON API
+// (resolve, incremental add/remove with same-mapping deltas in the
+// repository, health and metrics endpoints); cmd/moma-load drives it with
+// synthetic query traffic and reports throughput and latency percentiles.
+// Batch token blocking shares the same structures: its per-set token
+// columns and ordinal inverted indexes are cached by object-set identity
+// and version, so repeated matches over one set stop rebuilding them.
+//
 // # Benchmarks
 //
 // The pair-scoring hot path is covered by benchmarks at the repo root:
@@ -73,7 +101,9 @@
 // runs the same match on the profiled streaming path, and
 // BenchmarkAttributeMatcherStreamWorkers scales the worker count. Set
 // MOMA_BENCH_SCALE=paper to run the table benchmarks at the paper's full
-// scale.
+// scale. BenchmarkResolve and BenchmarkResolveParallel cover the online
+// path: single-record resolution against a warm 10k-instance resolver,
+// sequential and under GOMAXPROCS-way concurrency.
 package moma
 
 import (
@@ -82,6 +112,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/fuse"
 	"repro/internal/index"
+	"repro/internal/live"
 	"repro/internal/mapping"
 	"repro/internal/match"
 	"repro/internal/model"
@@ -424,6 +455,25 @@ var (
 	BestTuning = tuning.Best
 	LearnTree  = tuning.LearnTree
 )
+
+// Online resolution (package live).
+type (
+	// LiveResolver answers single-record match queries against a resident,
+	// incrementally-maintained object set.
+	LiveResolver = live.Resolver
+	// LiveConfig configures a LiveResolver (blocking, columns, threshold).
+	LiveConfig = live.Config
+	// LiveColumn configures one scored attribute comparison.
+	LiveColumn = live.Column
+	// LiveMatch is one resolution result.
+	LiveMatch = live.Match
+	// LiveStats summarizes a resolver's resident state.
+	LiveStats = live.Stats
+)
+
+// NewLiveResolver builds a resolver over an object set; System's
+// RegisterResolver wires one to a registered set by name.
+var NewLiveResolver = live.NewResolver
 
 // Search index (package index).
 type (

@@ -2,8 +2,10 @@ package moma
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
+	"repro/internal/live"
 	"repro/internal/mapping"
 	"repro/internal/match"
 	"repro/internal/model"
@@ -27,13 +29,14 @@ type System struct {
 	// Sims resolves similarity-function names.
 	Sims *SimRegistry
 
-	// mu guards sets and binding: the system is the shared Figure-3
-	// architecture, and like Store it must be safe for concurrent use
-	// (concurrent RunScript / AddObjectSet / RunWorkflow calls).
-	mu      sync.RWMutex
-	sets    map[string]*ObjectSet
-	binding *script.Binding
-	engine  *workflow.Engine
+	// mu guards sets, resolvers and binding: the system is the shared
+	// Figure-3 architecture, and like Store it must be safe for concurrent
+	// use (concurrent RunScript / AddObjectSet / RunWorkflow calls).
+	mu        sync.RWMutex
+	sets      map[string]*ObjectSet
+	resolvers map[string]*LiveResolver
+	binding   *script.Binding
+	engine    *workflow.Engine
 }
 
 // NewSystem returns a system with in-memory repository and cache.
@@ -53,11 +56,12 @@ func OpenSystem(dir string) (*System, error) {
 
 func newSystem(repo *store.Store) *System {
 	s := &System{
-		Repo:     repo,
-		Cache:    store.NewCache(0),
-		Matchers: match.NewRegistry(),
-		Sims:     sim.NewRegistry(),
-		sets:     make(map[string]*ObjectSet),
+		Repo:      repo,
+		Cache:     store.NewCache(0),
+		Matchers:  match.NewRegistry(),
+		Sims:      sim.NewRegistry(),
+		sets:      make(map[string]*ObjectSet),
+		resolvers: make(map[string]*LiveResolver),
 	}
 	s.engine = &workflow.Engine{Repo: s.Repo, Cache: s.Cache}
 	s.rebindLocked()
@@ -107,6 +111,48 @@ func (s *System) ObjectSetByName(name string) (*ObjectSet, bool) {
 	defer s.mu.RUnlock()
 	set, ok := s.sets[name]
 	return set, ok
+}
+
+// RegisterResolver builds a live resolver over a registered object set and
+// installs it under the set's name, making the set answerable online
+// (System.Resolver, cmd/moma-serve). The resolver snapshots the set; route
+// later updates through Resolver.Add / Resolver.Remove.
+func (s *System) RegisterResolver(setName string, cfg LiveConfig) (*LiveResolver, error) {
+	set, ok := s.ObjectSetByName(setName)
+	if !ok {
+		return nil, fmt.Errorf("moma: unknown object set %q", setName)
+	}
+	r, err := live.NewResolver(set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.resolvers[setName]; dup {
+		return nil, fmt.Errorf("moma: resolver for %q already registered", setName)
+	}
+	s.resolvers[setName] = r
+	return r, nil
+}
+
+// Resolver returns the live resolver registered for the named set.
+func (s *System) Resolver(setName string) (*LiveResolver, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.resolvers[setName]
+	return r, ok
+}
+
+// ResolverNames lists the sets with registered resolvers, sorted.
+func (s *System) ResolverNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.resolvers))
+	for name := range s.resolvers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // AddMapping stores a mapping in the repository under name.
