@@ -302,6 +302,70 @@ func BenchmarkAttributeMatcherStreamWorkers(b *testing.B) {
 	}
 }
 
+var (
+	bench100kOnce    sync.Once
+	bench100kDataset *sources.Dataset
+)
+
+// bench100kDatasetFor builds (once) the large-scale moma-gen world: the
+// small-config sources with Google Scholar padded to 100k publications —
+// the scale where interned blocking columns and uint32 postings matter.
+func bench100kDatasetFor(b *testing.B) *sources.Dataset {
+	b.Helper()
+	bench100kOnce.Do(func() {
+		cfg := sources.SmallConfig()
+		cfg.GSTargetPublications = 100000
+		cfg.GSNoiseDocs = 20000
+		bench100kDataset = sources.Generate(cfg)
+	})
+	return bench100kDataset
+}
+
+// BenchmarkAttributeMatcherBlocked100k is the large-scale blocked match:
+// every DBLP publication probes a token index over 100k Google Scholar
+// entries, and the 100k-value profile column is rebuilt per match. Skipped
+// in -short runs (CI runs it once in a dedicated step).
+func BenchmarkAttributeMatcherBlocked100k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large-scale benchmark; run without -short")
+	}
+	d := bench100kDatasetFor(b)
+	m := &AttributeMatcher{
+		AttrA: "title", AttrB: "title", Sim: Trigram, Threshold: 0.82,
+		Blocker: TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 2},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Match(d.DBLP.Pubs, d.GS.Pubs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockerPairsEach100k isolates large-scale candidate generation
+// over the 100k-document ordinal index (cached across iterations, as in a
+// multi-matcher workflow).
+func BenchmarkBlockerPairsEach100k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large-scale benchmark; run without -short")
+	}
+	d := bench100kDatasetFor(b)
+	bl := TokenBlocking{AttrA: "title", AttrB: "title", MinShared: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		bl.PairsEach(d.DBLP.Pubs, d.GS.Pubs, func(p Pair) bool {
+			n++
+			return true
+		})
+		if n == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
 // BenchmarkBlockerPairsEach isolates candidate generation: the streaming
 // entry point visits every candidate without materializing the pair slice
 // that Pairs builds.

@@ -131,20 +131,24 @@ type TokenStreamer interface {
 var _ TokenStreamer = TokenBlocking{}
 var _ OrdinalPairer = TokenBlocking{}
 
-// Tokens caches the sim.Tokens output of one blocking-attribute column as a
+// Tokens caches the tokenization of one blocking-attribute column as a
 // dense slice aligned with the producing ObjectSet's insertion ordinals
-// (model.ObjectSet.IndexOf). Instances whose attribute is missing or empty
-// have a nil entry. The slices are shared, not copied; consumers must treat
-// them as read-only.
-type Tokens [][]string
+// (model.ObjectSet.IndexOf). Each entry holds the value's sim.Tokens
+// sequence interned in the global sim.Terms dictionary — term IDs in token
+// order, duplicates preserved — so the blocking index, candidate probes and
+// the similarity-profile build all consume integers. Instances whose
+// attribute is missing or empty have a nil entry. The slices are shared,
+// not copied; consumers must treat them as read-only.
+type Tokens [][]uint32
 
-// tokenizeColumn builds the dense token column of one blocking attribute.
+// tokenizeColumn builds the dense interned token column of one blocking
+// attribute.
 func tokenizeColumn(set *model.ObjectSet, attr string) Tokens {
 	col := make(Tokens, 0, set.Len())
 	set.Each(func(in *model.Instance) bool {
-		var toks []string
+		var toks []uint32
 		if v := in.Attr(attr); v != "" {
-			toks = sim.Tokens(v)
+			toks = sim.Terms.TokenIDs(v)
 		}
 		col = append(col, toks)
 		return true

@@ -121,7 +121,7 @@ func TestTokenBlockingPairsEachTokens(t *testing.T) {
 		if toks == nil {
 			continue
 		}
-		if want := sim.Tokens(a.At(ord).Attr("title")); !reflect.DeepEqual(toks, want) {
+		if want := sim.Terms.InternTokens(sim.Tokens(a.At(ord).Attr("title"))); !reflect.DeepEqual(toks, want) {
 			t.Fatalf("column tokens for ordinal %d = %v, want %v", ord, toks, want)
 		}
 	}

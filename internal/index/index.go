@@ -26,10 +26,12 @@ type posting struct {
 	tf  int
 }
 
-// Index is an inverted index over the text of object instances. The zero
-// value is not usable; call New.
+// Index is an inverted index over the text of object instances. Postings
+// are keyed by interned term IDs (the global sim.Terms dictionary), so
+// indexing hashes each token string once and queries probe by uint32. The
+// zero value is not usable; call New.
 type Index struct {
-	postings map[string][]posting
+	postings map[uint32][]posting
 	docLen   map[model.ID]int
 	docs     int
 	frozen   bool
@@ -38,7 +40,7 @@ type Index struct {
 // New returns an empty index.
 func New() *Index {
 	return &Index{
-		postings: make(map[string][]posting),
+		postings: make(map[uint32][]posting),
 		docLen:   make(map[model.ID]int),
 	}
 }
@@ -47,14 +49,17 @@ func New() *Index {
 // again extends its token set (e.g. title plus author fields). Add panics
 // after Freeze, which would invalidate served queries.
 func (ix *Index) Add(id model.ID, text string) {
-	ix.AddTokens(id, sim.Tokens(text))
+	ix.addIDs(id, sim.Terms.TokenIDs(text))
 }
 
 // AddTokens indexes pre-tokenized text (sim.Tokens order and normalization)
-// under the document id. Callers that already hold a token slice — token
-// blocking, the similarity-profile layer — avoid re-tokenizing through this
-// entry point.
+// under the document id, interning the tokens on the way in.
 func (ix *Index) AddTokens(id model.ID, toks []string) {
+	ix.addIDs(id, sim.Terms.InternTokens(toks))
+}
+
+// addIDs indexes an interned token sequence under the document id.
+func (ix *Index) addIDs(id model.ID, toks []uint32) {
 	if ix.frozen {
 		panic("index: Add after Freeze")
 	}
@@ -62,7 +67,7 @@ func (ix *Index) AddTokens(id model.ID, toks []string) {
 		ix.docs++
 	}
 	ix.docLen[id] += len(toks)
-	counts := make(map[string]int, len(toks))
+	counts := make(map[uint32]int, len(toks))
 	for _, tok := range toks {
 		counts[tok]++
 	}
@@ -112,7 +117,13 @@ func (ix *Index) Docs() int { return ix.docs }
 func (ix *Index) Terms() int { return len(ix.postings) }
 
 // DocFreq returns the number of documents containing the token.
-func (ix *Index) DocFreq(token string) int { return len(ix.postings[token]) }
+func (ix *Index) DocFreq(token string) int {
+	id, ok := sim.Terms.Lookup(token)
+	if !ok {
+		return 0
+	}
+	return len(ix.postings[id])
+}
 
 // Hit is one search result.
 type Hit struct {
@@ -148,11 +159,13 @@ func (ix *Index) Search(query string, k int) []Hit {
 	if k <= 0 || ix.docs == 0 {
 		return nil
 	}
-	toks := sim.Tokens(query)
+	// Lookup-only interning: query tokens the index has never seen have no
+	// postings and are dropped before counting.
+	toks := sim.Terms.LookupTokenIDs(query)
 	if len(toks) == 0 {
 		return nil
 	}
-	qCounts := make(map[string]int, len(toks))
+	qCounts := make(map[uint32]int, len(toks))
 	for _, tok := range toks {
 		qCounts[tok]++
 	}
@@ -225,13 +238,14 @@ func (ix *Index) EachCandidateSharingTokens(toks []string, minShared int, yield 
 		minShared = 1
 	}
 	counts := make(map[model.ID]int)
-	seen := make(map[string]bool, len(toks))
+	seen := make(map[uint32]bool, len(toks))
 	for _, tok := range toks {
-		if seen[tok] {
+		id, ok := sim.Terms.Lookup(tok)
+		if !ok || seen[id] {
 			continue
 		}
-		seen[tok] = true
-		for _, p := range ix.postings[tok] {
+		seen[id] = true
+		for _, p := range ix.postings[id] {
 			counts[p.doc]++
 		}
 	}

@@ -11,24 +11,31 @@ package index
 // and the online resolution path (updated per arriving instance, never
 // rebuilt). Candidate probes stream ordinals in ascending order, which is
 // the producing set's insertion order.
+//
+// Tokens are interned term IDs (sim.Dict): the caller tokenizes and interns
+// once — the blocking cache into the global sim.Terms, a live Resolver into
+// its private dictionary — and every Add, Remove and probe after that hashes
+// uint32s instead of strings.
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 )
 
 // Ords is an inverted index over dense document ordinals. The zero value is
 // not usable; call NewOrds. Methods are not safe for concurrent use; callers
 // that share an Ords across goroutines (the live Resolver) synchronize
-// around it.
+// around it (EachCandidate is read-only and safe under a shared read lock).
 type Ords struct {
-	postings map[string][]int32
+	postings map[uint32][]int32
 	docs     int
 }
 
 // NewOrds returns an empty ordinal index.
 func NewOrds() *Ords {
-	return &Ords{postings: make(map[string][]int32)}
+	return &Ords{postings: make(map[uint32][]int32)}
 }
 
 // Docs returns the number of indexed documents.
@@ -37,13 +44,13 @@ func (x *Ords) Docs() int { return x.docs }
 // Terms returns the number of distinct tokens with at least one posting.
 func (x *Ords) Terms() int { return len(x.postings) }
 
-// Add indexes the document with the given ordinal under the distinct tokens
-// of toks. Posting lists stay sorted: appends are O(1) for monotonically
+// Add indexes the document with the given ordinal under the distinct term
+// IDs of toks. Posting lists stay sorted: appends are O(1) for monotonically
 // increasing ordinals (the common case — set iteration order, resolver slot
 // allocation order) and fall back to a binary-search insert otherwise.
 // Adding an ordinal that is already present under a token is a no-op for
 // that token, so re-adding a document with its previous tokens is harmless.
-func (x *Ords) Add(ord int, toks []string) {
+func (x *Ords) Add(ord int, toks []uint32) {
 	if len(toks) == 0 {
 		return
 	}
@@ -77,7 +84,7 @@ func (x *Ords) Add(ord int, toks []string) {
 // Remove deletes the document's postings. toks must be the token slice the
 // ordinal was added with (callers keep it; the live Resolver stores one
 // token slice per slot anyway, for exactly this purpose).
-func (x *Ords) Remove(ord int, toks []string) {
+func (x *Ords) Remove(ord int, toks []uint32) {
 	if len(toks) == 0 {
 		return
 	}
@@ -105,28 +112,38 @@ func (x *Ords) Remove(ord int, toks []string) {
 	}
 }
 
+// hitsPool recycles the per-probe posting-gather buffers: a warm probe
+// allocates nothing, which keeps EachCandidate's footprint flat however
+// large the index grows.
+var hitsPool = sync.Pool{New: func() any { return new([]int32) }}
+
 // EachCandidate streams the ordinals of documents sharing at least minShared
 // distinct tokens with toks, in ascending ordinal order, stopping early when
 // yield returns false. Per probe, memory is proportional to the number of
-// posting entries hit — independent of the index size — so a warm resolver
-// answers queries without set-sized allocations.
-func (x *Ords) EachCandidate(toks []string, minShared int, yield func(ord int) bool) {
+// posting entries hit — independent of the index size — and served from a
+// pool, so a warm resolver answers queries without set-sized allocations.
+func (x *Ords) EachCandidate(toks []uint32, minShared int, yield func(ord int) bool) {
 	if minShared < 1 {
 		minShared = 1
 	}
 	// Gather every posting hit by a distinct query token, then sort and scan
 	// runs: a document sharing k distinct tokens appears exactly k times.
-	var hits []int32
+	buf := hitsPool.Get().(*[]int32)
+	hits := (*buf)[:0]
 	for i, tok := range toks {
 		if seenBefore(toks, i) {
 			continue
 		}
 		hits = append(hits, x.postings[tok]...)
 	}
+	defer func() {
+		*buf = hits[:0]
+		hitsPool.Put(buf)
+	}()
 	if len(hits) == 0 {
 		return
 	}
-	sort.Slice(hits, func(i, j int) bool { return hits[i] < hits[j] })
+	slices.Sort(hits)
 	for i := 0; i < len(hits); {
 		j := i + 1
 		for j < len(hits) && hits[j] == hits[i] {
@@ -141,7 +158,7 @@ func (x *Ords) EachCandidate(toks []string, minShared int, yield func(ord int) b
 
 // seenBefore reports whether toks[i] occurred earlier in toks — an
 // allocation-free dedup for the short token slices of blocking attributes.
-func seenBefore(toks []string, i int) bool {
+func seenBefore(toks []uint32, i int) bool {
 	for _, prev := range toks[:i] {
 		if prev == toks[i] {
 			return true

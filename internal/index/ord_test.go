@@ -10,7 +10,12 @@ import (
 	"repro/internal/sim"
 )
 
-func collectOrds(x *Ords, toks []string, minShared int) []int {
+// ids interns a test token slice in the global dictionary.
+func ids(toks ...string) []uint32 {
+	return sim.Terms.InternTokens(toks)
+}
+
+func collectOrds(x *Ords, toks []uint32, minShared int) []int {
 	var out []int
 	x.EachCandidate(toks, minShared, func(ord int) bool {
 		out = append(out, ord)
@@ -21,29 +26,29 @@ func collectOrds(x *Ords, toks []string, minShared int) []int {
 
 func TestOrdsCandidates(t *testing.T) {
 	x := NewOrds()
-	x.Add(0, []string{"view", "selection", "problem"})
-	x.Add(1, []string{"view", "maintenance"})
-	x.Add(2, []string{"query", "optimization"})
+	x.Add(0, ids("view", "selection", "problem"))
+	x.Add(1, ids("view", "maintenance"))
+	x.Add(2, ids("query", "optimization"))
 
-	if got := collectOrds(x, []string{"view", "selection"}, 1); !reflect.DeepEqual(got, []int{0, 1}) {
+	if got := collectOrds(x, ids("view", "selection"), 1); !reflect.DeepEqual(got, []int{0, 1}) {
 		t.Fatalf("minShared=1: got %v", got)
 	}
-	if got := collectOrds(x, []string{"view", "selection"}, 2); !reflect.DeepEqual(got, []int{0}) {
+	if got := collectOrds(x, ids("view", "selection"), 2); !reflect.DeepEqual(got, []int{0}) {
 		t.Fatalf("minShared=2: got %v", got)
 	}
-	if got := collectOrds(x, []string{"nothing"}, 1); got != nil {
+	if got := collectOrds(x, ids("nothing"), 1); got != nil {
 		t.Fatalf("unknown token: got %v", got)
 	}
 	// Duplicate query tokens count once, like Index.EachCandidateSharingTokens.
-	if got := collectOrds(x, []string{"view", "view"}, 2); got != nil {
+	if got := collectOrds(x, ids("view", "view"), 2); got != nil {
 		t.Fatalf("duplicate query tokens must not double-count: got %v", got)
 	}
 }
 
 func TestOrdsRemove(t *testing.T) {
 	x := NewOrds()
-	toks1 := []string{"a", "b"}
-	toks2 := []string{"b", "c"}
+	toks1 := ids("a", "b")
+	toks2 := ids("b", "c")
 	x.Add(0, toks1)
 	x.Add(1, toks2)
 	if x.Docs() != 2 {
@@ -53,7 +58,7 @@ func TestOrdsRemove(t *testing.T) {
 	if x.Docs() != 1 {
 		t.Fatalf("docs after remove = %d, want 1", x.Docs())
 	}
-	if got := collectOrds(x, []string{"a", "b"}, 1); !reflect.DeepEqual(got, []int{1}) {
+	if got := collectOrds(x, ids("a", "b"), 1); !reflect.DeepEqual(got, []int{1}) {
 		t.Fatalf("after remove: got %v", got)
 	}
 	// Removing again is a no-op.
@@ -62,18 +67,18 @@ func TestOrdsRemove(t *testing.T) {
 		t.Fatalf("docs after double remove = %d, want 1", x.Docs())
 	}
 	// Re-add at the same ordinal (replace flow: Remove then Add).
-	x.Add(0, []string{"c", "d"})
-	if got := collectOrds(x, []string{"c"}, 1); !reflect.DeepEqual(got, []int{0, 1}) {
+	x.Add(0, ids("c", "d"))
+	if got := collectOrds(x, ids("c"), 1); !reflect.DeepEqual(got, []int{0, 1}) {
 		t.Fatalf("after re-add: got %v", got)
 	}
 }
 
 func TestOrdsOutOfOrderAdd(t *testing.T) {
 	x := NewOrds()
-	x.Add(5, []string{"t"})
-	x.Add(1, []string{"t"})
-	x.Add(3, []string{"t"})
-	if got := collectOrds(x, []string{"t"}, 1); !reflect.DeepEqual(got, []int{1, 3, 5}) {
+	x.Add(5, ids("t"))
+	x.Add(1, ids("t"))
+	x.Add(3, ids("t"))
+	if got := collectOrds(x, ids("t"), 1); !reflect.DeepEqual(got, []int{1, 3, 5}) {
 		t.Fatalf("out-of-order adds must keep postings sorted: got %v", got)
 	}
 }
@@ -99,7 +104,7 @@ func TestOrdsMatchesIndexCandidates(t *testing.T) {
 	for d := 0; d < docs; d++ {
 		docToks[d] = randToks()
 		ix.AddTokens(model.ID(fmt.Sprintf("doc%03d", d)), docToks[d])
-		ox.Add(d, docToks[d])
+		ox.Add(d, sim.Terms.InternTokens(docToks[d]))
 	}
 	ix.Freeze()
 	for probe := 0; probe < 50; probe++ {
@@ -110,7 +115,7 @@ func TestOrdsMatchesIndexCandidates(t *testing.T) {
 				want[string(id)] = true
 			}
 			got := map[string]bool{}
-			ox.EachCandidate(q, minShared, func(ord int) bool {
+			ox.EachCandidate(sim.Terms.InternTokens(q), minShared, func(ord int) bool {
 				got[fmt.Sprintf("doc%03d", ord)] = true
 				return true
 			})
@@ -123,9 +128,9 @@ func TestOrdsMatchesIndexCandidates(t *testing.T) {
 
 func TestOrdsRealTokens(t *testing.T) {
 	x := NewOrds()
-	x.Add(0, sim.Tokens("A Formal Perspective on the View Selection Problem"))
-	x.Add(1, sim.Tokens("The View Selection Problem Revisited"))
-	got := collectOrds(x, sim.Tokens("view selection"), 2)
+	x.Add(0, sim.Terms.TokenIDs("A Formal Perspective on the View Selection Problem"))
+	x.Add(1, sim.Terms.TokenIDs("The View Selection Problem Revisited"))
+	got := collectOrds(x, sim.Terms.TokenIDs("view selection"), 2)
 	if !reflect.DeepEqual(got, []int{0, 1}) {
 		t.Fatalf("got %v", got)
 	}

@@ -24,8 +24,20 @@
 //
 // A Resolver is safe for concurrent use: Resolve takes a read lock, Add and
 // Remove a write lock, so a serving process interleaves lookups and updates
-// freely. Slots are append-only with tombstones; a resolver under unbounded
-// churn grows by one slot per Add and is rebuilt (NewResolver) to compact.
+// freely. Slots are append-only with tombstones; once tombstones outnumber
+// the live instances (past a small floor) Remove compacts the slot arrays
+// and rebuilds the blocking index in place, so resident memory stays
+// proportional to the live set under unbounded churn.
+//
+// Blocking tokens are interned in a dictionary private to the resolver
+// (sim.Dict): Add interns the arriving instance's blocking tokens, and
+// dropping the resolver releases that vocabulary. Column values profiled
+// for scoring (token-set measures, TF-IDF corpora) intern into the
+// process-global sim.Terms, which outlives any one resolver — that growth
+// is bounded by the vocabulary of the data actually added. Query records
+// intern nowhere: Resolve probes the blocking index and profiles every
+// scored column lookup-only (sim.QueryProfiler), so an unbounded stream of
+// distinct queries leaves both dictionaries untouched.
 package live
 
 import (
@@ -77,8 +89,9 @@ type Match struct {
 // colState is the resident per-column state.
 type colState struct {
 	cfg    Column
-	ps     sim.ProfiledSim // nil means the string fallback via cfg.Sim
-	corpus *sim.TFIDF      // non-nil for TFIDF columns
+	ps     sim.ProfiledSim   // nil means the string fallback via cfg.Sim
+	qp     sim.QueryProfiler // non-nil when ps can profile queries lookup-only
+	corpus *sim.TFIDF        // non-nil for TFIDF columns
 	w      float64
 
 	profs []*sim.Profile // per slot, profiled columns
@@ -100,7 +113,8 @@ type Resolver struct {
 	slots     map[model.ID]int // id -> slot, alive instances only
 	alive     []bool           // slot liveness
 	liveCount int
-	blockToks [][]string // slot -> blocking-attribute tokens (index removal)
+	blockToks [][]uint32 // slot -> interned blocking-attribute tokens (index removal)
+	dict      *sim.Dict  // private term dictionary of the blocking index
 	ix        *index.Ords
 }
 
@@ -128,6 +142,7 @@ func NewResolver(set *model.ObjectSet, cfg Config) (*Resolver, error) {
 		cfg:       cfg,
 		minShared: cfg.MinShared,
 		slots:     make(map[model.ID]int, set.Len()),
+		dict:      sim.NewDict(),
 		ix:        index.NewOrds(),
 	}
 	if r.minShared < 1 {
@@ -156,6 +171,9 @@ func NewResolver(set *model.ObjectSet, cfg Config) (*Resolver, error) {
 		default:
 			return nil, fmt.Errorf("live: column %d has no similarity function", i)
 		}
+		// Query records are profiled lookup-only where the measure supports
+		// it, so resolve traffic never grows the term dictionaries.
+		cs.qp, _ = cs.ps.(sim.QueryProfiler)
 		r.cols[i] = cs
 		r.totalW += cs.w
 	}
@@ -217,7 +235,9 @@ func (r *Resolver) resolveLocked(q *model.Instance, asMember bool) []Match {
 	if blockVal == "" {
 		return nil
 	}
-	toks := sim.Tokens(blockVal)
+	// Lookup-only interning: query tokens never seen by an Add cannot block
+	// to any candidate and are dropped without growing the dictionary.
+	toks := r.dict.LookupTokenIDs(blockVal)
 	if len(toks) == 0 {
 		return nil
 	}
@@ -234,9 +254,12 @@ func (r *Resolver) resolveLocked(q *model.Instance, asMember bool) []Match {
 			attr = r.cols[i].cfg.SetAttr
 		}
 		v := q.Attr(attr)
-		if r.cols[i].ps != nil {
+		switch {
+		case r.cols[i].qp != nil:
+			qcols[i].prof = r.cols[i].qp.ProfileQuery(v)
+		case r.cols[i].ps != nil:
 			qcols[i].prof = r.cols[i].ps.Profile(v)
-		} else {
+		default:
 			qcols[i].raw = v
 		}
 	}
@@ -348,7 +371,7 @@ func (r *Resolver) addLocked(in *model.Instance, bulk bool) {
 	r.alive[slot] = true
 	r.liveCount++
 	if v := in.Attr(r.cfg.BlockSetAttr); v != "" {
-		toks := sim.Tokens(v)
+		toks := r.dict.TokenIDs(v)
 		r.blockToks[slot] = toks
 		r.ix.Add(slot, toks)
 	} else {
@@ -383,7 +406,10 @@ func (r *Resolver) addLocked(in *model.Instance, bulk bool) {
 
 // Remove tombstones the instance: its index postings disappear, its corpus
 // contributions are reversed, and it can no longer match. It reports
-// whether the id was live.
+// whether the id was live. Once tombstones outnumber the live instances
+// (past compactMinDead) the slot arrays are compacted in place, so a
+// resolver under unbounded add/remove churn keeps memory proportional to
+// its live size instead of its history.
 func (r *Resolver) Remove(id model.ID) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -393,7 +419,58 @@ func (r *Resolver) Remove(id model.ID) bool {
 	}
 	r.dropSlotLocked(slot, true)
 	delete(r.slots, id)
+	if dead := len(r.ids) - r.liveCount; dead >= compactMinDead && dead > r.liveCount {
+		r.compactLocked()
+	}
 	return true
+}
+
+// compactMinDead is the tombstone floor below which compaction is not worth
+// the rebuild; combined with the dead > live trigger it makes compaction
+// cost amortized O(1) per Remove (each compaction drops at least half the
+// slots, so at least compactMinDead removals separate two compactions).
+const compactMinDead = 64
+
+// compactLocked reclaims tombstoned slots under a held write lock: live
+// slots move down in insertion order (so candidate streams keep yielding in
+// the original arrival order), per-slot arrays are reallocated at the live
+// size (releasing the grown backing arrays), and the blocking index is
+// rebuilt over the new ordinals. Profiles, raw values and corpus statistics
+// move untouched — only slot numbers change.
+func (r *Resolver) compactLocked() {
+	n := r.liveCount
+	ids := make([]model.ID, 0, n)
+	alive := make([]bool, 0, n)
+	blockToks := make([][]uint32, 0, n)
+	cols := make([][]*sim.Profile, len(r.cols))
+	raws := make([][]string, len(r.cols))
+	for i := range r.cols {
+		cols[i] = make([]*sim.Profile, 0, n)
+		raws[i] = make([]string, 0, n)
+	}
+	ix := index.NewOrds()
+	for slot := range r.ids {
+		if !r.alive[slot] {
+			continue
+		}
+		w := len(ids)
+		ids = append(ids, r.ids[slot])
+		alive = append(alive, true)
+		blockToks = append(blockToks, r.blockToks[slot])
+		for i := range r.cols {
+			cols[i] = append(cols[i], r.cols[i].profs[slot])
+			raws[i] = append(raws[i], r.cols[i].raws[slot])
+		}
+		r.slots[r.ids[slot]] = w
+		if toks := r.blockToks[slot]; len(toks) > 0 {
+			ix.Add(w, toks)
+		}
+	}
+	r.ids, r.alive, r.blockToks, r.ix = ids, alive, blockToks, ix
+	for i := range r.cols {
+		r.cols[i].profs = cols[i]
+		r.cols[i].raws = raws[i]
+	}
 }
 
 // dropSlotLocked reverses a slot's contributions under a held write lock.

@@ -328,6 +328,156 @@ func TestTFIDFIncrementalMatchesRebuild(t *testing.T) {
 	}
 }
 
+// TestResolveDoesNotGrowDictionaries pins the read-side interning contract:
+// resolving queries full of never-seen tokens must leave both the
+// resolver's private blocking dictionary and the process-global term
+// dictionary exactly as large as the registered data left them — for
+// profiled token measures and corpus-backed TF-IDF columns alike.
+func TestResolveDoesNotGrowDictionaries(t *testing.T) {
+	_, set := syntheticSets(40)
+	cfg := testConfig()
+	cfg.Columns = append(cfg.Columns, Column{QueryAttr: "title", SetAttr: "name", TFIDF: true, Weight: 1})
+	r, err := NewResolver(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalBefore, privBefore := sim.Terms.Len(), r.dict.Len()
+	for i := 0; i < 50; i++ {
+		q := model.NewInstance("q", map[string]string{
+			"title":   fmt.Sprintf("view selection qgrow%04da qgrow%04db never interned", i, i),
+			"authors": fmt.Sprintf("qgrow%04dc thor", i),
+			"year":    "2001",
+		})
+		r.Resolve(q)
+	}
+	if got := sim.Terms.Len(); got != globalBefore {
+		t.Fatalf("Resolve grew the global dictionary %d -> %d", globalBefore, got)
+	}
+	if got := r.dict.Len(); got != privBefore {
+		t.Fatalf("Resolve grew the resolver dictionary %d -> %d", privBefore, got)
+	}
+}
+
+// TestChurnCompaction is the bounded-memory test of slot compaction: 10k
+// add/remove cycles against a small live set must keep the slot count (and
+// thus every per-slot array) proportional to the live size, not to the
+// churn history — and the compacted resolver must keep resolving exactly
+// like a fresh build over the same members.
+func TestChurnCompaction(t *testing.T) {
+	queries, set := syntheticSets(60)
+	cfg := testConfig()
+	r, err := NewResolver(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := set.Len()
+	maxSlots := 0
+	for cycle := 0; cycle < 10000; cycle++ {
+		id := model.ID(fmt.Sprintf("churn%05d", cycle))
+		if err := r.Add(model.NewInstance(id, map[string]string{
+			"name": fmt.Sprintf("churning title number %d revision", cycle%97),
+			"year": "2001",
+		})); err != nil {
+			t.Fatal(err)
+		}
+		if !r.Remove(id) {
+			t.Fatalf("cycle %d: Remove(%s) = false", cycle, id)
+		}
+		if st := r.Stats(); st.Slots > maxSlots {
+			maxSlots = st.Slots
+		}
+	}
+	// The compaction trigger fires once tombstones exceed the live count
+	// (past the compactMinDead floor), so slots may transiently reach
+	// 2*live+compactMinDead but never grow with the 10k-cycle history.
+	if bound := 2*live + 2*compactMinDead; maxSlots > bound {
+		t.Fatalf("slots reached %d under churn, want <= %d (live %d)", maxSlots, bound, live)
+	}
+	if st := r.Stats(); st.Live != live {
+		t.Fatalf("post-churn live = %d, want %d", st.Live, live)
+	}
+	// Compaction must be invisible to resolution: same answers, same order
+	// as a resolver freshly built over the surviving members.
+	fresh, err := NewResolver(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ResolveSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.ResolveSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() == 0 {
+		t.Fatal("churn fixture produced no matches; fixture broken")
+	}
+	if !reflect.DeepEqual(got.Correspondences(), want.Correspondences()) {
+		t.Fatalf("post-churn resolver diverges from fresh build:\ngot %v\nwant %v", got, want)
+	}
+}
+
+// TestCompactionPreservesRemoveAndReplace exercises the interaction of
+// compaction with later removals and replaces: slot renumbering must keep
+// the id→slot bookkeeping, the blocking index and the TF-IDF corpora
+// consistent.
+func TestCompactionPreservesRemoveAndReplace(t *testing.T) {
+	queries, set := syntheticSets(240)
+	cfg := testConfig()
+	cfg.Columns = append(cfg.Columns, Column{QueryAttr: "title", SetAttr: "name", TFIDF: true, Weight: 1})
+	r, err := NewResolver(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := set.IDs()
+	// Remove the first two thirds — enough dead slots to force compaction.
+	for _, id := range ids[:160] {
+		r.Remove(id)
+	}
+	if st := r.Stats(); st.Slots >= 240 {
+		t.Fatalf("compaction never ran: %d slots for %d live", st.Slots, st.Live)
+	}
+	// Post-compaction mutations: replace one survivor, remove another.
+	surviving := ids[160:]
+	repl := set.Get(surviving[3]).Clone()
+	repl.SetAttr("name", "a replacement title after compaction")
+	if err := r.Add(repl); err != nil {
+		t.Fatal(err)
+	}
+	r.Remove(surviving[7])
+	survivors := set.Filter(func(in *model.Instance) bool {
+		if in.ID == surviving[7] {
+			return false
+		}
+		return set.IndexOf(in.ID) >= 160
+	})
+	for i, id := range surviving {
+		if i != 7 && !r.Has(id) {
+			t.Fatalf("survivor %s lost", id)
+		}
+	}
+	fresh, err := NewResolver(survivors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fresh resolver has no replacement; apply the same one.
+	if err := fresh.Add(repl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ResolveSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.ResolveSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 0) {
+		t.Fatalf("post-compaction mutations diverge from rebuild:\ngot %v\nwant %v", got, want)
+	}
+}
+
 // TestResolverConfigErrors covers constructor validation.
 func TestResolverConfigErrors(t *testing.T) {
 	_, set := syntheticSets(5)

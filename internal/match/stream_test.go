@@ -148,6 +148,48 @@ func TestTokenReuseMatchesFreshTokenization(t *testing.T) {
 	}
 }
 
+// TestInternedMatchesStringFallback pins the interned pipeline against the
+// string-keyed path at the mapping level: for every token-consuming
+// measure, a matcher on the profiled path (interned blocking columns,
+// ID-keyed token sets) must produce the exact correspondence sequence —
+// scores and insertion order — of the same matcher forced onto the
+// per-pair string fallback by hiding the measure behind a closure.
+func TestInternedMatchesStringFallback(t *testing.T) {
+	a, b := syntheticPubs(90)
+	for _, fn := range []struct {
+		name string
+		sim  sim.Func
+	}{
+		{"TokenJaccard", sim.TokenJaccard},
+		{"TokenDice", sim.TokenDice},
+		{"Trigram", sim.Trigram},
+		{"MongeElkan", sim.MongeElkanJaroWinkler},
+		{"PersonName", sim.PersonName},
+	} {
+		bl := block.TokenBlocking{AttrA: "title", AttrB: "name", MinShared: 1}
+		interned := &Attribute{
+			MatcherName: fn.name, AttrA: "title", AttrB: "name",
+			Sim: fn.sim, Threshold: 0.25, Blocker: bl,
+		}
+		// Wrapping in a closure defeats ProfiledOf: scoring falls back to
+		// raw string pairs, bypassing profiles and interning entirely.
+		wrapped := func(x, y string) float64 { return fn.sim(x, y) }
+		stringPath := &Attribute{
+			MatcherName: fn.name + "-strings", AttrA: "title", AttrB: "name",
+			Sim: wrapped, Threshold: 0.25, Blocker: bl,
+		}
+		mi, err := interned.Match(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := stringPath.Match(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mappingsIdentical(t, mi, ms, fn.name+" interned vs string fallback")
+	}
+}
+
 // TestTFIDFTokenReuse covers the corpus-backed measure's ProfileTokens path
 // (blocking attribute == match attribute).
 func TestTFIDFTokenReuse(t *testing.T) {

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -44,16 +45,22 @@ type Server struct {
 	metrics *metrics
 	start   time.Time
 
-	// mu serializes state-changing requests and their same-mapping deltas:
-	// resolvers are internally concurrency-safe, but an add touches the
-	// object set, the resolver and the repository mapping together.
-	mu sync.Mutex
+	// State-changing requests are serialized per object set, not globally:
+	// an add touches the set's object set, resolver and delta mapping
+	// together, but sets share nothing, so resolves and adds against
+	// different sets never contend. locks lazily allocates one mutex per
+	// set name (delta-mapping reads key by the set the mapping belongs to).
+	locksMu sync.Mutex
+	locks   map[string]*sync.Mutex
 }
 
 // New returns a server over the system. Resolvers must already be
 // registered (System.RegisterResolver) for their sets to be resolvable.
 func New(sys *moma.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux(), metrics: newMetrics(), start: time.Now()}
+	s := &Server{
+		sys: sys, mux: http.NewServeMux(), metrics: newMetrics(), start: time.Now(),
+		locks: make(map[string]*sync.Mutex),
+	}
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("POST /sets/{set}/resolve", "resolve", s.handleResolve)
 	s.route("POST /sets/{set}/instances", "add_instance", s.handleAddInstance)
@@ -89,6 +96,28 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 		return err
 	}
 	return nil
+}
+
+// lockFor returns the mutex shard of one object set, allocating it on first
+// use. Handlers touching a set's mutable state (resolver membership, the
+// registered object set, the live.<set> delta mapping) hold this lock, and
+// only this lock, so traffic against different sets proceeds in parallel.
+func (s *Server) lockFor(set string) *sync.Mutex {
+	s.locksMu.Lock()
+	defer s.locksMu.Unlock()
+	mu, ok := s.locks[set]
+	if !ok {
+		mu = &sync.Mutex{}
+		s.locks[set] = mu
+	}
+	return mu
+}
+
+// setOfMapping maps a repository mapping name to the lock shard guarding it:
+// delta mappings "live.<set>" mutate under their set's lock; any other
+// mapping is keyed by its own name (no writer shares it).
+func setOfMapping(name string) string {
+	return strings.TrimPrefix(name, deltaMappingPrefix)
 }
 
 // route installs an instrumented handler: every request is counted and its
@@ -242,8 +271,9 @@ func (s *Server) handleAddInstance(w http.ResponseWriter, r *http.Request) (int,
 	}
 	in := model.NewInstance(model.ID(req.ID), req.Attrs)
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	mu := s.lockFor(setName)
+	mu.Lock()
+	defer mu.Unlock()
 	// A re-add replaces the instance: its correspondences in the delta
 	// mapping describe the previous attribute values and must not survive.
 	if res.Has(in.ID) {
@@ -291,8 +321,9 @@ func (s *Server) handleRemoveInstance(w http.ResponseWriter, r *http.Request) (i
 	if !ok {
 		return http.StatusNotFound, fmt.Errorf("no resolver for set %q", setName)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	mu := s.lockFor(setName)
+	mu.Lock()
+	defer mu.Unlock()
 	if !res.Remove(id) {
 		return http.StatusNotFound, fmt.Errorf("no live instance %q in %q", id, setName)
 	}
@@ -310,7 +341,7 @@ func (s *Server) handleRemoveInstance(w http.ResponseWriter, r *http.Request) (i
 }
 
 // dropFromDeltaLocked removes every correspondence touching id from the
-// set's delta mapping. Callers hold s.mu.
+// set's delta mapping. Callers hold the set's lock.
 func (s *Server) dropFromDeltaLocked(setName string, id model.ID) error {
 	name := deltaMappingName(setName)
 	m, ok := s.sys.Repo.Get(name)
@@ -340,8 +371,10 @@ func (s *Server) handleGetMapping(w http.ResponseWriter, r *http.Request) (int, 
 		}
 		limit = n
 	}
-	// Serialize under the server mutex: live.<set> mappings mutate on adds.
-	s.mu.Lock()
+	// Serialize under the owning set's lock: live.<set> mappings mutate on
+	// adds to that set (reads of other sets' mappings proceed in parallel).
+	mu := s.lockFor(setOfMapping(name))
+	mu.Lock()
 	resp := MappingResponse{
 		Name:   name,
 		Domain: m.Domain().String(),
@@ -358,34 +391,35 @@ func (s *Server) handleGetMapping(w http.ResponseWriter, r *http.Request) (int, 
 			Domain: string(c.Domain), Range: string(c.Range), Sim: c.Sim,
 		})
 	}
-	s.mu.Unlock()
+	mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
 }
 
-// recordDeltaLocked appends an arrival's matches to the set's delta
+// recordDeltaLocked merges an arrival's matches into the set's delta
 // same-mapping ("live.<set>") in the repository, creating it on first use.
-// Callers hold s.mu.
+// The store applies the rows and — for WAL-backed repositories — persists
+// exactly these delta rows in the same critical section, so an acknowledged
+// arrival survives a crash without rewriting the whole mapping per add.
+// Callers hold the set's lock.
 func (s *Server) recordDeltaLocked(setName string, res *moma.LiveResolver, id model.ID, matches []moma.LiveMatch) (string, error) {
 	name := deltaMappingName(setName)
-	m, ok := s.sys.Repo.Get(name)
-	if !ok {
-		m = mapping.NewSame(res.LDS(), res.LDS())
+	rows := make([]mapping.Correspondence, len(matches))
+	for i, match := range matches {
+		rows[i] = mapping.Correspondence{Domain: id, Range: match.ID, Sim: match.Sim}
 	}
-	for _, match := range matches {
-		m.AddMax(id, match.ID, match.Sim)
-	}
-	// Put (re-)stores the mapping: a no-op rebind for the in-memory store,
-	// a WAL append for persistent repositories.
-	if err := s.sys.Repo.Put(name, m); err != nil {
+	if err := s.sys.Repo.PutDelta(name, res.LDS(), res.LDS(), model.SameMappingType, rows); err != nil {
 		return "", err
 	}
 	return name, nil
 }
 
-// deltaMappingName names the repository mapping accumulating a set's
+// deltaMappingPrefix prefixes the repository mappings accumulating a set's
 // online same-mapping deltas.
-func deltaMappingName(setName string) string { return "live." + setName }
+const deltaMappingPrefix = "live."
+
+// deltaMappingName names the delta mapping of one set.
+func deltaMappingName(setName string) string { return deltaMappingPrefix + setName }
 
 // rankMatches sorts by similarity descending (ties by id) and applies the
 // limit. The resolver returns set insertion order; an API consumer wants

@@ -42,24 +42,6 @@ func ngrams(s string, n int) []string {
 	return uniqueSorted(grams)
 }
 
-// overlap returns |a ∩ b| for two sorted, deduplicated gram slices.
-func overlap(a, b []string) int {
-	i, j, cnt := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			cnt++
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return cnt
-}
-
 // NGramDice is the Dice coefficient 2·|A∩B| / (|A|+|B|) over character
 // n-gram sets. Two empty strings are identical (1); one empty string never
 // matches (0).

@@ -35,16 +35,27 @@ type Profile struct {
 	NormSpace string
 	// Runes is []rune(Norm) (edit-distance and affix measures).
 	Runes []rune
-	// Tokens is Tokens(Raw) in order (Monge-Elkan, person names).
+	// Tokens is Tokens(Raw) in order. The token-sequence measures
+	// (Monge-Elkan, person names) score tokens character-wise and keep
+	// strings; see the intern.go package comment.
 	Tokens []string
-	// SortedTokens is the sorted, deduplicated token set.
-	SortedTokens []string
+	// SortedTokenIDs is the sorted, deduplicated token-ID set (interned in
+	// Terms) for the token-overlap measures. ExtraTokens counts distinct
+	// tokens of the value that are absent from the dictionary — produced
+	// only by the lookup-only ProfileQuery path, where unknown tokens
+	// cannot intersect anything but still belong to the set cardinality.
+	SortedTokenIDs []uint32
+	ExtraTokens    int
 	// Grams is the sorted, deduplicated FNV-1a hash set of the padded
 	// character n-grams (n fixed by the producing measure).
 	Grams []uint64
-	// Terms/Weights is the TF-IDF document vector sorted by term, and
-	// WeightNorm2 its squared Euclidean norm.
-	Terms       []string
+	// TermIDs/TermKeys/Weights is the TF-IDF document vector: term IDs
+	// (Terms dict) with their content keys (Dict.Key), sorted by key, and
+	// the aligned tf-idf weights; WeightNorm2 is the squared Euclidean
+	// norm. The content-key order makes the cosine dot product independent
+	// of dictionary insertion order (see intern.go).
+	TermIDs     []uint32
+	TermKeys    []uint64
 	Weights     []float64
 	WeightNorm2 float64
 	// Code is the Soundex code of the first token.
@@ -73,14 +84,28 @@ func Pair(ps ProfiledSim) PairFunc { return ps.Compare }
 
 // TokenProfiler is implemented by profiled measures whose Profile stage
 // tokenizes the value. ProfileTokens builds the same profile from an
-// already-computed Tokens(s) slice, skipping the re-tokenization — the
-// blocking layer tokenizes the blocking attribute anyway, and when the match
-// attribute coincides the profile build reuses that work. toks must equal
-// Tokens(s) and is treated as read-only (implementations copy before
-// sorting), so one cached slice can feed several consumers.
+// already-interned token column, skipping the re-tokenization — the
+// blocking layer tokenizes and interns the blocking attribute anyway
+// (block.Tokens), and when the match attribute coincides the profile build
+// reuses that work. toks must be the Terms IDs of Tokens(s) in order and is
+// treated as read-only (implementations copy before sorting), so one cached
+// slice can feed several consumers.
 type TokenProfiler interface {
 	ProfiledSim
-	ProfileTokens(s string, toks []string) *Profile
+	ProfileTokens(s string, toks []uint32) *Profile
+}
+
+// QueryProfiler is implemented by profiled measures whose Profile stage
+// interns tokens. ProfileQuery builds a profile that scores bit-identically
+// to Profile(s) against any profile of interned values, but looks tokens up
+// without interning them: a token the dictionary has never seen cannot
+// match anything interned, so it contributes only its cardinality (token
+// sets) or its weight (TF-IDF norms). Read-side callers — the live
+// resolver profiling query records — use it so an unbounded stream of
+// distinct queries never grows the process-global dictionary.
+type QueryProfiler interface {
+	ProfiledSim
+	ProfileQuery(s string) *Profile
 }
 
 // profiledByFunc maps the code pointer of a built-in Func to its profiled
@@ -157,24 +182,6 @@ func hashedGrams(norm string, n int) []uint64 {
 	return slices.Compact(out)
 }
 
-// overlapU64 returns |a ∩ b| for two sorted, deduplicated hash slices.
-func overlapU64(a, b []uint64) int {
-	i, j, cnt := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			cnt++
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return cnt
-}
-
 type ngramProfiled struct {
 	n    int
 	dice bool
@@ -193,7 +200,7 @@ func (g ngramProfiled) Compare(a, b *Profile) float64 {
 	if len(ga) == 0 || len(gb) == 0 {
 		return 0
 	}
-	inter := overlapU64(ga, gb)
+	inter := overlap(ga, gb)
 	if g.dice {
 		return clamp01(2 * float64(inter) / float64(len(ga)+len(gb)))
 	}
@@ -208,28 +215,46 @@ type tokenProfiled struct {
 }
 
 func (t tokenProfiled) Profile(s string) *Profile {
-	return &Profile{Raw: s, SortedTokens: uniqueSorted(Tokens(s))}
+	return &Profile{Raw: s, SortedTokenIDs: uniqueSorted(Terms.TokenIDs(s))}
 }
 
 // ProfileTokens implements TokenProfiler. uniqueSorted sorts in place, so
 // the shared slice is copied first.
-func (t tokenProfiled) ProfileTokens(s string, toks []string) *Profile {
-	return &Profile{Raw: s, SortedTokens: uniqueSorted(slices.Clone(toks))}
+func (t tokenProfiled) ProfileTokens(s string, toks []uint32) *Profile {
+	return &Profile{Raw: s, SortedTokenIDs: uniqueSorted(slices.Clone(toks))}
+}
+
+// ProfileQuery implements QueryProfiler: unknown tokens are counted, not
+// interned — they can intersect nothing, but Jaccard and Dice divide by the
+// set sizes, which must include them.
+func (t tokenProfiled) ProfileQuery(s string) *Profile {
+	toks := uniqueSorted(Tokens(s))
+	known := make([]uint32, 0, len(toks))
+	extra := 0
+	for _, tok := range toks {
+		if id, ok := Terms.Lookup(tok); ok {
+			known = append(known, id)
+		} else {
+			extra++
+		}
+	}
+	return &Profile{Raw: s, SortedTokenIDs: uniqueSorted(known), ExtraTokens: extra}
 }
 
 func (t tokenProfiled) Compare(a, b *Profile) float64 {
-	ta, tb := a.SortedTokens, b.SortedTokens
-	if len(ta) == 0 && len(tb) == 0 {
+	na := len(a.SortedTokenIDs) + a.ExtraTokens
+	nb := len(b.SortedTokenIDs) + b.ExtraTokens
+	if na == 0 && nb == 0 {
 		return 1
 	}
-	if len(ta) == 0 || len(tb) == 0 {
+	if na == 0 || nb == 0 {
 		return 0
 	}
-	inter := overlap(ta, tb)
+	inter := overlap(a.SortedTokenIDs, b.SortedTokenIDs)
 	if t.dice {
-		return clamp01(2 * float64(inter) / float64(len(ta)+len(tb)))
+		return clamp01(2 * float64(inter) / float64(na+nb))
 	}
-	union := len(ta) + len(tb) - inter
+	union := na + nb - inter
 	return clamp01(float64(inter) / float64(union))
 }
 
@@ -355,10 +380,11 @@ func (mongeElkanProfiled) Profile(s string) *Profile {
 	return &Profile{Raw: s, Tokens: Tokens(s)}
 }
 
-// ProfileTokens implements TokenProfiler; Compare never mutates Tokens, so
-// the shared slice is referenced directly.
-func (mongeElkanProfiled) ProfileTokens(s string, toks []string) *Profile {
-	return &Profile{Raw: s, Tokens: toks}
+// ProfileTokens implements TokenProfiler; the interned column is resolved
+// back to strings once per value (token-sequence measures score tokens
+// character-wise and need the text).
+func (mongeElkanProfiled) ProfileTokens(s string, toks []uint32) *Profile {
+	return &Profile{Raw: s, Tokens: Terms.Strs(toks)}
 }
 
 func (mongeElkanProfiled) Compare(a, b *Profile) float64 {
@@ -371,9 +397,9 @@ func (personNameProfiled) Profile(s string) *Profile {
 	return &Profile{Raw: s, Tokens: Tokens(s)}
 }
 
-// ProfileTokens implements TokenProfiler (read-only token access).
-func (personNameProfiled) ProfileTokens(s string, toks []string) *Profile {
-	return &Profile{Raw: s, Tokens: toks}
+// ProfileTokens implements TokenProfiler (see mongeElkanProfiled).
+func (personNameProfiled) ProfileTokens(s string, toks []uint32) *Profile {
+	return &Profile{Raw: s, Tokens: Terms.Strs(toks)}
 }
 
 func (personNameProfiled) Compare(a, b *Profile) float64 {

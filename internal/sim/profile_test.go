@@ -2,6 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"sync"
 	"testing"
 )
 
@@ -99,10 +103,10 @@ func TestProfileTokensMatchesProfile(t *testing.T) {
 		}
 		tokenProfilers++
 		for _, s := range profileEdgeCases {
-			toks := Tokens(s)
-			var shared []string
+			toks := Terms.TokenIDs(s)
+			var shared []uint32
 			if toks != nil {
-				shared = append([]string(nil), toks...)
+				shared = append([]uint32(nil), toks...)
 			}
 			fromTokens := tp.ProfileTokens(s, shared)
 			fresh := tp.Profile(s)
@@ -186,6 +190,304 @@ func TestTFIDFAddInvalidatesCache(t *testing.T) {
 	}
 	if want := fresh.Cosine("view selection", "view maintenance"); after != want {
 		t.Errorf("cached cosine %v, fresh corpus %v", after, want)
+	}
+}
+
+// stringTFIDFReference is a from-scratch, dictionary-free TF-IDF cosine:
+// document frequencies keyed by token strings, weights computed exactly as
+// the corpus does, and the dot product accumulated over the intersection in
+// content-key order (the canonical order of the interned implementation).
+// It is the string-keyed reference the ID-keyed path must match at eps 0.
+type stringTFIDFReference struct {
+	docFreq map[string]int
+	docs    int
+}
+
+func newStringTFIDFReference(docs []string) *stringTFIDFReference {
+	r := &stringTFIDFReference{docFreq: make(map[string]int)}
+	for _, d := range docs {
+		r.docs++
+		for _, tok := range uniqueSorted(Tokens(d)) {
+			r.docFreq[tok]++
+		}
+	}
+	return r
+}
+
+func (r *stringTFIDFReference) remove(doc string) {
+	r.docs--
+	for _, tok := range uniqueSorted(Tokens(doc)) {
+		if r.docFreq[tok] <= 1 {
+			delete(r.docFreq, tok)
+		} else {
+			r.docFreq[tok]--
+		}
+	}
+}
+
+type refTerm struct {
+	tok string
+	key uint64
+	w   float64
+}
+
+func (r *stringTFIDFReference) vector(doc string) ([]refTerm, float64) {
+	toks := Tokens(doc)
+	if len(toks) == 0 {
+		return nil, 0
+	}
+	counts := make(map[string]int)
+	for _, tok := range toks {
+		counts[tok]++
+	}
+	out := make([]refTerm, 0, len(counts))
+	for tok, c := range counts {
+		df := r.docFreq[tok]
+		if df < 1 {
+			df = 1
+		}
+		idf := math.Log(1 + float64(r.docs)/float64(df))
+		tf := 1 + math.Log(float64(c))
+		out = append(out, refTerm{tok: tok, key: dictKey(tok), w: tf * idf})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key != out[j].key {
+			return out[i].key < out[j].key
+		}
+		return out[i].tok < out[j].tok
+	})
+	var norm2 float64
+	for _, t := range out {
+		norm2 += t.w * t.w
+	}
+	return out, norm2
+}
+
+func (r *stringTFIDFReference) cosine(a, b string) float64 {
+	va, na := r.vector(a)
+	vb, nb := r.vector(b)
+	if len(va) == 0 && len(vb) == 0 {
+		return 1
+	}
+	if len(va) == 0 || len(vb) == 0 {
+		return 0
+	}
+	var dot float64
+	i, j := 0, 0
+	for i < len(va) && j < len(vb) {
+		switch {
+		case va[i].tok == vb[j].tok:
+			dot += va[i].w * vb[j].w
+			i++
+			j++
+		case va[i].key < vb[j].key:
+			i++
+		case va[i].key > vb[j].key:
+			j++
+		case va[i].tok < vb[j].tok:
+			i++
+		default:
+			j++
+		}
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return clamp01(dot / (math.Sqrt(na) * math.Sqrt(nb)))
+}
+
+// TestTFIDFMatchesStringReference pins the interned, ID-keyed TF-IDF path
+// bit-identically (eps 0) against the dictionary-free string reference, for
+// both the cached Cosine entry point and the profiled pair path — including
+// after removals reshaped the corpus.
+func TestTFIDFMatchesStringReference(t *testing.T) {
+	corpus := NewTFIDF()
+	corpus.AddAll(profileEdgeCases)
+	ref := newStringTFIDFReference(profileEdgeCases)
+	check := func(label string) {
+		t.Helper()
+		ps := corpus.Profiled()
+		profiles := make([]*Profile, len(profileEdgeCases))
+		for i, s := range profileEdgeCases {
+			profiles[i] = ps.Profile(s)
+		}
+		for i, a := range profileEdgeCases {
+			for j, b := range profileEdgeCases {
+				want := ref.cosine(a, b)
+				if got := corpus.Cosine(a, b); got != want {
+					t.Errorf("%s: Cosine(%q, %q) = %v, string reference %v", label, a, b, got, want)
+				}
+				if got := ps.Compare(profiles[i], profiles[j]); got != want {
+					t.Errorf("%s: profiled(%q, %q) = %v, string reference %v", label, a, b, got, want)
+				}
+			}
+		}
+	}
+	check("full corpus")
+	// Removals shift every idf; the reference and the corpus must keep
+	// agreeing on the reshaped statistics.
+	for _, doc := range profileEdgeCases[:8] {
+		corpus.Remove(doc)
+		ref.remove(doc)
+	}
+	check("after removals")
+}
+
+// TestTokenMeasureVectorsMatchStrings asserts the interned token-set
+// profiles carry exactly the token sets the string path computes: resolving
+// SortedTokenIDs back through the dictionary equals uniqueSorted(Tokens(s))
+// as a set.
+func TestTokenMeasureVectorsMatchStrings(t *testing.T) {
+	ps, _ := ProfiledOf(TokenJaccard)
+	for _, s := range profileEdgeCases {
+		prof := ps.Profile(s)
+		got := map[string]bool{}
+		for _, id := range prof.SortedTokenIDs {
+			got[Terms.Str(id)] = true
+		}
+		want := map[string]bool{}
+		for _, tok := range uniqueSorted(Tokens(s)) {
+			want[tok] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("SortedTokenIDs(%q): %v != %v", s, got, want)
+		}
+		for tok := range want {
+			if !got[tok] {
+				t.Fatalf("SortedTokenIDs(%q) misses %q", s, tok)
+			}
+		}
+	}
+}
+
+// TestProfileQueryMatchesProfile pins the lookup-only query profiling path:
+// for every QueryProfiler, a ProfileQuery profile must score bit-identically
+// to a Profile profile against any interned-value profile — including query
+// values whose tokens the dictionary has never seen — and building it must
+// not grow the dictionary.
+func TestProfileQueryMatchesProfile(t *testing.T) {
+	corpus := NewTFIDF()
+	corpus.AddAll(profileEdgeCases)
+	profilers := map[string]ProfiledSim{"tfidf-corpus": corpus.Profiled()}
+	for _, name := range []string{"TokenJaccard", "TokenDice"} {
+		fn, _ := NewRegistry().Lookup(name)
+		profilers[name], _ = ProfiledOf(fn)
+	}
+	queryProfilers := 0
+	for name, ps := range profilers {
+		qp, ok := ps.(QueryProfiler)
+		if !ok {
+			continue
+		}
+		queryProfilers++
+		// Query values mixing interned tokens with tokens nothing has ever
+		// interned (per-measure suffixes stay unknown until this measure's
+		// own Profile call below interns them).
+		queries := append([]string{
+			"zzqx" + name + "1 view selection",
+			"zzqx" + name + "2 zzqx" + name + "3",
+			"zzqx" + name + "2 zzqx" + name + "2",
+			"the zzqx" + name + "4 problem",
+		}, profileEdgeCases...)
+		// Build every set-side profile first (interning those values), then
+		// the query profiles lookup-only.
+		setProfiles := make([]*Profile, len(profileEdgeCases))
+		for i, s := range profileEdgeCases {
+			setProfiles[i] = ps.Profile(s)
+		}
+		for _, q := range queries {
+			before := Terms.Len()
+			fromQuery := qp.ProfileQuery(q)
+			if got := Terms.Len(); got != before {
+				t.Fatalf("%s: ProfileQuery(%q) grew the dictionary %d -> %d", name, q, before, got)
+			}
+			// Profile interns q's tokens; computed after, so the query-side
+			// profile above genuinely saw them as unknown.
+			fromProfile := ps.Profile(q)
+			for i, po := range setProfiles {
+				got, want := qp.Compare(fromQuery, po), qp.Compare(fromProfile, po)
+				if got != want {
+					t.Errorf("%s: ProfileQuery(%q) vs %q = %v, Profile path %v",
+						name, q, profileEdgeCases[i], got, want)
+				}
+			}
+		}
+	}
+	if queryProfilers < 3 {
+		t.Errorf("only %d query-profiling measures found, want >= 3", queryProfilers)
+	}
+}
+
+// TestDictBasics covers the dictionary contract: stable IDs, reverse
+// lookup, lookup-only probing, and tokenization equivalence with Tokens.
+func TestDictBasics(t *testing.T) {
+	d := NewDict()
+	if _, ok := d.Lookup("view"); ok {
+		t.Fatal("empty dict claims a token")
+	}
+	id := d.ID("view")
+	if again := d.ID("view"); again != id {
+		t.Fatalf("re-interning changed the ID: %d != %d", again, id)
+	}
+	if got, ok := d.Lookup("view"); !ok || got != id {
+		t.Fatalf("Lookup = %d/%v, want %d/true", got, ok, id)
+	}
+	if d.Str(id) != "view" {
+		t.Fatalf("Str(%d) = %q", id, d.Str(id))
+	}
+	if d.Key(id) != dictKey("view") {
+		t.Fatal("Key must be the content hash")
+	}
+	for _, s := range profileEdgeCases {
+		toks := Tokens(s)
+		ids := d.TokenIDs(s)
+		if len(ids) != len(toks) {
+			t.Fatalf("TokenIDs(%q): %d ids for %d tokens", s, len(ids), len(toks))
+		}
+		for i, tok := range toks {
+			if d.Str(ids[i]) != tok {
+				t.Fatalf("TokenIDs(%q)[%d] = %q, want %q", s, i, d.Str(ids[i]), tok)
+			}
+		}
+		if !reflect.DeepEqual(d.LookupTokenIDs(s), ids) && len(ids) > 0 {
+			t.Fatalf("LookupTokenIDs(%q) after interning diverges from TokenIDs", s)
+		}
+	}
+	if d.Len() == 0 {
+		t.Fatal("dict is empty after interning the edge cases")
+	}
+	if got := d.LookupTokenIDs("zzz-never-interned-zzz"); got != nil && len(got) != 0 {
+		t.Fatalf("LookupTokenIDs of unknown tokens = %v, want none", got)
+	}
+}
+
+// TestDictConcurrent hammers one dictionary from concurrent interners and
+// readers; under -race this proves the sharded locking, and every ID must
+// resolve back to its string.
+func TestDictConcurrent(t *testing.T) {
+	d := NewDict()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tok := fmt.Sprintf("tok%03d", (i*7+w)%200)
+				id := d.ID(tok)
+				if d.Str(id) != tok {
+					t.Errorf("Str(ID(%q)) = %q", tok, d.Str(id))
+					return
+				}
+				if lid, ok := d.Lookup(tok); !ok || lid != id {
+					t.Errorf("Lookup(%q) = %d/%v, want %d", tok, lid, ok, id)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != 200 {
+		t.Fatalf("dict holds %d terms, want 200", d.Len())
 	}
 }
 

@@ -19,8 +19,9 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"unicode"
 )
@@ -155,9 +156,10 @@ func Tokens(s string) []string {
 	return strings.Split(n, " ")
 }
 
-// uniqueSorted sorts and deduplicates in place.
-func uniqueSorted(xs []string) []string {
-	sort.Strings(xs)
+// uniqueSorted sorts and deduplicates in place. It serves every token-set
+// representation in the package: strings, hashed grams, interned term IDs.
+func uniqueSorted[T cmp.Ordered](xs []T) []T {
+	slices.Sort(xs)
 	out := xs[:0]
 	for i, x := range xs {
 		if i == 0 || xs[i-1] != x {
@@ -165,6 +167,24 @@ func uniqueSorted(xs []string) []string {
 		}
 	}
 	return out
+}
+
+// overlap returns |a ∩ b| for two sorted, deduplicated slices.
+func overlap[T cmp.Ordered](a, b []T) int {
+	i, j, cnt := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			cnt++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return cnt
 }
 
 // clamp01 guards against floating-point drift outside [0,1].

@@ -11,6 +11,14 @@ import (
 // Cosine (or the Func adapter) to score pairs. Rare tokens then weigh more
 // than stop-words, which is what makes TF/IDF effective on titles.
 //
+// Document frequencies and document vectors are keyed by interned term IDs
+// (the global Terms dictionary): registering a document hashes each token
+// string once, and everything downstream — idf lookups, vector terms, the
+// cosine merge — moves uint32 IDs. Vectors are sorted by the terms' content
+// keys (Dict.Key), an order that is a pure function of the term set, so the
+// floating-point dot product is bit-identical however the corpus (or the
+// dictionary) was grown; see intern.go.
+//
 // Document vectors are computed once per distinct document and cached:
 // Cosine tokenizes and weights each attribute value on first sight only,
 // instead of on every one of the O(n·m) pair comparisons. The cache is
@@ -18,24 +26,30 @@ import (
 // Add/AddAll must still finish before scoring starts (they invalidate the
 // cache, since new documents change every idf).
 type TFIDF struct {
-	docFreq map[string]int
+	docFreq map[uint32]int
 	docs    int
 
 	mu   sync.RWMutex
 	vecs map[string]*docVec
 }
 
-// docVec is one cached tf-idf document vector: terms sorted, weights
-// aligned with terms, norm2 the squared Euclidean norm of the weights.
+// docVec is one cached tf-idf document vector: term IDs with their content
+// keys, sorted by key, weights aligned, norm2 the squared Euclidean norm of
+// the weights. extra counts distinct terms omitted from the merge lists
+// because the dictionary has never seen them (query-side vectors only):
+// they can match nothing, but the emptiness semantics of the cosine — "no
+// terms at all" versus "no interned terms" — must count them.
 type docVec struct {
-	terms   []string
+	ids     []uint32
+	keys    []uint64
 	weights []float64
 	norm2   float64
+	extra   int
 }
 
 // NewTFIDF returns an empty corpus model.
 func NewTFIDF() *TFIDF {
-	return &TFIDF{docFreq: make(map[string]int), vecs: make(map[string]*docVec)}
+	return &TFIDF{docFreq: make(map[uint32]int), vecs: make(map[string]*docVec)}
 }
 
 // Add registers one document (attribute value) with the corpus.
@@ -47,8 +61,8 @@ func (t *TFIDF) Add(doc string) {
 	}
 	t.mu.Unlock()
 	t.docs++
-	for _, tok := range uniqueSorted(Tokens(doc)) {
-		t.docFreq[tok]++
+	for _, id := range uniqueSorted(Terms.TokenIDs(doc)) {
+		t.docFreq[id]++
 	}
 }
 
@@ -71,11 +85,11 @@ func (t *TFIDF) Remove(doc string) {
 	}
 	t.mu.Unlock()
 	t.docs--
-	for _, tok := range uniqueSorted(Tokens(doc)) {
-		if t.docFreq[tok] <= 1 {
-			delete(t.docFreq, tok)
+	for _, id := range uniqueSorted(Terms.TokenIDs(doc)) {
+		if t.docFreq[id] <= 1 {
+			delete(t.docFreq, id)
 		} else {
-			t.docFreq[tok]--
+			t.docFreq[id]--
 		}
 	}
 }
@@ -83,50 +97,130 @@ func (t *TFIDF) Remove(doc string) {
 // Docs returns the number of registered documents.
 func (t *TFIDF) Docs() int { return t.docs }
 
-// idf returns the smoothed inverse document frequency of a token. Unknown
-// tokens get the maximal weight (as if they occurred in one document).
-func (t *TFIDF) idf(token string) float64 {
-	df := t.docFreq[token]
+// idf returns the smoothed inverse document frequency of a term ID. Unknown
+// terms get the maximal weight (as if they occurred in one document).
+func (t *TFIDF) idf(id uint32) float64 {
+	return t.idfDF(t.docFreq[id])
+}
+
+// idfDF is the smoothing formula over a raw document frequency — the single
+// definition both the interned path and the lookup-only query path weight
+// with, so their scores cannot drift apart.
+func (t *TFIDF) idfDF(df int) float64 {
 	if df < 1 {
 		df = 1
 	}
 	return math.Log(1 + float64(t.docs)/float64(df))
 }
 
-// vector builds the tf-idf weight vector (sorted by token) of a document.
-func (t *TFIDF) vector(doc string) ([]string, []float64) {
-	return t.vectorTokens(Tokens(doc))
+// vectorTokens builds the tf-idf weight vector of a pre-interned document.
+// toks is read-only: term counts go through a fresh map. The vector is
+// sorted by the terms' content keys with the string as the (in practice
+// unreachable) collision tiebreak, so the order depends only on the term
+// set.
+func (t *TFIDF) vectorTokens(toks []uint32) *docVec {
+	if len(toks) == 0 {
+		return &docVec{}
+	}
+	counts := make(map[uint32]int, len(toks))
+	for _, id := range toks {
+		counts[id]++
+	}
+	v := &docVec{
+		ids:  make([]uint32, 0, len(counts)),
+		keys: make([]uint64, 0, len(counts)),
+	}
+	for id := range counts {
+		v.ids = append(v.ids, id)
+		v.keys = append(v.keys, Terms.Key(id))
+	}
+	sort.Sort(byTermKey{v})
+	v.weights = make([]float64, len(v.ids))
+	for i, id := range v.ids {
+		tf := 1 + math.Log(float64(counts[id]))
+		w := tf * t.idf(id)
+		v.weights[i] = w
+		v.norm2 += w * w
+	}
+	return v
 }
 
-// vectorTokens builds the weight vector from a pre-tokenized document. toks
-// is read-only: term counts go through a fresh map.
-func (t *TFIDF) vectorTokens(toks []string) ([]string, []float64) {
+// byTermKey sorts a docVec's ids/keys in tandem by (key, term string).
+type byTermKey struct{ v *docVec }
+
+func (s byTermKey) Len() int { return len(s.v.ids) }
+func (s byTermKey) Less(i, j int) bool {
+	if s.v.keys[i] != s.v.keys[j] {
+		return s.v.keys[i] < s.v.keys[j]
+	}
+	if s.v.ids[i] == s.v.ids[j] {
+		return false
+	}
+	return Terms.Str(s.v.ids[i]) < Terms.Str(s.v.ids[j])
+}
+func (s byTermKey) Swap(i, j int) {
+	s.v.ids[i], s.v.ids[j] = s.v.ids[j], s.v.ids[i]
+	s.v.keys[i], s.v.keys[j] = s.v.keys[j], s.v.keys[i]
+}
+
+// buildVec materializes the cached form of a document vector.
+func (t *TFIDF) buildVec(doc string) *docVec {
+	return t.vectorTokens(Terms.TokenIDs(doc))
+}
+
+// vectorQuery builds a query-side vector without interning. Terms absent
+// from the dictionary cannot match any corpus term and are omitted from the
+// merge lists, but their weights still enter norm2 — in the same canonical
+// (content-key, string) order and with the same maximal idf an interned
+// build would give them (a token unknown to the dictionary has document
+// frequency zero in every corpus fed from it), so the cosine is
+// bit-identical to profiling the same value through buildVec.
+func (t *TFIDF) vectorQuery(doc string) *docVec {
+	toks := Tokens(doc)
 	if len(toks) == 0 {
-		return nil, nil
+		return &docVec{}
 	}
 	counts := make(map[string]int, len(toks))
 	for _, tok := range toks {
 		counts[tok]++
 	}
-	terms := make([]string, 0, len(counts))
-	for tok := range counts {
-		terms = append(terms, tok)
+	type qterm struct {
+		tok   string
+		key   uint64
+		id    uint32
+		known bool
+		n     int
 	}
-	sort.Strings(terms)
-	weights := make([]float64, len(terms))
-	for i, tok := range terms {
-		tf := 1 + math.Log(float64(counts[tok]))
-		weights[i] = tf * t.idf(tok)
+	terms := make([]qterm, 0, len(counts))
+	for tok, n := range counts {
+		id, ok := Terms.Lookup(tok)
+		terms = append(terms, qterm{tok: tok, key: dictKey(tok), id: id, known: ok, n: n})
 	}
-	return terms, weights
-}
-
-// buildVec materializes the cached form of a document vector.
-func (t *TFIDF) buildVec(doc string) *docVec {
-	terms, weights := t.vector(doc)
-	v := &docVec{terms: terms, weights: weights}
-	for _, w := range weights {
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].key != terms[j].key {
+			return terms[i].key < terms[j].key
+		}
+		return terms[i].tok < terms[j].tok
+	})
+	v := &docVec{}
+	for _, q := range terms {
+		tf := 1 + math.Log(float64(q.n))
+		var w float64
+		if q.known {
+			w = tf * t.idf(q.id)
+		} else {
+			// A term the dictionary has never seen has df 0 in every corpus
+			// fed from it.
+			w = tf * t.idfDF(0)
+		}
 		v.norm2 += w * w
+		if q.known {
+			v.ids = append(v.ids, q.id)
+			v.keys = append(v.keys, q.key)
+			v.weights = append(v.weights, w)
+		} else {
+			v.extra++
+		}
 	}
 	return v
 }
@@ -152,24 +246,32 @@ func (t *TFIDF) cachedVector(doc string) *docVec {
 }
 
 // cosineVec is the cosine of two pre-built document vectors. The merge
-// walks both term lists in sorted order, exactly as the original per-pair
-// computation did, so scores are bit-identical.
-func cosineVec(ta []string, wa []float64, na float64, tb []string, wb []float64, nb float64) float64 {
-	if len(ta) == 0 && len(tb) == 0 {
+// walks both term lists in content-key order comparing integers; only a
+// 64-bit key collision between distinct terms (in practice never) falls
+// back to a string comparison to keep the order deterministic. aExtra and
+// bExtra count a side's un-interned terms (lookup-only query vectors), so
+// the emptiness short-circuits see the document's true term count.
+func cosineVec(aIDs []uint32, aKeys []uint64, aW []float64, na float64, aExtra int,
+	bIDs []uint32, bKeys []uint64, bW []float64, nb float64, bExtra int) float64 {
+	if len(aIDs)+aExtra == 0 && len(bIDs)+bExtra == 0 {
 		return 1
 	}
-	if len(ta) == 0 || len(tb) == 0 {
+	if len(aIDs)+aExtra == 0 || len(bIDs)+bExtra == 0 {
 		return 0
 	}
 	var dot float64
 	i, j := 0, 0
-	for i < len(ta) && j < len(tb) {
+	for i < len(aIDs) && j < len(bIDs) {
 		switch {
-		case ta[i] == tb[j]:
-			dot += wa[i] * wb[j]
+		case aIDs[i] == bIDs[j]:
+			dot += aW[i] * bW[j]
 			i++
 			j++
-		case ta[i] < tb[j]:
+		case aKeys[i] < bKeys[j]:
+			i++
+		case aKeys[i] > bKeys[j]:
+			j++
+		case Terms.Str(aIDs[i]) < Terms.Str(bIDs[j]):
 			i++
 		default:
 			j++
@@ -188,7 +290,8 @@ func cosineVec(ta []string, wa []float64, na float64, tb []string, wb []float64,
 // periodically to release the cache.
 func (t *TFIDF) Cosine(a, b string) float64 {
 	va, vb := t.cachedVector(a), t.cachedVector(b)
-	return cosineVec(va.terms, va.weights, va.norm2, vb.terms, vb.weights, vb.norm2)
+	return cosineVec(va.ids, va.keys, va.weights, va.norm2, va.extra,
+		vb.ids, vb.keys, vb.weights, vb.norm2, vb.extra)
 }
 
 // Func adapts the corpus model to the sim.Func interface.
@@ -205,21 +308,28 @@ type tfidfProfiled struct {
 }
 
 func (p tfidfProfiled) Profile(s string) *Profile {
-	v := p.t.buildVec(s)
-	return &Profile{Raw: s, Terms: v.terms, Weights: v.weights, WeightNorm2: v.norm2}
+	return vecProfile(s, p.t.buildVec(s))
 }
 
 // ProfileTokens implements TokenProfiler: the document vector is built from
-// an existing Tokens(s) slice instead of re-tokenizing.
-func (p tfidfProfiled) ProfileTokens(s string, toks []string) *Profile {
-	terms, weights := p.t.vectorTokens(toks)
-	out := &Profile{Raw: s, Terms: terms, Weights: weights}
-	for _, w := range weights {
-		out.WeightNorm2 += w * w
-	}
-	return out
+// an already-interned token column instead of re-tokenizing.
+func (p tfidfProfiled) ProfileTokens(s string, toks []uint32) *Profile {
+	return vecProfile(s, p.t.vectorTokens(toks))
+}
+
+// ProfileQuery implements QueryProfiler: the vector is built with lookups
+// only, so scoring a stream of distinct query records never grows the
+// dictionary.
+func (p tfidfProfiled) ProfileQuery(s string) *Profile {
+	return vecProfile(s, p.t.vectorQuery(s))
+}
+
+func vecProfile(s string, v *docVec) *Profile {
+	return &Profile{Raw: s, TermIDs: v.ids, TermKeys: v.keys, Weights: v.weights,
+		WeightNorm2: v.norm2, ExtraTokens: v.extra}
 }
 
 func (p tfidfProfiled) Compare(a, b *Profile) float64 {
-	return cosineVec(a.Terms, a.Weights, a.WeightNorm2, b.Terms, b.Weights, b.WeightNorm2)
+	return cosineVec(a.TermIDs, a.TermKeys, a.Weights, a.WeightNorm2, a.ExtraTokens,
+		b.TermIDs, b.TermKeys, b.Weights, b.WeightNorm2, b.ExtraTokens)
 }

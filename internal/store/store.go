@@ -64,21 +64,80 @@ func (s *Store) Put(name string, m *mapping.Mapping) error {
 	if _, exists := s.maps[name]; !exists {
 		s.order = append(s.order, name)
 	} else {
-		// Overwriting refreshes the entry's age: move it to the back of
-		// order so a bounded cache doesn't evict a just-written hot entry
-		// as if it were the oldest.
-		for i, n := range s.order {
-			if n == name {
-				s.order = append(append(s.order[:i:i], s.order[i+1:]...), name)
-				break
-			}
-		}
+		s.touchLocked(name)
 	}
 	s.maps[name] = m
 	if s.wal != nil {
 		if err := s.wal.logPut(name, m); err != nil {
 			return fmt.Errorf("store: wal append: %w", err)
 		}
+	}
+	s.evictLocked()
+	return nil
+}
+
+// touchLocked refreshes an existing entry's age: it moves to the back of
+// order so a bounded cache doesn't evict a just-written hot entry as if it
+// were the oldest. Callers hold mu.
+func (s *Store) touchLocked(name string) {
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(append(s.order[:i:i], s.order[i+1:]...), name)
+			break
+		}
+	}
+}
+
+// PutDelta merges delta correspondences into the named mapping in place —
+// AddMax per row, so a repeated pair keeps its best similarity — creating
+// the mapping (with the given endpoints and type) when absent. Persistent
+// stores log only the delta rows to the write-ahead log, inside the same
+// critical section as the in-memory mutation: the online resolution path
+// records each arrival's same-mapping delta through this entry point, so a
+// crash replay reconstructs exactly the deltas that were acknowledged, and
+// the log grows with the deltas instead of rewriting the full mapping per
+// arrival (which is what Put does).
+func (s *Store) PutDelta(name string, dom, rng model.LDS, mtype model.MappingType, rows []mapping.Correspondence) error {
+	if name == "" {
+		return fmt.Errorf("store: empty mapping name")
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, exists := s.maps[name]
+	if exists {
+		dom, rng, mtype = m.Domain(), m.Range(), m.Type()
+	}
+	// Log before mutating: a failed append then leaves neither memory nor
+	// disk with the rows, so the caller's error truly means "not recorded"
+	// and a later crash replay cannot disagree with what was served.
+	if s.wal != nil {
+		rec := walRecord{
+			Op:     "add",
+			Name:   name,
+			Domain: dom.String(),
+			Range:  rng.String(),
+			Type:   string(mtype),
+		}
+		for _, c := range rows {
+			rec.Rows = append(rec.Rows, corrRecord{D: string(c.Domain), R: string(c.Range), S: c.Sim})
+		}
+		if err := s.wal.append(rec); err != nil {
+			return fmt.Errorf("store: wal append: %w", err)
+		}
+	}
+	if !exists {
+		m = mapping.New(dom, rng, mtype)
+		s.maps[name] = m
+		s.order = append(s.order, name)
+	} else {
+		// Like Put, writing refreshes the entry's age in cache mode.
+		s.touchLocked(name)
+	}
+	for _, c := range rows {
+		m.AddMax(c.Domain, c.Range, c.Sim)
 	}
 	s.evictLocked()
 	return nil

@@ -22,9 +22,11 @@ const (
 	walFile      = "wal.jsonl"
 )
 
-// walRecord is one persisted operation.
+// walRecord is one persisted operation. "put" replaces a whole mapping,
+// "add" merges delta rows (AddMax) into an existing or fresh mapping, "del"
+// removes one.
 type walRecord struct {
-	Op     string       `json:"op"` // "put" or "del"
+	Op     string       `json:"op"` // "put", "add" or "del"
 	Name   string       `json:"name"`
 	Domain string       `json:"domain,omitempty"`
 	Range  string       `json:"range,omitempty"`
@@ -166,6 +168,20 @@ func (s *Store) replayFile(path string) error {
 				s.order = append(s.order, rec.Name)
 			}
 			s.maps[rec.Name] = m
+		case "add":
+			m, exists := s.maps[rec.Name]
+			if !exists {
+				empty := rec
+				empty.Rows = nil
+				if m, err = mappingFromRecord(empty); err != nil {
+					return err
+				}
+				s.maps[rec.Name] = m
+				s.order = append(s.order, rec.Name)
+			}
+			for _, row := range rec.Rows {
+				m.AddMax(model.ID(row.D), model.ID(row.R), row.S)
+			}
 		case "del":
 			if _, ok := s.maps[rec.Name]; ok {
 				delete(s.maps, rec.Name)

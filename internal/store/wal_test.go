@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/mapping"
+	"repro/internal/model"
 )
 
 func TestPersistenceRoundTrip(t *testing.T) {
@@ -160,6 +161,107 @@ func TestRecoveryPreservesOrder(t *testing.T) {
 	names := re.Names()
 	if len(names) != 2 || names[0] != "z" || names[1] != "a" {
 		t.Errorf("recovered order = %v", names)
+	}
+}
+
+// TestPutDeltaCrashReplay is the crash-consistency test of the online
+// delta path: every PutDelta persists its rows inside the call, so a
+// repository reopened from disk — without the writer ever closing, as after
+// a crash — holds exactly the acknowledged deltas, including AddMax
+// upgrades and interleaved full Puts.
+func TestPutDeltaCrashReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := func(rows ...mapping.Correspondence) {
+		t.Helper()
+		if err := s.PutDelta("live.ACM", dblpPub, acmPub, model.SameMappingType, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delta(mapping.Correspondence{Domain: "d1", Range: "r1", Sim: 0.8})
+	delta(mapping.Correspondence{Domain: "d2", Range: "r1", Sim: 0.7},
+		mapping.Correspondence{Domain: "d2", Range: "r2", Sim: 0.9})
+	// AddMax semantics: the higher similarity must win on replay too.
+	delta(mapping.Correspondence{Domain: "d1", Range: "r1", Sim: 0.95})
+	delta(mapping.Correspondence{Domain: "d1", Range: "r1", Sim: 0.5})
+	// An interleaved full Put (the remove path rewrites filtered mappings)
+	// must replace, and later deltas must build on it.
+	filtered, _ := s.Get("live.ACM")
+	if err := s.Put("live.ACM", filtered.Filter(func(c mapping.Correspondence) bool {
+		return c.Domain != "d2"
+	})); err != nil {
+		t.Fatal(err)
+	}
+	delta(mapping.Correspondence{Domain: "d3", Range: "r3", Sim: 0.6})
+	want, _ := s.Get("live.ACM")
+
+	// Crash: reopen from disk without closing the writer (PutDelta flushes
+	// per record, so everything acknowledged is on disk).
+	re, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, ok := re.Get("live.ACM")
+	if !ok {
+		t.Fatal("delta mapping not recovered")
+	}
+	if !got.Equal(want, 0) {
+		t.Fatalf("replayed deltas diverge:\ngot  %v\nwant %v", got, want)
+	}
+	if s, _ := got.Sim("d1", "r1"); s != 0.95 {
+		t.Fatalf("AddMax not preserved by replay: sim(d1,r1) = %v, want 0.95", s)
+	}
+	if got.DomainCount("d2") != 0 {
+		t.Fatal("full Put between deltas not replayed as a replacement")
+	}
+	s.Close()
+
+	// A torn trailing delta record must be dropped, keeping the prefix.
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"add","name":"live.ACM","rows":[{"d":"dX"`)
+	f.Close()
+	re2, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatalf("torn trailing delta should be tolerated: %v", err)
+	}
+	defer re2.Close()
+	got2, _ := re2.Get("live.ACM")
+	if !got2.Equal(want, 0) {
+		t.Fatal("torn delta corrupted the recovered mapping")
+	}
+	if got2.DomainCount("dX") != 0 {
+		t.Fatal("torn delta row must not be applied")
+	}
+}
+
+// TestPutDeltaCreatesAndEvicts covers delta creation on a fresh name and
+// the no-op empty delta.
+func TestPutDeltaCreatesAndEvicts(t *testing.T) {
+	s := NewRepository()
+	if err := s.PutDelta("live.X", dblpPub, acmPub, model.SameMappingType, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("live.X") {
+		t.Fatal("empty delta must not create a mapping")
+	}
+	if err := s.PutDelta("live.X", dblpPub, acmPub, model.SameMappingType,
+		[]mapping.Correspondence{{Domain: "a", Range: "b", Sim: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := s.Get("live.X")
+	if !ok || m.Len() != 1 || !m.IsSame() {
+		t.Fatalf("delta-created mapping = %v (ok=%v)", m, ok)
+	}
+	if err := s.PutDelta("", dblpPub, acmPub, model.SameMappingType,
+		[]mapping.Correspondence{{Domain: "a", Range: "b", Sim: 1}}); err == nil {
+		t.Fatal("empty name must be rejected")
 	}
 }
 

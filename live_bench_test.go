@@ -75,10 +75,15 @@ func benchResolverFor(b *testing.B, set *ObjectSet) *LiveResolver {
 }
 
 // BenchmarkResolve: single-record resolution against a warm resolver, at
-// two set sizes with constant token selectivity. Allocations per op must
-// stay flat from n=1000 to n=10000 (no set-sized work per query).
+// three set sizes with constant token selectivity. Allocations per op must
+// stay flat from n=1000 through n=100000 (no set-sized work per query).
+// The n=100000 case is the large-scale setting and is skipped in -short
+// runs (CI runs it in a dedicated step).
 func BenchmarkResolve(b *testing.B) {
-	for _, n := range []int{1000, 10000} {
+	for _, n := range []int{1000, 10000, 100000} {
+		if n >= 100000 && testing.Short() {
+			continue
+		}
 		set := benchLiveSet(n)
 		r := benchResolverFor(b, set)
 		queries := benchLiveQueries(set, 256)
