@@ -221,6 +221,130 @@ func BenchmarkComposeJoinAlgorithms(b *testing.B) {
 	}
 }
 
+// --- Large-scale mapping-operator benchmarks ----------------------------
+//
+// The columnar mapping core is sized for correspondence sets far beyond the
+// paper's evaluation; these benchmarks exercise compose, merge and selection
+// at 100k-1M rows with controlled fan-out so the work stays linear in n.
+// Skipped in -short runs (CI runs them once in a dedicated step and the
+// mapping-operator compare step watches them for regressions).
+
+// benchChainMappings builds m1: a_{i/2} -> c_i and m2: c_i -> b_{i/2}, each
+// with n correspondences: every output pair of their composition is reached
+// via exactly two compose paths, so the join produces n paths and n/2 output
+// rows — linear work at any n.
+func benchChainMappings(n int) (*Mapping, *Mapping) {
+	a := LDS{Source: "A", Type: Publication}
+	c := LDS{Source: "C", Type: Publication}
+	bb := LDS{Source: "B", Type: Publication}
+	m1 := NewSameMapping(a, c)
+	m2 := NewSameMapping(c, bb)
+	for i := 0; i < n; i++ {
+		s := 0.5 + float64(i%50)/100
+		m1.Add(ID(fmt.Sprintf("a%d", i/2)), ID(fmt.Sprintf("c%d", i)), s)
+		m2.Add(ID(fmt.Sprintf("c%d", i)), ID(fmt.Sprintf("b%d", i/2)), s)
+	}
+	return m1, m2
+}
+
+// benchOverlapMappings builds two mappings over the same sources whose
+// correspondence sets overlap by half — the merge shape of combining two
+// matcher results.
+func benchOverlapMappings(n int) (*Mapping, *Mapping) {
+	a := LDS{Source: "A", Type: Publication}
+	bb := LDS{Source: "B", Type: Publication}
+	m1 := NewSameMapping(a, bb)
+	m2 := NewSameMapping(a, bb)
+	for i := 0; i < n; i++ {
+		s := 0.5 + float64(i%50)/100
+		m1.Add(ID(fmt.Sprintf("a%d", i)), ID(fmt.Sprintf("b%d", i)), s)
+		j := i + n/2
+		m2.Add(ID(fmt.Sprintf("a%d", j)), ID(fmt.Sprintf("b%d", j)), s)
+	}
+	return m1, m2
+}
+
+// benchFanoutMapping builds a mapping with fan-out 4 per domain object —
+// the shape Best-n selection grouping works over.
+func benchFanoutMapping(n int) *Mapping {
+	a := LDS{Source: "A", Type: Publication}
+	bb := LDS{Source: "B", Type: Publication}
+	m := NewSameMapping(a, bb)
+	for i := 0; i < n; i++ {
+		m.Add(ID(fmt.Sprintf("a%d", i/4)), ID(fmt.Sprintf("b%d", i)), 0.5+float64(i%50)/100)
+	}
+	return m
+}
+
+var mappingBenchSizes = []struct {
+	name string
+	n    int
+}{{"n=100k", 100000}, {"n=1M", 1000000}}
+
+func BenchmarkMappingCompose(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large-scale benchmark; run without -short")
+	}
+	for _, sz := range mappingBenchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			m1, m2 := benchChainMappings(sz.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := Compose(m1, m2, MinCombiner, AggRelative)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Len() != sz.n/2 {
+					b.Fatalf("compose produced %d rows, want %d", out.Len(), sz.n/2)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMappingMerge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large-scale benchmark; run without -short")
+	}
+	for _, sz := range mappingBenchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			m1, m2 := benchOverlapMappings(sz.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := Merge(AvgCombiner, m1, m2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Len() != sz.n+sz.n/2 {
+					b.Fatalf("merge produced %d rows, want %d", out.Len(), sz.n+sz.n/2)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMappingSelect(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large-scale benchmark; run without -short")
+	}
+	sel := BestN{N: 1, Side: DomainSide}
+	for _, sz := range mappingBenchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			m := benchFanoutMapping(sz.n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := sel.Apply(m)
+				if out.Len() != (sz.n+3)/4 {
+					b.Fatalf("select kept %d rows, want %d", out.Len(), (sz.n+3)/4)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSelectionBestN(b *testing.B) {
 	m := syntheticSame(10000)
 	sel := BestN{N: 1, Side: DomainSide}

@@ -1,0 +1,176 @@
+// moma-benchcmp compares two `go test -bench` output files and fails
+// loudly on regressions — a dependency-free benchstat substitute for CI.
+//
+// Usage:
+//
+//	moma-benchcmp -old base.txt -new pr.txt [-threshold 0.20]
+//
+// Both files may contain multiple runs of each benchmark (-count N); the
+// per-benchmark median is compared. The exit status is 1 when any
+// benchmark present in both files regressed by more than the threshold on
+// the gating metric (ns/op by default); B/op and allocs/op changes are
+// reported but only annotate. Benchmarks present in one file only are
+// listed and skipped.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one benchmark line's metrics.
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+	hasBytes    bool
+}
+
+// parseFile extracts benchmark samples keyed by benchmark name (CPU suffix
+// stripped, so Benchmark/sub-8 and Benchmark/sub-4 compare).
+func parseFile(path string) (map[string][]sample, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := make(map[string][]sample)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := stripCPUSuffix(fields[0])
+		var s sample
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsPerOp = v
+				ok = true
+			case "B/op":
+				s.bytesPerOp = v
+				s.hasBytes = true
+			case "allocs/op":
+				s.allocsPerOp = v
+			}
+		}
+		if !ok {
+			continue
+		}
+		if _, seen := out[name]; !seen {
+			order = append(order, name)
+		}
+		out[name] = append(out[name], s)
+	}
+	return out, order, sc.Err()
+}
+
+// stripCPUSuffix removes the trailing -N GOMAXPROCS marker.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func median(vals []float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+func medians(samples []sample, pick func(sample) float64) float64 {
+	vals := make([]float64, len(samples))
+	for i, s := range samples {
+		vals[i] = pick(s)
+	}
+	return median(vals)
+}
+
+func pctDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchmark output")
+	newPath := flag.String("new", "", "candidate benchmark output")
+	threshold := flag.Float64("threshold", 0.20, "relative ns/op regression that fails the compare")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: moma-benchcmp -old base.txt -new pr.txt [-threshold 0.20]")
+		os.Exit(2)
+	}
+	oldRuns, oldOrder, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moma-benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	newRuns, newOrder, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "moma-benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-52s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "Δns", "ΔB/op")
+	regressed := false
+	for _, name := range oldOrder {
+		news, ok := newRuns[name]
+		if !ok {
+			fmt.Printf("%-52s only in %s, skipped\n", name, *oldPath)
+			continue
+		}
+		olds := oldRuns[name]
+		oldNS := medians(olds, func(s sample) float64 { return s.nsPerOp })
+		newNS := medians(news, func(s sample) float64 { return s.nsPerOp })
+		dNS := pctDelta(oldNS, newNS)
+		bytesNote := "-"
+		if olds[0].hasBytes && news[0].hasBytes {
+			oldB := medians(olds, func(s sample) float64 { return s.bytesPerOp })
+			newB := medians(news, func(s sample) float64 { return s.bytesPerOp })
+			bytesNote = fmt.Sprintf("%+.1f%%", pctDelta(oldB, newB))
+		}
+		mark := ""
+		if dNS > *threshold*100 {
+			mark = "  <-- REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("%-52s %14.0f %14.0f %+7.1f%% %10s%s\n", name, oldNS, newNS, dNS, bytesNote, mark)
+	}
+	for _, name := range newOrder {
+		if _, ok := oldRuns[name]; !ok {
+			fmt.Printf("%-52s new benchmark, no baseline\n", name)
+		}
+	}
+	if regressed {
+		fmt.Printf("\nFAIL: at least one benchmark regressed >%.0f%% on ns/op\n", *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("\nok: no benchmark regressed past the threshold")
+}

@@ -237,6 +237,12 @@ func (s SortedNeighborhood) Pairs(a, b *model.ObjectSet) []Pair {
 // sort key carries no evidence of similarity, yet it would cluster all
 // attribute-less instances at the front of the sort and pair them with each
 // other inside the window, producing spurious candidates.
+//
+// Sort keys come from the per-set normalized-key columns cached by object
+// set, attribute and version (see cache.go): repeated matches over the same
+// inputs — a workflow running several sorted-neighborhood matchers, or
+// re-matching a stored set — sort precomputed keys instead of
+// re-normalizing every raw attribute value per match.
 func (s SortedNeighborhood) PairsEach(a, b *model.ObjectSet, yield func(Pair) bool) {
 	w := s.Window
 	if w < 2 {
@@ -248,23 +254,19 @@ func (s SortedNeighborhood) PairsEach(a, b *model.ObjectSet, yield func(Pair) bo
 		ord  int // ObjectSet ordinal within its input
 		from int // 0 = a, 1 = b
 	}
-	entries := make([]entry, 0, a.Len()+b.Len())
-	ord := 0
-	a.Each(func(in *model.Instance) bool {
-		if key := sim.Normalize(in.Attr(s.AttrA)); key != "" {
-			entries = append(entries, entry{key: key, id: in.ID, ord: ord, from: 0})
+	keysA := cachedNormColumn(a, s.AttrA)
+	keysB := cachedNormColumn(b, s.AttrB)
+	entries := make([]entry, 0, len(keysA)+len(keysB))
+	for ord, key := range keysA {
+		if key != "" {
+			entries = append(entries, entry{key: key, id: a.IDAt(ord), ord: ord, from: 0})
 		}
-		ord++
-		return true
-	})
-	ord = 0
-	b.Each(func(in *model.Instance) bool {
-		if key := sim.Normalize(in.Attr(s.AttrB)); key != "" {
-			entries = append(entries, entry{key: key, id: in.ID, ord: ord, from: 1})
+	}
+	for ord, key := range keysB {
+		if key != "" {
+			entries = append(entries, entry{key: key, id: b.IDAt(ord), ord: ord, from: 1})
 		}
-		ord++
-		return true
-	})
+	}
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].key != entries[j].key {
 			return entries[i].key < entries[j].key

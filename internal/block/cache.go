@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/model"
+	"repro/internal/sim"
 )
 
 // cacheLimit bounds the number of cached columns. A workflow touches a
@@ -39,7 +40,8 @@ type cacheKey struct {
 
 type cacheEntry struct {
 	version uint64
-	toks    Tokens
+	toks    Tokens      // interned token column; nil until first token use
+	norm    []string    // normalized sort-key column; nil until first use
 	ix      *index.Ords // built on first probe use, nil until then
 }
 
@@ -55,7 +57,7 @@ func cachedColumn(set *model.ObjectSet, attr string) Tokens {
 	key := cacheKey{set: weak.Make(set), attr: attr}
 	ver := set.Version()
 	blockCache.Lock()
-	if e, ok := blockCache.entries[key]; ok && e.version == ver {
+	if e, ok := blockCache.entries[key]; ok && e.version == ver && e.toks != nil {
 		toks := e.toks
 		blockCache.Unlock()
 		return toks
@@ -63,8 +65,52 @@ func cachedColumn(set *model.ObjectSet, attr string) Tokens {
 	blockCache.Unlock()
 
 	toks := tokenizeColumn(set, attr)
-	storeEntry(set, key, &cacheEntry{version: ver, toks: toks})
+	upsertEntry(set, key, ver, func(e *cacheEntry) {
+		if e.toks == nil {
+			e.toks = toks
+		} else {
+			toks = e.toks // another goroutine won the build race
+		}
+	})
 	return toks
+}
+
+// cachedNormColumn returns the normalized sort-key column of the set's
+// attribute — entry i is sim.Normalize of instance i's value — building and
+// caching it when absent or stale. Sorted-neighborhood blocking reads it so
+// repeated matches sort precomputed keys instead of re-normalizing every
+// raw string per match. It shares the token cache's entries: the same
+// (set, attribute) pair may hold a token column, a key column, or both.
+func cachedNormColumn(set *model.ObjectSet, attr string) []string {
+	key := cacheKey{set: weak.Make(set), attr: attr}
+	ver := set.Version()
+	blockCache.Lock()
+	if e, ok := blockCache.entries[key]; ok && e.version == ver && e.norm != nil {
+		norm := e.norm
+		blockCache.Unlock()
+		return norm
+	}
+	blockCache.Unlock()
+
+	norm := normalizeColumn(set, attr)
+	upsertEntry(set, key, ver, func(e *cacheEntry) {
+		if e.norm == nil {
+			e.norm = norm
+		} else {
+			norm = e.norm
+		}
+	})
+	return norm
+}
+
+// normalizeColumn builds the dense normalized-key column of one attribute.
+func normalizeColumn(set *model.ObjectSet, attr string) []string {
+	col := make([]string, 0, set.Len())
+	set.Each(func(in *model.Instance) bool {
+		col = append(col, sim.Normalize(in.Attr(attr)))
+		return true
+	})
+	return col
 }
 
 // cachedOrdIndex returns the ordinal inverted index over the given token
@@ -101,14 +147,24 @@ func cachedOrdIndex(set *model.ObjectSet, attr string, col Tokens) *index.Ords {
 	return buildOrdIndex(col)
 }
 
-// storeEntry inserts an entry, refreshing its age, sweeping entries whose
-// sets were garbage-collected, and evicting the oldest entries beyond the
-// cache limit. A runtime cleanup on the set also sweeps when the set is
-// collected, so a process that goes quiet after a burst of matches over
-// throwaway sets does not retain their columns until some future store.
-func storeEntry(set *model.ObjectSet, key cacheKey, e *cacheEntry) {
+// upsertEntry finds or creates the entry for (set, attr) at the set's
+// current version and applies fill to it under the lock — a stale-version
+// entry is replaced, a current one is merged, so the independently-lazy
+// columns (tokens, normalized keys, the ordinal index) accumulate on one
+// entry instead of clobbering each other. The store refreshes the entry's
+// age, sweeps entries whose sets were garbage-collected, and evicts the
+// oldest entries beyond the cache limit. A runtime cleanup on the set also
+// sweeps when the set is collected, so a process that goes quiet after a
+// burst of matches over throwaway sets does not retain their columns until
+// some future store.
+func upsertEntry(set *model.ObjectSet, key cacheKey, ver uint64, fill func(e *cacheEntry)) {
 	blockCache.Lock()
 	defer blockCache.Unlock()
+	e, ok := blockCache.entries[key]
+	if !ok || e.version != ver {
+		e = &cacheEntry{version: ver}
+	}
+	fill(e)
 	fresh := true
 	kept := blockCache.order[:0]
 	for _, k := range blockCache.order {

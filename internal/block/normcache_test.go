@@ -1,0 +1,84 @@
+package block
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func normCacheSet(n int) *model.ObjectSet {
+	set := model.NewObjectSet(model.LDS{Source: "NC", Type: model.Publication})
+	for i := 0; i < n; i++ {
+		set.AddNew(model.ID(fmt.Sprintf("n%d", i)), map[string]string{
+			"title": fmt.Sprintf("Normalized KEY columns %d", i),
+		})
+	}
+	return set
+}
+
+func TestCachedNormColumn(t *testing.T) {
+	set := normCacheSet(6)
+	c1 := cachedNormColumn(set, "title")
+	if len(c1) != set.Len() {
+		t.Fatalf("column has %d entries for a %d-instance set", len(c1), set.Len())
+	}
+	for i, key := range c1 {
+		if want := sim.Normalize(set.At(i).Attr("title")); key != want {
+			t.Fatalf("entry %d = %q, want %q", i, key, want)
+		}
+	}
+	c2 := cachedNormColumn(set, "title")
+	if &c1[0] != &c2[0] {
+		t.Fatal("second lookup must serve the cached slice")
+	}
+
+	// Token and key columns coexist on one entry without clobbering.
+	toks := cachedColumn(set, "title")
+	c3 := cachedNormColumn(set, "title")
+	toks2 := cachedColumn(set, "title")
+	if &c1[0] != &c3[0] {
+		t.Fatal("building the token column must not evict the key column")
+	}
+	if len(toks) == 0 || &toks[0] != &toks2[0] {
+		t.Fatal("building the key column must not evict the token column")
+	}
+
+	// Touch invalidates.
+	set.At(0).SetAttr("title", "A Different Value")
+	set.Touch()
+	c4 := cachedNormColumn(set, "title")
+	if c4[0] != sim.Normalize("A Different Value") {
+		t.Fatalf("stale key served after Touch: %q", c4[0])
+	}
+}
+
+// TestSortedNeighborhoodCachedKeysMatch pins that the cached-key path emits
+// exactly the sequence the inline-normalizing implementation produced.
+func TestSortedNeighborhoodCachedKeysMatch(t *testing.T) {
+	a := model.NewObjectSet(model.LDS{Source: "A", Type: model.Publication})
+	b := model.NewObjectSet(model.LDS{Source: "B", Type: model.Publication})
+	for i := 0; i < 12; i++ {
+		attrs := map[string]string{"title": fmt.Sprintf("shared stem %c tail", 'a'+i%7)}
+		if i%5 == 0 {
+			attrs = map[string]string{} // attribute-less instances are skipped
+		}
+		a.AddNew(model.ID(fmt.Sprintf("a%d", i)), attrs)
+		b.AddNew(model.ID(fmt.Sprintf("b%d", i)), attrs)
+	}
+	sn := SortedNeighborhood{AttrA: "title", AttrB: "title", Window: 4}
+	first := sn.Pairs(a, b)  // cold: builds the key columns
+	second := sn.Pairs(a, b) // warm: served from the cache
+	if len(first) == 0 {
+		t.Fatal("expected candidates")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("warm pass emitted %d pairs, cold %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}

@@ -80,17 +80,60 @@ type Cluster []model.ID
 // FromMapping unions all correspondence endpoints of a self-mapping (or any
 // same-mapping within one LDS) with similarity >= minSim and returns the
 // clusters of size >= 2, ordered by their smallest member.
+//
+// The union-find runs over the mapping's ordinal columns with array-based
+// parent/rank state (endpoints are localized to dense indices as they
+// appear), so clustering a million-row self-mapping performs integer finds
+// and unions; id strings are resolved only to render the final clusters.
 func FromMapping(m *mapping.Mapping, minSim float64) []Cluster {
-	u := NewUnionFind()
-	m.Each(func(c mapping.Correspondence) {
-		if c.Sim >= minSim {
-			u.Union(c.Domain, c.Range)
+	local := make(map[uint32]int32) // mapping-dict ordinal -> dense index
+	var ords []uint32               // dense index -> mapping-dict ordinal
+	var parent []int32
+	var rank []int8
+	localize := func(o uint32) int32 {
+		if i, ok := local[o]; ok {
+			return i
 		}
+		i := int32(len(ords))
+		local[o] = i
+		ords = append(ords, o)
+		parent = append(parent, i)
+		rank = append(rank, 0)
+		return i
+	}
+	var find func(i int32) int32
+	find = func(i int32) int32 {
+		root := i
+		for parent[root] != root {
+			root = parent[root]
+		}
+		for parent[i] != root {
+			parent[i], i = root, parent[i]
+		}
+		return root
+	}
+	m.EachOrd(func(d, r uint32, sim float64) bool {
+		if sim < minSim {
+			return true
+		}
+		ra, rb := find(localize(d)), find(localize(r))
+		if ra == rb {
+			return true
+		}
+		if rank[ra] < rank[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		if rank[ra] == rank[rb] {
+			rank[ra]++
+		}
+		return true
 	})
-	groups := make(map[model.ID][]model.ID)
-	for id := range u.parent {
-		root := u.Find(id)
-		groups[root] = append(groups[root], id)
+	ids := m.Dict().All()
+	groups := make(map[int32][]model.ID)
+	for i := range parent {
+		root := find(int32(i))
+		groups[root] = append(groups[root], ids[ords[i]])
 	}
 	var out []Cluster
 	for _, members := range groups {
@@ -110,11 +153,19 @@ func FromMapping(m *mapping.Mapping, minSim float64) []Cluster {
 // duplicates the paper composes with cross-source same-mappings.
 func SelfMapping(lds model.LDS, clusters []Cluster) *mapping.Mapping {
 	m := mapping.NewSame(lds, lds)
+	dict := m.Dict()
+	var ords []uint32
 	for _, cl := range clusters {
-		for i := 0; i < len(cl); i++ {
-			for j := 0; j < len(cl); j++ {
+		// Intern each member once; the quadratic expansion below then
+		// inserts ordinal pairs only.
+		ords = ords[:0]
+		for _, id := range cl {
+			ords = append(ords, dict.Ord(id))
+		}
+		for i := 0; i < len(ords); i++ {
+			for j := 0; j < len(ords); j++ {
 				if i != j {
-					m.Add(cl[i], cl[j], 1)
+					m.AddOrd(ords[i], ords[j], 1)
 				}
 			}
 		}

@@ -28,20 +28,40 @@ type Result struct {
 	FalseNeg  int
 }
 
+// eachMembership visits every correspondence of m and reports whether
+// other also contains its (domain, range) pair. Mappings sharing an ID
+// dictionary — every pair produced in-process without a private dictionary
+// — probe ordinal-to-ordinal over the columns: one integer-keyed map hit
+// per row, no id strings resolved or hashed except the domain id handed to
+// fn for grouping. Mixed-dictionary pairs fall back to id-level probes.
+func eachMembership(m, other *mapping.Mapping, fn func(domain model.ID, hit bool)) {
+	if m.Dict() == other.Dict() {
+		ids := m.Dict().All()
+		m.EachOrd(func(d, rng uint32, _ float64) bool {
+			fn(ids[d], other.HasOrd(d, rng))
+			return true
+		})
+		return
+	}
+	m.Each(func(c mapping.Correspondence) {
+		fn(c.Domain, other.Has(c.Domain, c.Range))
+	})
+}
+
 // Compare evaluates got against the perfect mapping. Similarity values are
 // ignored; membership decides. An empty perfect mapping yields recall 1;
 // an empty result yields precision 1 (nothing wrong was claimed).
 func Compare(got, perfect *mapping.Mapping) Result {
 	var r Result
-	got.Each(func(c mapping.Correspondence) {
-		if perfect.Has(c.Domain, c.Range) {
+	eachMembership(got, perfect, func(_ model.ID, hit bool) {
+		if hit {
 			r.TruePos++
 		} else {
 			r.FalsePos++
 		}
 	})
-	perfect.Each(func(c mapping.Correspondence) {
-		if !got.Has(c.Domain, c.Range) {
+	eachMembership(perfect, got, func(_ model.ID, hit bool) {
+		if !hit {
 			r.FalseNeg++
 		}
 	})
@@ -87,23 +107,23 @@ func CompareGrouped(got, perfect *mapping.Mapping, group GroupFunc) map[string]R
 		}
 		return c
 	}
-	got.Each(func(c mapping.Correspondence) {
-		g := group(c.Domain)
+	eachMembership(got, perfect, func(dom model.ID, hit bool) {
+		g := group(dom)
 		if g == "" {
 			return
 		}
-		if perfect.Has(c.Domain, c.Range) {
+		if hit {
 			touch(g).tp++
 		} else {
 			touch(g).fp++
 		}
 	})
-	perfect.Each(func(c mapping.Correspondence) {
-		g := group(c.Domain)
+	eachMembership(perfect, got, func(dom model.ID, hit bool) {
+		g := group(dom)
 		if g == "" {
 			return
 		}
-		if !got.Has(c.Domain, c.Range) {
+		if !hit {
 			touch(g).fn++
 		}
 	})

@@ -17,17 +17,19 @@ import (
 
 // Traverse follows a mapping from the given ids and returns the reached
 // range ids (deduplicated, in first-reached order). It is iFuice's map
-// traversal primitive.
+// traversal primitive. Each id walks its byDomain posting list in place —
+// no per-id correspondence slices are copied.
 func Traverse(m *mapping.Mapping, ids []model.ID) []model.ID {
 	seen := make(map[model.ID]bool)
 	var out []model.ID
 	for _, id := range ids {
-		for _, c := range m.ForDomain(id) {
+		m.EachForDomain(id, func(c mapping.Correspondence) bool {
 			if !seen[c.Range] {
 				seen[c.Range] = true
 				out = append(out, c.Range)
 			}
-		}
+			return true
+		})
 	}
 	return out
 }

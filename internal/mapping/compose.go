@@ -146,9 +146,12 @@ func pathCombine(f Combiner, s1, s2 float64) float64 {
 // both inputs are same-mappings, otherwise the concatenation of the input
 // types (a derived association).
 //
-// The implementation is a hash join on the middle ids, as the paper notes
-// composition "can be computed very efficiently ... by joining the mapping
-// tables" (§5.3).
+// The implementation is a hash join on the middle ordinals, as the paper
+// notes composition "can be computed very efficiently ... by joining the
+// mapping tables" (§5.3): map1's rng column probes map2's byDomain posting
+// lists, path aggregates accumulate under packed uint64 pair keys, and no
+// ID string is touched unless the inputs use different dictionaries (the
+// middle ordinals are then translated once per distinct middle object).
 func Compose(map1, map2 *Mapping, f Combiner, g PathAgg) (*Mapping, error) {
 	if map1.Range() != map2.Domain() {
 		return nil, fmt.Errorf("mapping: Compose middle sources differ: %s vs %s", map1.Range(), map2.Domain())
@@ -157,30 +160,65 @@ func Compose(map1, map2 *Mapping, f Combiner, g PathAgg) (*Mapping, error) {
 	if !(map1.IsSame() && map2.IsSame()) {
 		outType = map1.Type() + "." + map2.Type()
 	}
-	out := New(map1.Domain(), map2.Range(), outType)
+	out := NewWithDict(map1.Domain(), map2.Range(), outType, map1.dict)
+
+	sameDict := map1.dict == map2.dict
+	by2, _ := map2.postings()
+	// xlat caches middle-ordinal translation (map1 dict -> map2 dict) when
+	// the dictionaries differ; -1 marks a middle id map2 never interned.
+	var xlat map[uint32]int64
+	var ids1 []model.ID
+	if !sameDict {
+		xlat = make(map[uint32]int64)
+		ids1 = map1.dict.All()
+	}
 
 	// Accumulate per output pair: sum, min, max and count of path sims.
+	// Keys pack map1's domain ordinal with map2's range ordinal; the
+	// aggregates live in one flat slice indexed through the map, so the
+	// join allocates per distinct output pair only on slice growth, never
+	// per path.
 	type agg struct {
 		sum, min, max float64
 		paths         int
 	}
-	accum := make(map[pair]*agg)
-	var order []pair
-	for _, c1 := range map1.corrs {
-		for _, i2 := range map2.byDomain[c1.Range] {
-			c2 := map2.corrs[i2]
-			ps := pathCombine(f, c1.Sim, c2.Sim)
-			key := pair{c1.Domain, c2.Range}
-			a, ok := accum[key]
+	// Sized for the common near-1:1 shape (output pairs ≈ input rows);
+	// worst cases just grow.
+	slot := make(map[uint64]int32, len(map1.sim))
+	order := make([]uint64, 0, len(map1.sim))
+	aggs := make([]agg, 0, len(map1.sim))
+	for i := range map1.sim {
+		mid := map1.rng[i]
+		if !sameDict {
+			t, ok := xlat[mid]
 			if !ok {
-				a = &agg{min: ps, max: ps}
-				accum[key] = a
+				if o2, ok2 := map2.dict.Lookup(ids1[mid]); ok2 {
+					t = int64(o2)
+				} else {
+					t = -1
+				}
+				xlat[mid] = t
+			}
+			if t < 0 {
+				continue
+			}
+			mid = uint32(t)
+		}
+		for _, i2 := range by2[mid] {
+			ps := pathCombine(f, map1.sim[i], map2.sim[i2])
+			key := ordKey(map1.dom[i], map2.rng[i2])
+			k, ok := slot[key]
+			if !ok {
+				k = int32(len(aggs))
+				slot[key] = k
 				order = append(order, key)
-			} else {
+				aggs = append(aggs, agg{min: ps, max: ps})
+			}
+			a := &aggs[k]
+			if ok {
 				if ps < a.min {
 					a.min = ps
-				}
-				if ps > a.max {
+				} else if ps > a.max {
 					a.max = ps
 				}
 			}
@@ -188,8 +226,20 @@ func Compose(map1, map2 *Mapping, f Combiner, g PathAgg) (*Mapping, error) {
 			a.paths++
 		}
 	}
-	for _, key := range order {
-		a := accum[key]
+	// Only the Relative family reads the per-side fan-out counts; skip the
+	// posting-list builds otherwise. (map2's lists already exist: the join
+	// built them for by2.)
+	var by1, rng2 map[uint32][]int32
+	if g == AggRelativeLeft || g == AggRelative {
+		by1, _ = map1.postings()
+	}
+	if g == AggRelativeRight || g == AggRelative {
+		_, rng2 = map2.postings()
+	}
+	ids2 := map2.dict.All()
+	for j, key := range order {
+		a := &aggs[j]
+		d, r := uint32(key>>32), uint32(key)
 		var s float64
 		switch g {
 		case AggAvg:
@@ -199,16 +249,22 @@ func Compose(map1, map2 *Mapping, f Combiner, g PathAgg) (*Mapping, error) {
 		case AggMax:
 			s = a.max
 		case AggRelativeLeft:
-			s = a.sum / float64(map1.DomainCount(key.d))
+			s = a.sum / float64(len(by1[d]))
 		case AggRelativeRight:
-			s = a.sum / float64(map2.RangeCount(key.r))
+			s = a.sum / float64(len(rng2[r]))
 		case AggRelative:
-			s = 2 * a.sum / float64(map1.DomainCount(key.d)+map2.RangeCount(key.r))
+			s = 2 * a.sum / float64(len(by1[d])+len(rng2[r]))
 		default:
 			return nil, fmt.Errorf("mapping: unknown path aggregation %d", int(g))
 		}
 		if s > 0 {
-			out.Add(key.d, key.r, s)
+			if sameDict {
+				out.AddOrd(d, r, s)
+			} else {
+				// The range ordinal belongs to map2's dictionary; intern its
+				// id into the output's (= map1's) dictionary.
+				out.AddOrd(d, out.dict.Ord(ids2[r]), s)
+			}
 		}
 	}
 	return out, nil
@@ -236,13 +292,21 @@ func ComposeChain(f Combiner, g PathAgg, maps ...*Mapping) (*Mapping, error) {
 // number of compose paths — the paper reports this alongside similarity in
 // its duplicate-author analysis (Table 9, "number of shared co-authors").
 func NumPaths(map1, map2 *Mapping, a, b model.ID) int {
+	bOrd, ok := map2.dict.Lookup(b)
+	if !ok {
+		return 0
+	}
+	by2, _ := map2.postings()
 	n := 0
-	for _, c1 := range map1.ForDomain(a) {
-		for _, i2 := range map2.byDomain[c1.Range] {
-			if map2.corrs[i2].Range == b {
-				n++
+	map1.EachForDomain(a, func(c1 Correspondence) bool {
+		if mid, ok := map2.dict.Lookup(c1.Range); ok {
+			for _, i2 := range by2[mid] {
+				if map2.rng[i2] == bOrd {
+					n++
+				}
 			}
 		}
-	}
+		return true
+	})
 	return n
 }

@@ -8,6 +8,25 @@
 // association mapping (publications of an author, venue of a publication,
 // ...). Mappings are represented as three-column mapping tables.
 //
+// # Columnar ordinal representation
+//
+// A Mapping stores its table as parallel columns — dom and rng hold uint32
+// ordinals interned in a model.IDDict, sim holds the similarities — rather
+// than as a slice of ID-carrying structs. Operators then move integers:
+// compose hash-joins on middle ordinals, merge folds pairs keyed by a
+// packed uint64, selections sort row indices, and the per-pair dedup index
+// is a map[uint64]int32 instead of a map keyed by two strings. byDomain and
+// byRange views are ordinal posting lists (row indices in insertion order)
+// built lazily on first use and maintained incrementally afterwards.
+//
+// Mappings created with New/NewSame intern through the process-global
+// model.IDs dictionary, so every matcher result, operator output and
+// workflow intermediate shares one ordinal space and no translation ever
+// happens. NewWithDict opts into a private dictionary (persistent stores
+// materialize replayed mappings that way); operators accept mixed-dictionary
+// inputs and fall back to ID-level translation with identical results. The
+// ID-level API (Add, Correspondences, ForDomain, ...) is unchanged on top.
+//
 // The package provides the paper's three combination operators:
 //
 //   - Merge (§3.1): n-ary union of same-type mappings under a combination
@@ -24,6 +43,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/model"
 )
@@ -36,32 +56,59 @@ type Correspondence struct {
 	Sim    float64
 }
 
-type pair struct{ d, r model.ID }
+// ordKey packs an ordinal pair into the uint64 the dedup index keys by.
+func ordKey(d, r uint32) uint64 { return uint64(d)<<32 | uint64(r) }
 
 // Mapping is a fuzzy instance-level mapping between two logical data
-// sources, stored as a mapping table. The zero value is not usable; create
-// mappings with New or NewSame.
+// sources, stored as a columnar mapping table. The zero value is not
+// usable; create mappings with New, NewSame or NewWithDict.
 type Mapping struct {
 	domLDS model.LDS
 	rngLDS model.LDS
 	mtype  model.MappingType
 
-	corrs    []Correspondence
-	index    map[pair]int
-	byDomain map[model.ID][]int
-	byRange  map[model.ID][]int
+	dict *model.IDDict
+
+	// Parallel columns: row i is the correspondence
+	// (dict.IDOf(dom[i]), dict.IDOf(rng[i]), sim[i]), in insertion order.
+	dom []uint32
+	rng []uint32
+	sim []float64
+
+	// index maps ordKey(dom, rng) to its row for dedup and point lookups.
+	index map[uint64]int32
+
+	// byDom/byRng are the lazy posting lists: ordinal -> row indices in
+	// insertion (= ascending) order. Nil until first use (postings);
+	// maintained incrementally by Add afterwards. postOnce makes the lazy
+	// build safe under concurrent readers — a built mapping keeps the old
+	// eager representation's guarantee that any number of goroutines may
+	// read it (writers still require external exclusion, as always).
+	postOnce sync.Once
+	byDom    map[uint32][]int32
+	byRng    map[uint32][]int32
 }
 
 // New returns an empty mapping of the given semantic type between the two
-// logical sources.
+// logical sources, interning through the process-global model.IDs.
 func New(domain, rng model.LDS, mtype model.MappingType) *Mapping {
+	return NewWithDict(domain, rng, mtype, model.IDs)
+}
+
+// NewWithDict is New with an explicit ID dictionary. Mixing dictionaries is
+// legal everywhere — operators translate — but keeps mappings out of each
+// other's fast paths; use it only for ownership (a persistent store's
+// private vocabulary), not per-mapping.
+func NewWithDict(domain, rng model.LDS, mtype model.MappingType, dict *model.IDDict) *Mapping {
+	if dict == nil {
+		dict = model.IDs
+	}
 	return &Mapping{
-		domLDS:   domain,
-		rngLDS:   rng,
-		mtype:    mtype,
-		index:    make(map[pair]int),
-		byDomain: make(map[model.ID][]int),
-		byRange:  make(map[model.ID][]int),
+		domLDS: domain,
+		rngLDS: rng,
+		mtype:  mtype,
+		dict:   dict,
+		index:  make(map[uint64]int32),
 	}
 }
 
@@ -88,7 +135,12 @@ func (m *Mapping) Type() model.MappingType { return m.mtype }
 func (m *Mapping) IsSame() bool { return m.mtype == model.SameMappingType }
 
 // Len returns the number of correspondences.
-func (m *Mapping) Len() int { return len(m.corrs) }
+func (m *Mapping) Len() int { return len(m.sim) }
+
+// Dict returns the ID dictionary this mapping's ordinals index into.
+// Producers that can pre-intern their IDs (matchers translate ObjectSet
+// ordinals once per input) use it with AddOrd/AddMaxOrd.
+func (m *Mapping) Dict() *model.IDDict { return m.dict }
 
 // clampSim forces s into [0,1].
 func clampSim(s float64) float64 {
@@ -104,30 +156,68 @@ func clampSim(s float64) float64 {
 // Add inserts the correspondence (a, b, s), replacing the similarity of an
 // existing (a, b) pair. Similarities are clamped to [0,1].
 func (m *Mapping) Add(a, b model.ID, s float64) {
+	m.AddOrd(m.dict.Ord(a), m.dict.Ord(b), s)
+}
+
+// AddOrd is Add over ordinals of this mapping's dictionary. Passing
+// ordinals from another dictionary is a bug the type system cannot catch;
+// producers obtain valid columns via Dict().SetOrds or Dict().Ord.
+func (m *Mapping) AddOrd(d, r uint32, s float64) {
 	s = clampSim(s)
-	key := pair{a, b}
+	key := ordKey(d, r)
 	if i, ok := m.index[key]; ok {
-		m.corrs[i].Sim = s
+		m.sim[i] = s
 		return
 	}
-	i := len(m.corrs)
-	m.corrs = append(m.corrs, Correspondence{Domain: a, Range: b, Sim: s})
-	m.index[key] = i
-	m.byDomain[a] = append(m.byDomain[a], i)
-	m.byRange[b] = append(m.byRange[b], i)
+	m.appendRow(key, d, r, s)
 }
 
 // AddMax inserts (a, b, s) keeping the maximum similarity if the pair
 // already exists. Useful when several evidence paths produce the same pair.
 func (m *Mapping) AddMax(a, b model.ID, s float64) {
+	m.AddMaxOrd(m.dict.Ord(a), m.dict.Ord(b), s)
+}
+
+// AddMaxOrd is AddMax over ordinals of this mapping's dictionary.
+func (m *Mapping) AddMaxOrd(d, r uint32, s float64) {
 	s = clampSim(s)
-	if i, ok := m.index[pair{a, b}]; ok {
-		if s > m.corrs[i].Sim {
-			m.corrs[i].Sim = s
+	key := ordKey(d, r)
+	if i, ok := m.index[key]; ok {
+		if s > m.sim[i] {
+			m.sim[i] = s
 		}
 		return
 	}
-	m.Add(a, b, s)
+	m.appendRow(key, d, r, s)
+}
+
+// appendRow appends a row known to be absent from the index.
+func (m *Mapping) appendRow(key uint64, d, r uint32, s float64) {
+	i := int32(len(m.sim))
+	m.dom = append(m.dom, d)
+	m.rng = append(m.rng, r)
+	m.sim = append(m.sim, s)
+	m.index[key] = i
+	if m.byDom != nil {
+		m.byDom[d] = append(m.byDom[d], i)
+		m.byRng[r] = append(m.byRng[r], i)
+	}
+}
+
+// postings builds (once) and returns the byDomain/byRange posting lists.
+// The once-guard serializes concurrent first readers; afterwards readers
+// only load the maps and a single writer (Add) appends to them.
+func (m *Mapping) postings() (byDom, byRng map[uint32][]int32) {
+	m.postOnce.Do(func() {
+		bd := make(map[uint32][]int32)
+		br := make(map[uint32][]int32)
+		for i := range m.sim {
+			bd[m.dom[i]] = append(bd[m.dom[i]], int32(i))
+			br[m.rng[i]] = append(br[m.rng[i]], int32(i))
+		}
+		m.byDom, m.byRng = bd, br
+	})
+	return m.byDom, m.byRng
 }
 
 // AddCorrespondences inserts all given correspondences via Add.
@@ -139,80 +229,169 @@ func (m *Mapping) AddCorrespondences(cs []Correspondence) {
 
 // Sim returns the similarity of (a, b) and whether the pair is present.
 func (m *Mapping) Sim(a, b model.ID) (float64, bool) {
-	if i, ok := m.index[pair{a, b}]; ok {
-		return m.corrs[i].Sim, true
+	d, ok := m.dict.Lookup(a)
+	if !ok {
+		return 0, false
+	}
+	r, ok := m.dict.Lookup(b)
+	if !ok {
+		return 0, false
+	}
+	return m.SimOrd(d, r)
+}
+
+// SimOrd is Sim over ordinals of this mapping's dictionary.
+func (m *Mapping) SimOrd(d, r uint32) (float64, bool) {
+	if i, ok := m.index[ordKey(d, r)]; ok {
+		return m.sim[i], true
 	}
 	return 0, false
 }
 
 // Has reports whether the pair (a, b) is present.
 func (m *Mapping) Has(a, b model.ID) bool {
-	_, ok := m.index[pair{a, b}]
+	_, ok := m.Sim(a, b)
 	return ok
+}
+
+// HasOrd is Has over ordinals of this mapping's dictionary.
+func (m *Mapping) HasOrd(d, r uint32) bool {
+	_, ok := m.index[ordKey(d, r)]
+	return ok
+}
+
+// At returns the correspondence at row i in insertion order. It panics when
+// i is out of [0, Len()), mirroring slice indexing.
+func (m *Mapping) At(i int) Correspondence {
+	return Correspondence{Domain: m.dict.IDOf(m.dom[i]), Range: m.dict.IDOf(m.rng[i]), Sim: m.sim[i]}
 }
 
 // Correspondences returns a copy of all correspondences in insertion order.
 func (m *Mapping) Correspondences() []Correspondence {
-	out := make([]Correspondence, len(m.corrs))
-	copy(out, m.corrs)
+	out := make([]Correspondence, len(m.sim))
+	ids := m.dict.All()
+	for i := range m.sim {
+		out[i] = Correspondence{Domain: ids[m.dom[i]], Range: ids[m.rng[i]], Sim: m.sim[i]}
+	}
 	return out
 }
 
 // Each calls fn for every correspondence in insertion order.
 func (m *Mapping) Each(fn func(Correspondence)) {
-	for _, c := range m.corrs {
-		fn(c)
+	ids := m.dict.All()
+	for i := range m.sim {
+		fn(Correspondence{Domain: ids[m.dom[i]], Range: ids[m.rng[i]], Sim: m.sim[i]})
+	}
+}
+
+// EachOrd calls fn for every row in insertion order with the raw column
+// values — ordinals of Dict() — stopping early when fn returns false. It is
+// the no-copy iteration consumers on hot paths use; resolve ordinals
+// through Dict().All().
+func (m *Mapping) EachOrd(fn func(dom, rng uint32, sim float64) bool) {
+	for i := range m.sim {
+		if !fn(m.dom[i], m.rng[i], m.sim[i]) {
+			return
+		}
 	}
 }
 
 // ForDomain returns the correspondences of domain object a.
 func (m *Mapping) ForDomain(a model.ID) []Correspondence {
-	idxs := m.byDomain[a]
-	out := make([]Correspondence, 0, len(idxs))
-	for _, i := range idxs {
-		out = append(out, m.corrs[i])
-	}
+	var out []Correspondence
+	m.EachForDomain(a, func(c Correspondence) bool {
+		out = append(out, c)
+		return true
+	})
 	return out
+}
+
+// EachForDomain calls fn for every correspondence of domain object a in
+// insertion order — ForDomain without the copy — stopping early when fn
+// returns false.
+func (m *Mapping) EachForDomain(a model.ID, fn func(Correspondence) bool) {
+	d, ok := m.dict.Lookup(a)
+	if !ok {
+		return
+	}
+	byDom, _ := m.postings()
+	ids := m.dict.All()
+	for _, i := range byDom[d] {
+		if !fn(Correspondence{Domain: a, Range: ids[m.rng[i]], Sim: m.sim[i]}) {
+			return
+		}
+	}
 }
 
 // ForRange returns the correspondences of range object b.
 func (m *Mapping) ForRange(b model.ID) []Correspondence {
-	idxs := m.byRange[b]
+	r, ok := m.dict.Lookup(b)
+	if !ok {
+		return nil
+	}
+	_, byRng := m.postings()
+	idxs := byRng[r]
+	ids := m.dict.All()
 	out := make([]Correspondence, 0, len(idxs))
 	for _, i := range idxs {
-		out = append(out, m.corrs[i])
+		out = append(out, Correspondence{Domain: ids[m.dom[i]], Range: b, Sim: m.sim[i]})
 	}
 	return out
 }
 
 // DomainCount returns n(a): the number of correspondences of domain object
 // a (Figure 5).
-func (m *Mapping) DomainCount(a model.ID) int { return len(m.byDomain[a]) }
+func (m *Mapping) DomainCount(a model.ID) int {
+	d, ok := m.dict.Lookup(a)
+	if !ok {
+		return 0
+	}
+	byDom, _ := m.postings()
+	return len(byDom[d])
+}
 
 // RangeCount returns n(b): the number of correspondences of range object b.
-func (m *Mapping) RangeCount(b model.ID) int { return len(m.byRange[b]) }
+func (m *Mapping) RangeCount(b model.ID) int {
+	r, ok := m.dict.Lookup(b)
+	if !ok {
+		return 0
+	}
+	_, byRng := m.postings()
+	return len(byRng[r])
+}
+
+// Touches reports whether id appears as a domain or range object of any
+// correspondence — the posting-list membership probe consumers use to skip
+// a full filter pass when an id is absent.
+func (m *Mapping) Touches(id model.ID) bool {
+	ord, ok := m.dict.Lookup(id)
+	if !ok {
+		return false
+	}
+	byDom, byRng := m.postings()
+	return len(byDom[ord]) > 0 || len(byRng[ord]) > 0
+}
 
 // DomainIDs returns the distinct domain ids in first-seen order.
 func (m *Mapping) DomainIDs() []model.ID {
-	seen := make(map[model.ID]bool, len(m.byDomain))
-	var out []model.ID
-	for _, c := range m.corrs {
-		if !seen[c.Domain] {
-			seen[c.Domain] = true
-			out = append(out, c.Domain)
-		}
-	}
-	return out
+	return distinctIDs(m.dom, m.dict)
 }
 
 // RangeIDs returns the distinct range ids in first-seen order.
 func (m *Mapping) RangeIDs() []model.ID {
-	seen := make(map[model.ID]bool, len(m.byRange))
+	return distinctIDs(m.rng, m.dict)
+}
+
+// distinctIDs resolves the distinct ordinals of one column in first-seen
+// order.
+func distinctIDs(col []uint32, dict *model.IDDict) []model.ID {
+	seen := make(map[uint32]bool)
+	ids := dict.All()
 	var out []model.ID
-	for _, c := range m.corrs {
-		if !seen[c.Range] {
-			seen[c.Range] = true
-			out = append(out, c.Range)
+	for _, o := range col {
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, ids[o])
 		}
 	}
 	return out
@@ -222,27 +401,42 @@ func (m *Mapping) RangeIDs() []model.ID {
 // type is preserved; callers give the inverse its own name in the
 // repository (e.g. VenuePub vs PubVenue).
 func (m *Mapping) Inverse() *Mapping {
-	inv := New(m.rngLDS, m.domLDS, m.mtype)
-	for _, c := range m.corrs {
-		inv.Add(c.Range, c.Domain, c.Sim)
+	inv := NewWithDict(m.rngLDS, m.domLDS, m.mtype, m.dict)
+	for i := range m.sim {
+		inv.AddOrd(m.rng[i], m.dom[i], m.sim[i])
 	}
 	return inv
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy sharing the dictionary.
 func (m *Mapping) Clone() *Mapping {
-	cp := New(m.domLDS, m.rngLDS, m.mtype)
-	cp.AddCorrespondences(m.corrs)
+	cp := NewWithDict(m.domLDS, m.rngLDS, m.mtype, m.dict)
+	cp.dom = append([]uint32(nil), m.dom...)
+	cp.rng = append([]uint32(nil), m.rng...)
+	cp.sim = append([]float64(nil), m.sim...)
+	cp.index = make(map[uint64]int32, len(m.index))
+	for k, v := range m.index {
+		cp.index[k] = v
+	}
 	return cp
 }
 
 // Filter returns a new mapping keeping only correspondences for which keep
 // returns true.
 func (m *Mapping) Filter(keep func(Correspondence) bool) *Mapping {
-	out := New(m.domLDS, m.rngLDS, m.mtype)
-	for _, c := range m.corrs {
-		if keep(c) {
-			out.Add(c.Domain, c.Range, c.Sim)
+	ids := m.dict.All()
+	return m.filterRows(func(i int) bool {
+		return keep(Correspondence{Domain: ids[m.dom[i]], Range: ids[m.rng[i]], Sim: m.sim[i]})
+	})
+}
+
+// filterRows is Filter over row indices: no Correspondence materialization
+// for predicates that only need the columns.
+func (m *Mapping) filterRows(keep func(row int) bool) *Mapping {
+	out := NewWithDict(m.domLDS, m.rngLDS, m.mtype, m.dict)
+	for i := range m.sim {
+		if keep(i) {
+			out.AddOrd(m.dom[i], m.rng[i], m.sim[i])
 		}
 	}
 	return out
@@ -250,9 +444,10 @@ func (m *Mapping) Filter(keep func(Correspondence) bool) *Mapping {
 
 // WithoutDiagonal drops correspondences whose domain and range ids are
 // equal — the paper's select($Merged, "[domain.id]<>[range.id]") step that
-// removes trivial duplicates from self-mappings (§4.3).
+// removes trivial duplicates from self-mappings (§4.3). Dictionaries are
+// injective, so ordinal equality is id equality.
 func (m *Mapping) WithoutDiagonal() *Mapping {
-	return m.Filter(func(c Correspondence) bool { return c.Domain != c.Range })
+	return m.filterRows(func(i int) bool { return m.dom[i] != m.rng[i] })
 }
 
 // Sorted returns the correspondences sorted canonically: domain ascending,
@@ -277,24 +472,34 @@ func (m *Mapping) Sorted() []Correspondence {
 // matching (§4.3).
 func Identity(set *model.ObjectSet) *Mapping {
 	m := NewSame(set.LDS(), set.LDS())
-	for _, id := range set.IDs() {
-		m.Add(id, id, 1)
+	for _, o := range m.dict.SetOrds(set) {
+		m.AddOrd(o, o, 1)
 	}
 	return m
 }
 
 // Equal reports whether two mappings have the same endpoints, type and the
-// same correspondence set with similarities equal within eps.
+// same correspondence set with similarities equal within eps. Mappings over
+// different dictionaries compare by id — the same ids interned in different
+// orders are still equal.
 func (m *Mapping) Equal(o *Mapping, eps float64) bool {
-	if m.domLDS != o.domLDS || m.rngLDS != o.rngLDS || m.mtype != o.mtype || len(m.corrs) != len(o.corrs) {
+	if m.domLDS != o.domLDS || m.rngLDS != o.rngLDS || m.mtype != o.mtype || len(m.sim) != len(o.sim) {
 		return false
 	}
-	for _, c := range m.corrs {
-		s, ok := o.Sim(c.Domain, c.Range)
+	sameDict := m.dict == o.dict
+	ids := m.dict.All()
+	for i := range m.sim {
+		var s float64
+		var ok bool
+		if sameDict {
+			s, ok = o.SimOrd(m.dom[i], m.rng[i])
+		} else {
+			s, ok = o.Sim(ids[m.dom[i]], ids[m.rng[i]])
+		}
 		if !ok {
 			return false
 		}
-		d := c.Sim - s
+		d := m.sim[i] - s
 		if d < -eps || d > eps {
 			return false
 		}
@@ -315,24 +520,25 @@ type Stats struct {
 
 // Summarize computes mapping statistics.
 func (m *Mapping) Summarize() Stats {
-	st := Stats{Corrs: len(m.corrs), DomainObjs: len(m.byDomain), RangeObjs: len(m.byRange)}
-	if len(m.corrs) == 0 {
+	byDom, byRng := m.postings()
+	st := Stats{Corrs: len(m.sim), DomainObjs: len(byDom), RangeObjs: len(byRng)}
+	if len(m.sim) == 0 {
 		return st
 	}
-	st.MinSim = m.corrs[0].Sim
-	st.MaxSim = m.corrs[0].Sim
+	st.MinSim = m.sim[0]
+	st.MaxSim = m.sim[0]
 	var sum float64
-	for _, c := range m.corrs {
-		sum += c.Sim
-		if c.Sim < st.MinSim {
-			st.MinSim = c.Sim
+	for _, s := range m.sim {
+		sum += s
+		if s < st.MinSim {
+			st.MinSim = s
 		}
-		if c.Sim > st.MaxSim {
-			st.MaxSim = c.Sim
+		if s > st.MaxSim {
+			st.MaxSim = s
 		}
 	}
-	st.AvgSim = sum / float64(len(m.corrs))
-	st.AvgFanOut = float64(len(m.corrs)) / float64(len(m.byDomain))
+	st.AvgSim = sum / float64(len(m.sim))
+	st.AvgFanOut = float64(len(m.sim)) / float64(len(byDom))
 	return st
 }
 
@@ -340,16 +546,17 @@ func (m *Mapping) Summarize() Stats {
 // Figure 10: 1:1, 1:n, n:1 or n:m, based on the maximum fan-out on each
 // side. An empty mapping is CardUnknown.
 func (m *Mapping) Cardinality() model.Cardinality {
-	if len(m.corrs) == 0 {
+	if len(m.sim) == 0 {
 		return model.CardUnknown
 	}
+	byDom, byRng := m.postings()
 	maxDom, maxRng := 0, 0
-	for _, idxs := range m.byDomain {
+	for _, idxs := range byDom {
 		if len(idxs) > maxDom {
 			maxDom = len(idxs)
 		}
 	}
-	for _, idxs := range m.byRange {
+	for _, idxs := range byRng {
 		if len(idxs) > maxRng {
 			maxRng = len(idxs)
 		}
@@ -372,10 +579,10 @@ func (m *Mapping) Cardinality() model.Cardinality {
 // String renders the mapping table (sorted canonically), capped at 20 rows.
 func (m *Mapping) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s -> %s (%s), %d correspondences\n", m.domLDS, m.rngLDS, m.mtype, len(m.corrs))
+	fmt.Fprintf(&b, "%s -> %s (%s), %d correspondences\n", m.domLDS, m.rngLDS, m.mtype, len(m.sim))
 	for i, c := range m.Sorted() {
 		if i == 20 {
-			fmt.Fprintf(&b, "  ... %d more\n", len(m.corrs)-20)
+			fmt.Fprintf(&b, "  ... %d more\n", len(m.sim)-20)
 			break
 		}
 		fmt.Fprintf(&b, "  %-28s %-28s %.3f\n", c.Domain, c.Range, c.Sim)

@@ -1,10 +1,6 @@
 package mapping
 
-import (
-	"fmt"
-
-	"repro/internal/model"
-)
+import "fmt"
 
 // CombinerKind enumerates the similarity combination functions of §3.1.
 type CombinerKind int
@@ -214,53 +210,83 @@ func Merge(f Combiner, maps ...*Mapping) (*Mapping, error) {
 		return nil, err
 	}
 
-	out := New(first.Domain(), first.Range(), first.Type())
+	out := NewWithDict(first.Domain(), first.Range(), first.Type(), first.dict)
+
+	// Every input's rows are keyed by ordinals of the OUTPUT dictionary
+	// (= the first input's). Inputs sharing it — the common case — stream
+	// their columns through untranslated; a foreign-dictionary input interns
+	// its ids once per row.
+	eachOut := func(m *Mapping, fn func(d, r uint32, s float64)) {
+		if m.dict == out.dict {
+			for i := range m.sim {
+				fn(m.dom[i], m.rng[i], m.sim[i])
+			}
+			return
+		}
+		ids := m.dict.All()
+		for i := range m.sim {
+			fn(out.dict.Ord(ids[m.dom[i]]), out.dict.Ord(ids[m.rng[i]]), m.sim[i])
+		}
+	}
 
 	if f.Kind == Prefer {
 		pref := maps[f.PreferIndex]
-		covered := make(map[model.ID]bool, pref.Len())
-		for _, c := range pref.corrs {
-			out.Add(c.Domain, c.Range, c.Sim)
-			covered[c.Domain] = true
-		}
+		covered := make(map[uint32]bool, pref.Len())
+		eachOut(pref, func(d, r uint32, s float64) {
+			out.AddOrd(d, r, s)
+			covered[d] = true
+		})
 		for i, m := range maps {
 			if i == f.PreferIndex {
 				continue
 			}
-			for _, c := range m.corrs {
-				if !covered[c.Domain] {
-					out.AddMax(c.Domain, c.Range, c.Sim)
+			eachOut(m, func(d, r uint32, s float64) {
+				if !covered[d] {
+					out.AddMaxOrd(d, r, s)
 				}
-			}
+			})
 		}
 		return out, nil
 	}
 
 	// Collect the union of pairs, then fold each pair across the inputs.
-	type slot struct {
-		sims    []float64
-		present []bool
-	}
-	acc := make(map[pair]*slot)
-	var order []pair
-	for i, m := range maps {
-		for _, c := range m.corrs {
-			key := pair{c.Domain, c.Range}
-			s, ok := acc[key]
-			if !ok {
-				s = &slot{sims: make([]float64, len(maps)), present: make([]bool, len(maps))}
-				acc[key] = s
-				order = append(order, key)
-			}
-			s.sims[i] = c.Sim
-			s.present[i] = true
+	// Per-pair fold state lives in two flat arrays (n values per pair)
+	// indexed through the map, so collection allocates on slice growth
+	// only, never per pair.
+	// Sized for the common high-overlap shape (union ≈ largest input);
+	// low-overlap inputs just grow.
+	hint := 0
+	for _, m := range maps {
+		if m.Len() > hint {
+			hint = m.Len()
 		}
 	}
-	for _, key := range order {
-		s := acc[key]
-		v, keep := f.combine(s.sims, s.present)
+	n := len(maps)
+	acc := make(map[uint64]int32, hint)
+	order := make([]uint64, 0, hint)
+	sims := make([]float64, 0, hint*n)
+	present := make([]bool, 0, hint*n)
+	for i, m := range maps {
+		eachOut(m, func(d, r uint32, sim float64) {
+			key := ordKey(d, r)
+			k, ok := acc[key]
+			if !ok {
+				k = int32(len(order))
+				acc[key] = k
+				order = append(order, key)
+				for t := 0; t < n; t++ {
+					sims = append(sims, 0)
+					present = append(present, false)
+				}
+			}
+			sims[int(k)*n+i] = sim
+			present[int(k)*n+i] = true
+		})
+	}
+	for j, key := range order {
+		v, keep := f.combine(sims[j*n:(j+1)*n], present[j*n:(j+1)*n])
 		if keep && v > 0 {
-			out.Add(key.d, key.r, v)
+			out.AddOrd(uint32(key>>32), uint32(key), v)
 		}
 	}
 	return out, nil

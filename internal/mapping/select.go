@@ -63,27 +63,23 @@ type BestN struct {
 // Apply implements Selection.
 func (b BestN) Apply(m *Mapping) *Mapping {
 	if b.N <= 0 {
-		return New(m.Domain(), m.Range(), m.Type())
+		return NewWithDict(m.Domain(), m.Range(), m.Type(), m.dict)
+	}
+	cut := func(sims []float64) int {
+		if len(sims) > b.N {
+			return b.N
+		}
+		return len(sims)
 	}
 	switch b.Side {
 	case DomainSide:
-		return selectPerGroup(m, true, func(cs []Correspondence) []Correspondence {
-			if len(cs) > b.N {
-				return cs[:b.N]
-			}
-			return cs
-		})
+		return selectPerGroup(m, true, cut)
 	case RangeSide:
-		return selectPerGroup(m, false, func(cs []Correspondence) []Correspondence {
-			if len(cs) > b.N {
-				return cs[:b.N]
-			}
-			return cs
-		})
+		return selectPerGroup(m, false, cut)
 	case BothSides:
 		dom := BestN{N: b.N, Side: DomainSide}.Apply(m)
 		rng := BestN{N: b.N, Side: RangeSide}.Apply(m)
-		return dom.Filter(func(c Correspondence) bool { return rng.Has(c.Domain, c.Range) })
+		return dom.intersectRows(rng)
 	default:
 		return m.Clone()
 	}
@@ -103,22 +99,24 @@ type Best1Delta struct {
 
 // Apply implements Selection.
 func (b Best1Delta) Apply(m *Mapping) *Mapping {
-	cut := func(cs []Correspondence) []Correspondence {
-		if len(cs) == 0 {
-			return cs
+	// Groups arrive sorted by similarity descending, so "within tolerance
+	// of the best" is a prefix.
+	cut := func(sims []float64) int {
+		if len(sims) == 0 {
+			return 0
 		}
-		best := cs[0].Sim
+		best := sims[0]
 		limit := best - b.D
 		if b.Relative {
 			limit = best * (1 - b.D)
 		}
-		keep := cs[:0:0]
-		for _, c := range cs {
-			if c.Sim >= limit {
-				keep = append(keep, c)
+		n := 0
+		for _, s := range sims {
+			if s >= limit {
+				n++
 			}
 		}
-		return keep
+		return n
 	}
 	switch b.Side {
 	case DomainSide:
@@ -128,7 +126,7 @@ func (b Best1Delta) Apply(m *Mapping) *Mapping {
 	case BothSides:
 		dom := Best1Delta{D: b.D, Relative: b.Relative, Side: DomainSide}.Apply(m)
 		rng := Best1Delta{D: b.D, Relative: b.Relative, Side: RangeSide}.Apply(m)
-		return dom.Filter(func(c Correspondence) bool { return rng.Has(c.Domain, c.Range) })
+		return dom.intersectRows(rng)
 	default:
 		return m.Clone()
 	}
@@ -142,39 +140,58 @@ func (b Best1Delta) String() string {
 	return fmt.Sprintf("Best-1+%.2f(%s,%s)", b.D, mode, b.Side)
 }
 
-// selectPerGroup groups correspondences by domain (or range), sorts each
-// group by similarity descending (ties by the other id ascending), applies
-// cut to the sorted group and collects the survivors.
-func selectPerGroup(m *Mapping, byDomain bool, cut func([]Correspondence) []Correspondence) *Mapping {
-	groups := make(map[model.ID][]Correspondence)
-	var order []model.ID
-	for _, c := range m.corrs {
-		key := c.Domain
-		if !byDomain {
-			key = c.Range
-		}
+// selectPerGroup groups rows by domain (or range) ordinal, sorts each
+// group's row indices by similarity descending (ties by the other id
+// ascending), and keeps the prefix of cut(sims) survivors per group. Groups
+// form in first-seen order over the mapping's columns — the grouping keys,
+// the sort and the output insertion order are exactly those of the previous
+// struct-based implementation.
+func selectPerGroup(m *Mapping, byDomain bool, cut func(sims []float64) int) *Mapping {
+	keyCol, otherCol := m.dom, m.rng
+	if !byDomain {
+		keyCol, otherCol = m.rng, m.dom
+	}
+	groups := make(map[uint32][]int32)
+	var order []uint32
+	for i := range m.sim {
+		key := keyCol[i]
 		if _, ok := groups[key]; !ok {
 			order = append(order, key)
 		}
-		groups[key] = append(groups[key], c)
+		groups[key] = append(groups[key], int32(i))
 	}
-	out := New(m.Domain(), m.Range(), m.Type())
+	out := NewWithDict(m.Domain(), m.Range(), m.Type(), m.dict)
+	ids := m.dict.All()
+	var sims []float64
 	for _, key := range order {
-		cs := groups[key]
-		sort.Slice(cs, func(i, j int) bool {
-			if cs[i].Sim != cs[j].Sim {
-				return cs[i].Sim > cs[j].Sim
+		rows := groups[key]
+		sort.Slice(rows, func(i, j int) bool {
+			ri, rj := rows[i], rows[j]
+			if m.sim[ri] != m.sim[rj] {
+				return m.sim[ri] > m.sim[rj]
 			}
-			if byDomain {
-				return cs[i].Range < cs[j].Range
-			}
-			return cs[i].Domain < cs[j].Domain
+			return ids[otherCol[ri]] < ids[otherCol[rj]]
 		})
-		for _, c := range cut(cs) {
-			out.Add(c.Domain, c.Range, c.Sim)
+		sims = sims[:0]
+		for _, r := range rows {
+			sims = append(sims, m.sim[r])
+		}
+		for _, r := range rows[:cut(sims)] {
+			out.AddOrd(m.dom[r], m.rng[r], m.sim[r])
 		}
 	}
 	return out
+}
+
+// intersectRows keeps the correspondences of m whose (domain, range) pair
+// also appears in o — the BothSides conjunction. Both mappings come from
+// the same selection over the same input, so they share a dictionary and
+// the probe is ordinal-to-ordinal.
+func (m *Mapping) intersectRows(o *Mapping) *Mapping {
+	if m.dict != o.dict {
+		return m.Filter(func(c Correspondence) bool { return o.Has(c.Domain, c.Range) })
+	}
+	return m.filterRows(func(i int) bool { return o.HasOrd(m.dom[i], m.rng[i]) })
 }
 
 // ConstraintFunc decides whether a correspondence between two concrete

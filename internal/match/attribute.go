@@ -107,10 +107,25 @@ func (m *Attribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) {
 		}
 	}
 	out := mapping.NewSame(a.LDS(), b.LDS())
-	streamScore(stream, m.Workers, score, func(p block.Pair, s float64) {
-		out.AddMax(p.A, p.B, s)
-	})
+	streamScore(stream, m.Workers, score, ordinalEmit(out, a, b, ords))
 	return out, nil
+}
+
+// ordinalEmit returns the kept-correspondence sink of a match: when the
+// blocker's pairs carry ObjectSet ordinals, both input id columns are
+// interned into the output mapping's dictionary once — O(n+m) — and every
+// kept pair is inserted ordinal-to-ordinal, so the emit path never hashes
+// an id string. Ordinal-less blockers fall back to id-level inserts.
+func ordinalEmit(out *mapping.Mapping, a, b *model.ObjectSet, ords bool) func(block.Pair, float64) {
+	if !ords {
+		return func(p block.Pair, s float64) { out.AddMax(p.A, p.B, s) }
+	}
+	dict := out.Dict()
+	domOrds := dict.SetOrds(a)
+	rngOrds := dict.SetOrds(b)
+	return func(p block.Pair, s float64) {
+		out.AddMaxOrd(domOrds[p.OrdA], rngOrds[p.OrdB], s)
+	}
 }
 
 // profiledSim resolves the profile-based form of the configured measure:
@@ -155,17 +170,27 @@ type attrTokens struct {
 	toks block.Tokens
 }
 
-// profileColumn builds the per-instance profiles of one attribute column —
+// profileColumn returns the per-instance profiles of one attribute column —
 // the O(n+m) preprocessing the profiled scoring path reads from — as a
 // dense array aligned with ObjectSet ordinals (IndexOf). Blockers that
 // carry ordinals in their pairs let scoring read every column by plain
 // array index; for ordinal-less blockers each pair resolves its ordinals
-// once via IndexOf. When the blocking layer already tokenized this
-// attribute (cached non-nil, matching attr) and the measure can profile
-// from tokens, the cached slices are reused instead of re-tokenizing. The
-// array is never mutated after this returns, so concurrent scoring workers
-// need no locks.
+// once via IndexOf. Columns are served from the process-wide profile cache
+// (profilecache.go) keyed by set identity, attribute, measure and set
+// version, so matchers sharing inputs — and repeated matches against a
+// stored set — build each column once; Touch/Add on the set invalidates.
 func profileColumn(set *model.ObjectSet, attr string, ps sim.ProfiledSim, cached *attrTokens) []*sim.Profile {
+	return cachedProfileColumn(set, attr, ps, func() []*sim.Profile {
+		return buildProfileColumn(set, attr, ps, cached)
+	})
+}
+
+// buildProfileColumn does the actual profile build. When the blocking layer
+// already tokenized this attribute (cached non-nil, matching attr) and the
+// measure can profile from tokens, the cached slices are reused instead of
+// re-tokenizing. The array is never mutated after this returns, so
+// concurrent scoring workers and cache consumers need no locks.
+func buildProfileColumn(set *model.ObjectSet, attr string, ps sim.ProfiledSim, cached *attrTokens) []*sim.Profile {
 	var toks block.Tokens
 	tp, reuse := ps.(sim.TokenProfiler)
 	if reuse && cached != nil && cached.attr == attr {
@@ -306,9 +331,7 @@ func (m *MultiAttribute) Match(a, b *model.ObjectSet) (*mapping.Mapping, error) 
 		return s, s >= m.Threshold
 	}
 	out := mapping.NewSame(a.LDS(), b.LDS())
-	streamScore(stream, m.Workers, score, func(p block.Pair, s float64) {
-		out.AddMax(p.A, p.B, s)
-	})
+	streamScore(stream, m.Workers, score, ordinalEmit(out, a, b, ords))
 	return out, nil
 }
 

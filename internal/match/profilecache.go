@@ -1,0 +1,141 @@
+package match
+
+// Per-set profile-column cache: dense similarity-profile arrays keyed by
+// object-set identity, attribute and measure.
+//
+// The profiled scoring path preprocesses each attribute value into a
+// sim.Profile once per match — O(n+m) — but a workflow running k matchers
+// over the same inputs, or a serving process matching against the same
+// stored set repeatedly, rebuilt identical columns k times. This cache
+// closes that gap the same way the blocking cache (internal/block/cache.go)
+// amortizes token columns: entries are keyed by (ObjectSet pointer,
+// attribute, measure) and validated against ObjectSet.Version, so any Add
+// or Touch to the set invalidates its cached profiles on the next match.
+//
+// The measure is part of the key because a profile's content depends on it
+// (token sets, n-gram sets, TF-IDF vectors over a specific corpus).
+// Built-in measures are comparable singletons (sim.ProfiledOf) and hit the
+// cache across matchers; corpus-backed measures compare by corpus pointer
+// AND by the corpus generation (sim.ProfileVersioner), so a mutated corpus
+// never serves stale vectors and a fresh TFIDFAttribute corpus — rebuilt
+// per match by design — simply keys a new entry and ages out. Measures
+// with uncomparable dynamic types bypass the cache entirely.
+//
+// Like the blocking cache, entries hold the set through a weak pointer and
+// a runtime cleanup sweeps entries of collected sets, so caching never
+// extends an object set's lifetime.
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"weak"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// profileCacheLimit bounds the cached columns. A workflow touches a few
+// (set, attribute, measure) combinations per step; a serving process a few
+// dozen.
+const profileCacheLimit = 64
+
+type profileKey struct {
+	set     weak.Pointer[model.ObjectSet]
+	attr    string
+	measure sim.ProfiledSim
+	// measureVer is the measure's ProfileVersion for stateful measures
+	// (sim.ProfileVersioner — a TF-IDF corpus that was mutated since must
+	// not serve stale vectors); 0 for pure measures.
+	measureVer uint64
+}
+
+type profileEntry struct {
+	version uint64
+	profs   []*sim.Profile
+}
+
+var profileCache = struct {
+	sync.Mutex
+	entries map[profileKey]*profileEntry
+	order   []profileKey
+	// cleaned tracks the sets with a registered runtime cleanup, so a set
+	// matched under many distinct keys (fresh per-match corpora) registers
+	// one cleanup, not one per key.
+	cleaned map[weak.Pointer[model.ObjectSet]]bool
+}{entries: make(map[profileKey]*profileEntry), cleaned: make(map[weak.Pointer[model.ObjectSet]]bool)}
+
+// cachedProfileColumn returns the dense profile column of (set, attr) under
+// ps, serving repeated builds from the cache. build runs outside the cache
+// lock on a miss. Measures whose dynamic type is not comparable (closures
+// wrapped in structs with slices, say) skip caching and build directly.
+func cachedProfileColumn(set *model.ObjectSet, attr string, ps sim.ProfiledSim, build func() []*sim.Profile) []*sim.Profile {
+	if ps == nil || !reflect.TypeOf(ps).Comparable() {
+		return build()
+	}
+	key := profileKey{set: weak.Make(set), attr: attr, measure: ps}
+	if pv, ok := ps.(sim.ProfileVersioner); ok {
+		key.measureVer = pv.ProfileVersion()
+	}
+	ver := set.Version()
+	profileCache.Lock()
+	if e, ok := profileCache.entries[key]; ok && e.version == ver {
+		profs := e.profs
+		profileCache.Unlock()
+		return profs
+	}
+	profileCache.Unlock()
+
+	profs := build()
+	storeProfileEntry(set, key, &profileEntry{version: ver, profs: profs})
+	return profs
+}
+
+// storeProfileEntry inserts an entry, refreshing its age, sweeping entries
+// of collected sets, and evicting the oldest beyond the limit — the
+// blocking cache's policy.
+func storeProfileEntry(set *model.ObjectSet, key profileKey, e *profileEntry) {
+	profileCache.Lock()
+	defer profileCache.Unlock()
+	kept := profileCache.order[:0]
+	for _, k := range profileCache.order {
+		switch {
+		case k == key:
+			// Re-appended below as the newest entry.
+		case k.set.Value() == nil:
+			delete(profileCache.entries, k)
+		default:
+			kept = append(kept, k)
+		}
+	}
+	profileCache.order = append(kept, key)
+	profileCache.entries[key] = e
+	for len(profileCache.order) > profileCacheLimit {
+		victim := profileCache.order[0]
+		profileCache.order = profileCache.order[1:]
+		delete(profileCache.entries, victim)
+	}
+	// One cleanup per set, however many (attr, measure, version) keys it
+	// accumulates: a long-lived set matched with per-match corpora must not
+	// grow an unbounded cleanup list.
+	if !profileCache.cleaned[key.set] {
+		profileCache.cleaned[key.set] = true
+		runtime.AddCleanup(set, sweepDeadProfileSet, key.set)
+	}
+}
+
+// sweepDeadProfileSet drops every cache entry of a collected set.
+func sweepDeadProfileSet(wp weak.Pointer[model.ObjectSet]) {
+	profileCache.Lock()
+	defer profileCache.Unlock()
+	kept := profileCache.order[:0]
+	for _, k := range profileCache.order {
+		if k.set == wp {
+			delete(profileCache.entries, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	profileCache.order = kept
+	delete(profileCache.cleaned, wp)
+}

@@ -1,0 +1,153 @@
+package match
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func profCacheSet(n int) *model.ObjectSet {
+	set := model.NewObjectSet(model.LDS{Source: "T", Type: model.Publication})
+	for i := 0; i < n; i++ {
+		set.AddNew(model.ID(fmt.Sprintf("p%d", i)), map[string]string{
+			"title": fmt.Sprintf("profile cache title %d", i),
+		})
+	}
+	return set
+}
+
+func TestProfileColumnCacheHitsAndInvalidation(t *testing.T) {
+	set := profCacheSet(10)
+	ps, ok := sim.ProfiledOf(sim.Trigram)
+	if !ok {
+		t.Fatal("Trigram has no profiled twin")
+	}
+	builds := 0
+	build := func() []*sim.Profile {
+		builds++
+		return buildProfileColumn(set, "title", ps, nil)
+	}
+	c1 := cachedProfileColumn(set, "title", ps, build)
+	c2 := cachedProfileColumn(set, "title", ps, build)
+	if builds != 1 {
+		t.Fatalf("second lookup rebuilt the column: %d builds", builds)
+	}
+	if len(c1) != set.Len() || &c1[0] != &c2[0] {
+		t.Fatal("cache must serve the same column slice")
+	}
+
+	// A different measure keys a different entry.
+	ps2, _ := sim.ProfiledOf(sim.Bigram)
+	other := 0
+	cachedProfileColumn(set, "title", ps2, func() []*sim.Profile {
+		other++
+		return buildProfileColumn(set, "title", ps2, nil)
+	})
+	if other != 1 {
+		t.Fatalf("distinct measure should build its own column: %d builds", other)
+	}
+	if builds != 1 {
+		t.Fatalf("distinct measure must not evict wrongly: %d builds of first", builds)
+	}
+
+	// In-place mutation + Touch invalidates.
+	set.At(0).SetAttr("title", "changed title zero")
+	set.Touch()
+	c3 := cachedProfileColumn(set, "title", ps, build)
+	if builds != 2 {
+		t.Fatalf("Touch must invalidate: %d builds", builds)
+	}
+	if c3[0].Raw != "changed title zero" {
+		t.Fatalf("rebuilt column did not pick up the mutation: %q", c3[0].Raw)
+	}
+
+	// Membership change (Add) invalidates too.
+	set.AddNew("pX", map[string]string{"title": "a fresh arrival"})
+	c4 := cachedProfileColumn(set, "title", ps, build)
+	if builds != 3 || len(c4) != set.Len() {
+		t.Fatalf("Add must invalidate: %d builds, len=%d want %d", builds, len(c4), set.Len())
+	}
+}
+
+// TestProfileColumnCacheTracksCorpusVersion pins that a corpus-backed
+// measure stops hitting the cache once the corpus mutates: idfs shift with
+// every Add/Remove, so cached vectors would be stale.
+func TestProfileColumnCacheTracksCorpusVersion(t *testing.T) {
+	set := profCacheSet(5)
+	corpus := sim.NewTFIDF()
+	set.Each(func(in *model.Instance) bool {
+		corpus.Add(in.Attr("title"))
+		return true
+	})
+	ps := corpus.Profiled()
+	builds := 0
+	build := func() []*sim.Profile {
+		builds++
+		return buildProfileColumn(set, "title", ps, nil)
+	}
+	cachedProfileColumn(set, "title", ps, build)
+	cachedProfileColumn(set, "title", ps, build)
+	if builds != 1 {
+		t.Fatalf("stable corpus should cache: %d builds", builds)
+	}
+	corpus.Add("a brand new document shifting every idf")
+	c := cachedProfileColumn(set, "title", ps, build)
+	if builds != 2 {
+		t.Fatalf("corpus mutation must invalidate cached profiles: %d builds", builds)
+	}
+	// The rebuilt profiles must reflect the new corpus statistics.
+	fresh := buildProfileColumn(set, "title", ps, nil)
+	for i := range fresh {
+		if got, want := ps.Compare(c[i], c[i]), ps.Compare(fresh[i], fresh[i]); got != want {
+			t.Fatalf("profile %d scored %v against itself, fresh build %v", i, got, want)
+		}
+	}
+}
+
+// uncomparableSim wraps a profiled measure in a dynamic type that cannot be
+// a map key; the cache must skip it rather than panic.
+type uncomparableSim struct {
+	inner sim.ProfiledSim
+	pad   []int
+}
+
+func (u uncomparableSim) Profile(s string) *sim.Profile     { return u.inner.Profile(s) }
+func (u uncomparableSim) Compare(a, b *sim.Profile) float64 { return u.inner.Compare(a, b) }
+
+func TestProfileColumnCacheSkipsUncomparableMeasures(t *testing.T) {
+	set := profCacheSet(5)
+	inner, _ := sim.ProfiledOf(sim.Trigram)
+	ps := uncomparableSim{inner: inner, pad: []int{1}}
+	builds := 0
+	build := func() []*sim.Profile {
+		builds++
+		return buildProfileColumn(set, "title", ps, nil)
+	}
+	cachedProfileColumn(set, "title", ps, build)
+	cachedProfileColumn(set, "title", ps, build)
+	if builds != 2 {
+		t.Fatalf("uncomparable measures must bypass the cache: %d builds", builds)
+	}
+}
+
+// TestProfileCacheMatchersShareColumns pins the end-to-end effect: two
+// matchers over the same inputs and measure score from one cached column
+// and produce identical mappings.
+func TestProfileCacheMatchersShareColumns(t *testing.T) {
+	a, b := profCacheSet(20), profCacheSet(20)
+	m1 := &Attribute{AttrA: "title", AttrB: "title", Sim: sim.Trigram, Threshold: 0.5}
+	m2 := &Attribute{AttrA: "title", AttrB: "title", Sim: sim.Trigram, Threshold: 0.5}
+	r1, err := m1.Match(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m2.Match(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2, 0) {
+		t.Fatal("cached profile columns changed match results")
+	}
+}

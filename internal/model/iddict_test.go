@@ -1,0 +1,89 @@
+package model
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestIDDictDenseOrdinals(t *testing.T) {
+	d := NewIDDict()
+	for i := 0; i < 100; i++ {
+		id := ID(fmt.Sprintf("x%d", i))
+		if got := d.Ord(id); got != uint32(i) {
+			t.Fatalf("Ord(%s) = %d, want %d (first-seen dense)", id, got, i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		id := ID(fmt.Sprintf("x%d", i))
+		if got := d.Ord(id); got != uint32(i) {
+			t.Fatalf("re-interning %s moved it to %d", id, got)
+		}
+		if got := d.IDOf(uint32(i)); got != id {
+			t.Fatalf("IDOf(%d) = %s, want %s", i, got, id)
+		}
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if _, ok := d.Lookup("nope"); ok {
+		t.Fatal("Lookup must not intern")
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Lookup grew the dictionary to %d", d.Len())
+	}
+	all := d.All()
+	if len(all) != 100 || all[42] != "x42" {
+		t.Fatalf("All() = %d entries, all[42]=%s", len(all), all[42])
+	}
+}
+
+func TestIDDictSetOrds(t *testing.T) {
+	d := NewIDDict()
+	set := NewObjectSet(LDS{Source: "S", Type: Publication})
+	for i := 0; i < 10; i++ {
+		set.AddNew(ID(fmt.Sprintf("p%d", i)), nil)
+	}
+	ords := d.SetOrds(set)
+	if len(ords) != set.Len() {
+		t.Fatalf("SetOrds returned %d entries for a %d-instance set", len(ords), set.Len())
+	}
+	for i, o := range ords {
+		if d.IDOf(o) != set.IDAt(i) {
+			t.Fatalf("SetOrds[%d] resolves to %s, want %s", i, d.IDOf(o), set.IDAt(i))
+		}
+	}
+}
+
+func TestIDDictConcurrent(t *testing.T) {
+	d := NewIDDict()
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Half shared ids (contended), half private.
+				id := ID(fmt.Sprintf("shared%d", i%100))
+				if w%2 == 1 {
+					id = ID(fmt.Sprintf("w%d-%d", w, i))
+				}
+				ord := d.Ord(id)
+				if got := d.IDOf(ord); got != id {
+					t.Errorf("IDOf(Ord(%s)) = %s", id, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every id resolves consistently afterwards.
+	for i := 0; i < 100; i++ {
+		id := ID(fmt.Sprintf("shared%d", i))
+		ord, ok := d.Lookup(id)
+		if !ok || d.IDOf(ord) != id {
+			t.Fatalf("shared id %s did not intern consistently", id)
+		}
+	}
+}

@@ -341,19 +341,19 @@ func (s *Server) handleRemoveInstance(w http.ResponseWriter, r *http.Request) (i
 }
 
 // dropFromDeltaLocked removes every correspondence touching id from the
-// set's delta mapping. Callers hold the set's lock.
+// set's delta mapping. The mapping's byDomain/byRange posting lists answer
+// "does this id appear at all" first, so the common case — removing an
+// instance that never matched anything — costs two posting probes instead
+// of a full filter pass over the delta table. Callers hold the set's lock.
 func (s *Server) dropFromDeltaLocked(setName string, id model.ID) error {
 	name := deltaMappingName(setName)
 	m, ok := s.sys.Repo.Get(name)
-	if !ok {
+	if !ok || !m.Touches(id) {
 		return nil
 	}
 	filtered := m.Filter(func(c mapping.Correspondence) bool {
 		return c.Domain != id && c.Range != id
 	})
-	if filtered.Len() == m.Len() {
-		return nil
-	}
 	return s.sys.Repo.Put(name, filtered)
 }
 
@@ -382,15 +382,20 @@ func (s *Server) handleGetMapping(w http.ResponseWriter, r *http.Request) (int, 
 		Type:   string(m.Type()),
 		Len:    m.Len(),
 	}
-	for _, c := range m.Correspondences() {
+	// Stream rows off the columns with an early stop at the limit: a read
+	// of the first 100 rows of a million-row mapping copies 100 rows, not
+	// the table.
+	ids := m.Dict().All()
+	m.EachOrd(func(d, r uint32, sim float64) bool {
 		if len(resp.Correspondences) >= limit {
 			resp.Truncated = true
-			break
+			return false
 		}
 		resp.Correspondences = append(resp.Correspondences, CorrespondenceJS{
-			Domain: string(c.Domain), Range: string(c.Range), Sim: c.Sim,
+			Domain: string(ids[d]), Range: string(ids[r]), Sim: sim,
 		})
-	}
+		return true
+	})
 	mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil

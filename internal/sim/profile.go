@@ -95,6 +95,19 @@ type TokenProfiler interface {
 	ProfileTokens(s string, toks []uint32) *Profile
 }
 
+// ProfileVersioner is implemented by profiled measures whose profiles
+// depend on mutable external state — a TF-IDF corpus, whose every Add or
+// Remove shifts the idf of every term. ProfileVersion changes whenever
+// previously-built profiles become stale; profile caches must include it
+// in their keys. Measures without this interface build profiles as pure
+// functions of the input value and never stale.
+type ProfileVersioner interface {
+	ProfiledSim
+	// ProfileVersion identifies the state generation profiles are built
+	// against.
+	ProfileVersion() uint64
+}
+
 // QueryProfiler is implemented by profiled measures whose Profile stage
 // interns tokens. ProfileQuery builds a profile that scores bit-identically
 // to Profile(s) against any profile of interned values, but looks tokens up

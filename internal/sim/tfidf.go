@@ -28,6 +28,10 @@ import (
 type TFIDF struct {
 	docFreq map[uint32]int
 	docs    int
+	// gen counts corpus mutations (Add/Remove): every change shifts the
+	// idf of every term, so profiles built before it are stale. The
+	// profiled form exposes it as its ProfileVersion.
+	gen uint64
 
 	mu   sync.RWMutex
 	vecs map[string]*docVec
@@ -60,6 +64,7 @@ func (t *TFIDF) Add(doc string) {
 		t.vecs = make(map[string]*docVec)
 	}
 	t.mu.Unlock()
+	t.gen++
 	t.docs++
 	for _, id := range uniqueSorted(Terms.TokenIDs(doc)) {
 		t.docFreq[id]++
@@ -84,6 +89,7 @@ func (t *TFIDF) Remove(doc string) {
 		t.vecs = make(map[string]*docVec)
 	}
 	t.mu.Unlock()
+	t.gen++
 	t.docs--
 	for _, id := range uniqueSorted(Terms.TokenIDs(doc)) {
 		if t.docFreq[id] <= 1 {
@@ -306,6 +312,10 @@ func (t *TFIDF) Profiled() ProfiledSim { return tfidfProfiled{t: t} }
 type tfidfProfiled struct {
 	t *TFIDF
 }
+
+// ProfileVersion implements ProfileVersioner: any corpus mutation stales
+// every previously-built profile (idfs shift globally).
+func (p tfidfProfiled) ProfileVersion() uint64 { return p.t.gen }
 
 func (p tfidfProfiled) Profile(s string) *Profile {
 	return vecProfile(s, p.t.buildVec(s))

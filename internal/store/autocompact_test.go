@@ -1,0 +1,171 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+func walLines(t *testing.T, dir string) int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, walFile))
+	if os.IsNotExist(err) {
+		return 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Count(string(data), "\n")
+}
+
+// TestAutoCompactBoundsDeltaChurn drives a delta-heavy workload — the
+// online arrival pattern — and asserts the write-ahead log stays bounded
+// instead of growing one row per arrival forever.
+func TestAutoCompactBoundsDeltaChurn(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetAutoCompact(2, 32)
+
+	lds := model.LDS{Source: "DBLP", Type: model.Publication}
+	maxLines := 0
+	for i := 0; i < 500; i++ {
+		rows := []mapping.Correspondence{{
+			Domain: model.ID(fmt.Sprintf("a%d", i%10)),
+			Range:  model.ID(fmt.Sprintf("b%d", i%7)),
+			Sim:    0.5 + float64(i%50)/100,
+		}}
+		if err := s.PutDelta("live.X", lds, lds, model.SameMappingType, rows); err != nil {
+			t.Fatal(err)
+		}
+		if n := walLines(t, dir); n > maxLines {
+			maxLines = n
+		}
+	}
+	// Compaction triggers once the log holds max(minRows, ratio×snapshot)
+	// rows; with ≤70 live rows and ratio 2 the log can never pass ~140
+	// lines plus one in-flight batch. Without auto-compaction it would
+	// reach 500.
+	if maxLines > 200 {
+		t.Fatalf("delta churn grew the log to %d lines; auto-compaction should bound it", maxLines)
+	}
+
+	// The compacted store replays to the same state.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	m, ok := re.Get("live.X")
+	if !ok {
+		t.Fatal("mapping lost across auto-compacted reopen")
+	}
+	if m.Len() != 70 { // 10 domains × 7 ranges
+		t.Fatalf("replayed mapping has %d rows, want 70", m.Len())
+	}
+}
+
+// TestAutoCompactBoundsPutChurn rewrites the same mapping repeatedly (the
+// batch pattern: every Put logs the full table) and asserts the log folds.
+func TestAutoCompactBoundsPutChurn(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetAutoCompact(2, 32)
+
+	lds := model.LDS{Source: "DBLP", Type: model.Publication}
+	m := mapping.NewSame(lds, lds)
+	for i := 0; i < 50; i++ {
+		m.Add(model.ID(fmt.Sprintf("a%d", i)), model.ID(fmt.Sprintf("b%d", i)), 1)
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.Put("m", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := walLines(t, dir); n > 4 {
+		t.Fatalf("put churn left %d log records; auto-compaction should fold them", n)
+	}
+	if got, _ := s.Get("m"); got.Len() != 50 {
+		t.Fatalf("state corrupted by auto-compaction: %d rows", got.Len())
+	}
+}
+
+// TestAutoCompactDisabled pins that a zero ratio turns the feature off and
+// manual Compact still works.
+func TestAutoCompactDisabled(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetAutoCompact(0, 0)
+
+	lds := model.LDS{Source: "DBLP", Type: model.Publication}
+	for i := 0; i < 100; i++ {
+		rows := []mapping.Correspondence{{Domain: "a", Range: model.ID(fmt.Sprintf("b%d", i)), Sim: 1}}
+		if err := s.PutDelta("live.X", lds, lds, model.SameMappingType, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := walLines(t, dir); n != 100 {
+		t.Fatalf("disabled auto-compaction should leave all %d records, got %d", 100, n)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if n := walLines(t, dir); n != 0 {
+		t.Fatalf("manual Compact left %d log records", n)
+	}
+}
+
+// TestOpenRepositoryCountsExistingLog pins that a reopened store knows its
+// log size: writes after reopen keep the bound without waiting for another
+// full ratio's worth of rows.
+func TestOpenRepositoryCountsExistingLog(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetAutoCompact(0, 0) // accumulate a log without compaction
+	lds := model.LDS{Source: "DBLP", Type: model.Publication}
+	for i := 0; i < 90; i++ {
+		rows := []mapping.Correspondence{{Domain: "a", Range: model.ID(fmt.Sprintf("b%d", i)), Sim: 1}}
+		if err := s.PutDelta("live.X", lds, lds, model.SameMappingType, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	re.SetAutoCompact(0.5, 16) // log (90 rows) already far past ratio×snapshot (0 rows)
+	rows := []mapping.Correspondence{{Domain: "a", Range: "z", Sim: 1}}
+	if err := re.PutDelta("live.X", lds, lds, model.SameMappingType, rows); err != nil {
+		t.Fatal(err)
+	}
+	if n := walLines(t, dir); n != 0 {
+		t.Fatalf("first write after reopen should have compacted the inherited log, %d records remain", n)
+	}
+}

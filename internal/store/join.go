@@ -60,19 +60,37 @@ func Join(map1, map2 *mapping.Mapping, alg JoinAlgorithm) ([]JoinRow, error) {
 	}
 }
 
-// hashJoin builds a hash table over map2's domain ids and probes it with
-// map1's range ids.
+// hashJoin builds a hash table over map2's domain ordinals and probes it
+// with map1's range column — integer keys end to end, ids resolved only to
+// fill the output rows. Mixed-dictionary inputs translate the probe key per
+// row.
 func hashJoin(map1, map2 *mapping.Mapping) []JoinRow {
-	build := make(map[model.ID][]mapping.Correspondence)
-	for _, c2 := range map2.Correspondences() {
-		build[c2.Domain] = append(build[c2.Domain], c2)
+	type buildRow struct {
+		rng uint32
+		sim float64
 	}
+	build := make(map[uint32][]buildRow)
+	map2.EachOrd(func(d, r uint32, s float64) bool {
+		build[d] = append(build[d], buildRow{rng: r, sim: s})
+		return true
+	})
+	sameDict := map1.Dict() == map2.Dict()
+	ids1, ids2 := map1.Dict().All(), map2.Dict().All()
 	var rows []JoinRow
-	for _, c1 := range map1.Correspondences() {
-		for _, c2 := range build[c1.Range] {
-			rows = append(rows, JoinRow{A: c1.Domain, C: c1.Range, B: c2.Range, S1: c1.Sim, S2: c2.Sim})
+	map1.EachOrd(func(d, r uint32, s float64) bool {
+		mid := r
+		if !sameDict {
+			o2, ok := map2.Dict().Lookup(ids1[r])
+			if !ok {
+				return true
+			}
+			mid = o2
 		}
-	}
+		for _, b := range build[mid] {
+			rows = append(rows, JoinRow{A: ids1[d], C: ids1[r], B: ids2[b.rng], S1: s, S2: b.sim})
+		}
+		return true
+	})
 	return rows
 }
 

@@ -29,24 +29,114 @@ type Store struct {
 	maps  map[string]*mapping.Mapping
 	order []string
 
+	// dict is the ID dictionary mappings materialized by this store intern
+	// through: the process-global model.IDs for in-memory stores (results
+	// stored by matchers and operators already live there), a private
+	// dictionary for persistent repositories (OpenRepository), so a closed
+	// store's replayed vocabulary is released with it. Mappings stored by
+	// reference keep whatever dictionary they were built with.
+	dict *model.IDDict
+
 	// wal and dir are set for persistent stores.
 	wal *walWriter
 	dir string
+
+	// Auto-compaction state (persistent stores): walRows counts the
+	// correspondence rows appended to the log since open/compact, snapRows
+	// the rows covered by the last snapshot. When walRows exceeds both
+	// acMinRows and acRatio×snapRows, the next logged write folds the log
+	// into a fresh snapshot. A failed fold never fails the write that
+	// triggered it (the write is already durable in the log): the error is
+	// parked in acErr, auto-compaction stands down until a successful
+	// manual Compact clears it. See SetAutoCompact.
+	walRows   int
+	snapRows  int
+	acRatio   float64
+	acMinRows int
+	acErr     error
 
 	// limit > 0 bounds the number of entries (cache mode); the oldest
 	// entries are evicted first.
 	limit int
 }
 
+// Auto-compaction defaults: a delta-heavy workload may log the same
+// mapping's rows many times over, so the write-ahead log is folded into a
+// fresh snapshot once it holds 8× the rows of the last snapshot — but never
+// for logs under 4096 rows, where replay is cheap and compaction churn
+// would dominate.
+const (
+	DefaultAutoCompactRatio   = 8.0
+	DefaultAutoCompactMinRows = 4096
+)
+
 // NewRepository returns an in-memory mapping repository without persistence.
 func NewRepository() *Store {
-	return &Store{maps: make(map[string]*mapping.Mapping)}
+	return &Store{maps: make(map[string]*mapping.Mapping), dict: model.IDs}
 }
 
 // NewCache returns a bounded in-memory store evicting oldest-first once
 // more than limit mappings are held. limit <= 0 means unbounded.
 func NewCache(limit int) *Store {
-	return &Store{maps: make(map[string]*mapping.Mapping), limit: limit}
+	return &Store{maps: make(map[string]*mapping.Mapping), dict: model.IDs, limit: limit}
+}
+
+// SetAutoCompact configures automatic write-ahead-log compaction: once the
+// log holds more than ratio× the last snapshot's rows (and at least minRows
+// rows), a logged write triggers Compact inline. ratio <= 0 disables
+// auto-compaction; manual Compact always works. minRows <= 0 keeps the
+// default floor. The defaults are DefaultAutoCompactRatio and
+// DefaultAutoCompactMinRows. A write whose auto-fold fails still succeeds
+// (its rows are in the log); the failure is reported by AutoCompactErr and
+// stops further auto-folds until a manual Compact succeeds.
+func (s *Store) SetAutoCompact(ratio float64, minRows int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.acRatio = ratio
+	if minRows <= 0 {
+		minRows = DefaultAutoCompactMinRows
+	}
+	s.acMinRows = minRows
+}
+
+// AutoCompactErr returns the error of the last failed automatic
+// compaction, or nil. While non-nil, auto-compaction stands down (writes
+// keep working, the log keeps growing); a successful Compact clears it.
+func (s *Store) AutoCompactErr() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.acErr
+}
+
+// noteWALRowsLocked records rows appended to the log and compacts when the
+// log has outgrown the snapshot. Callers hold mu and have just appended;
+// the append has already succeeded, so a failed fold must not — and does
+// not — propagate into the write's result.
+func (s *Store) noteWALRowsLocked(rows int) {
+	s.walRows += rows
+	if s.acRatio <= 0 || s.acErr != nil || s.walRows < s.acMinRows {
+		return
+	}
+	base := s.snapRows
+	if base < 1 {
+		base = 1
+	}
+	if float64(s.walRows) < s.acRatio*float64(base) {
+		return
+	}
+	if err := s.compactLocked(); err != nil {
+		s.acErr = fmt.Errorf("store: auto-compact: %w", err)
+	}
+}
+
+// rowsLocked counts the correspondence rows of the current state — the
+// snapshot size auto-compaction compares the log against.
+func (s *Store) rowsLocked() int {
+	n := 0
+	for _, m := range s.maps {
+		n += m.Len()
+	}
+	return n
 }
 
 // Put stores the mapping under name, replacing any previous entry. The
@@ -71,6 +161,7 @@ func (s *Store) Put(name string, m *mapping.Mapping) error {
 		if err := s.wal.logPut(name, m); err != nil {
 			return fmt.Errorf("store: wal append: %w", err)
 		}
+		s.noteWALRowsLocked(m.Len())
 	}
 	s.evictLocked()
 	return nil
@@ -129,7 +220,7 @@ func (s *Store) PutDelta(name string, dom, rng model.LDS, mtype model.MappingTyp
 		}
 	}
 	if !exists {
-		m = mapping.New(dom, rng, mtype)
+		m = mapping.NewWithDict(dom, rng, mtype, s.dict)
 		s.maps[name] = m
 		s.order = append(s.order, name)
 	} else {
@@ -140,6 +231,9 @@ func (s *Store) PutDelta(name string, dom, rng model.LDS, mtype model.MappingTyp
 		m.AddMax(c.Domain, c.Range, c.Sim)
 	}
 	s.evictLocked()
+	if s.wal != nil {
+		s.noteWALRowsLocked(len(rows))
+	}
 	return nil
 }
 
@@ -202,6 +296,7 @@ func (s *Store) Delete(name string) bool {
 	}
 	if s.wal != nil {
 		_ = s.wal.logDelete(name)
+		s.noteWALRowsLocked(1)
 	}
 	return true
 }

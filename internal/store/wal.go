@@ -76,6 +76,9 @@ func (w *walWriter) close() error {
 	return w.f.Close()
 }
 
+// putRecord serializes a mapping straight from its columns: rows stream
+// through EachOrd and resolve ordinals against the dictionary's id table —
+// no []Correspondence copy of the whole table is ever materialized.
 func putRecord(name string, m *mapping.Mapping) walRecord {
 	rec := walRecord{
 		Op:     "put",
@@ -84,13 +87,19 @@ func putRecord(name string, m *mapping.Mapping) walRecord {
 		Range:  m.Range().String(),
 		Type:   string(m.Type()),
 	}
-	for _, c := range m.Correspondences() {
-		rec.Rows = append(rec.Rows, corrRecord{D: string(c.Domain), R: string(c.Range), S: c.Sim})
-	}
+	rec.Rows = make([]corrRecord, 0, m.Len())
+	ids := m.Dict().All()
+	m.EachOrd(func(d, r uint32, s float64) bool {
+		rec.Rows = append(rec.Rows, corrRecord{D: string(ids[d]), R: string(ids[r]), S: s})
+		return true
+	})
 	return rec
 }
 
-func mappingFromRecord(rec walRecord) (*mapping.Mapping, error) {
+// mappingFromRecord materializes a replayed mapping interning through the
+// store's dictionary. Ordinals never hit the disk format — records carry id
+// strings, so a snapshot replays correctly into any dictionary.
+func (s *Store) mappingFromRecord(rec walRecord) (*mapping.Mapping, error) {
 	dom, err := model.ParseLDS(rec.Domain)
 	if err != nil {
 		return nil, fmt.Errorf("store: record %q: %w", rec.Name, err)
@@ -99,7 +108,7 @@ func mappingFromRecord(rec walRecord) (*mapping.Mapping, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: record %q: %w", rec.Name, err)
 	}
-	m := mapping.New(dom, rng, model.MappingType(rec.Type))
+	m := mapping.NewWithDict(dom, rng, model.MappingType(rec.Type), s.dict)
 	for _, row := range rec.Rows {
 		m.Add(model.ID(row.D), model.ID(row.R), row.S)
 	}
@@ -108,16 +117,28 @@ func mappingFromRecord(rec walRecord) (*mapping.Mapping, error) {
 
 // OpenRepository opens (creating if necessary) a persistent repository in
 // dir. The snapshot is loaded first, then the write-ahead log is replayed.
+// The repository owns a private ID dictionary: replayed mappings intern
+// into it, so closing the last reference to the store releases that
+// vocabulary instead of growing the process-global model.IDs with every
+// mapping ever persisted. Auto-compaction is on at the documented defaults
+// (SetAutoCompact).
 func OpenRepository(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
 	s := NewRepository()
-	for _, file := range []string{filepath.Join(dir, snapshotFile), filepath.Join(dir, walFile)} {
-		if err := s.replayFile(file); err != nil {
-			return nil, err
-		}
+	s.dict = model.NewIDDict()
+	s.acRatio = DefaultAutoCompactRatio
+	s.acMinRows = DefaultAutoCompactMinRows
+	snapRows, err := s.replayFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, err
 	}
+	walRows, err := s.replayFile(filepath.Join(dir, walFile))
+	if err != nil {
+		return nil, err
+	}
+	s.snapRows, s.walRows = snapRows, walRows
 	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open wal: %w", err)
@@ -127,27 +148,28 @@ func OpenRepository(dir string) (*Store, error) {
 	return s, nil
 }
 
-// replayFile applies all records of a snapshot or log file; a missing file
-// is fine. A trailing partial line (torn write) is tolerated on the last
-// record only.
-func (s *Store) replayFile(path string) error {
+// replayFile applies all records of a snapshot or log file, returning the
+// number of correspondence rows replayed; a missing file is fine. A
+// trailing partial line (torn write) is tolerated on the last record only.
+func (s *Store) replayFile(path string) (int, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("store: open %s: %w", path, err)
+		return 0, fmt.Errorf("store: open %s: %w", path, err)
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 	lineNo := 0
+	rows := 0
 	var pendingErr error
 	for sc.Scan() {
 		lineNo++
 		if pendingErr != nil {
 			// A corrupt record followed by valid data is real corruption.
-			return pendingErr
+			return rows, pendingErr
 		}
 		line := sc.Bytes()
 		if len(line) == 0 {
@@ -160,21 +182,22 @@ func (s *Store) replayFile(path string) error {
 		}
 		switch rec.Op {
 		case "put":
-			m, err := mappingFromRecord(rec)
+			m, err := s.mappingFromRecord(rec)
 			if err != nil {
-				return err
+				return rows, err
 			}
 			if _, exists := s.maps[rec.Name]; !exists {
 				s.order = append(s.order, rec.Name)
 			}
 			s.maps[rec.Name] = m
+			rows += len(rec.Rows)
 		case "add":
 			m, exists := s.maps[rec.Name]
 			if !exists {
 				empty := rec
 				empty.Rows = nil
-				if m, err = mappingFromRecord(empty); err != nil {
-					return err
+				if m, err = s.mappingFromRecord(empty); err != nil {
+					return rows, err
 				}
 				s.maps[rec.Name] = m
 				s.order = append(s.order, rec.Name)
@@ -182,6 +205,7 @@ func (s *Store) replayFile(path string) error {
 			for _, row := range rec.Rows {
 				m.AddMax(model.ID(row.D), model.ID(row.R), row.S)
 			}
+			rows += len(rec.Rows)
 		case "del":
 			if _, ok := s.maps[rec.Name]; ok {
 				delete(s.maps, rec.Name)
@@ -192,16 +216,17 @@ func (s *Store) replayFile(path string) error {
 					}
 				}
 			}
+			rows++
 		default:
 			pendingErr = fmt.Errorf("store: %s line %d: unknown op %q", path, lineNo, rec.Op)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("store: scan %s: %w", path, err)
+		return rows, fmt.Errorf("store: scan %s: %w", path, err)
 	}
 	// pendingErr on the very last line is treated as a torn write and
 	// dropped silently; the data before it is intact.
-	return nil
+	return rows, nil
 }
 
 // Compact folds the current state into a fresh snapshot and truncates the
@@ -209,6 +234,12 @@ func (s *Store) replayFile(path string) error {
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked is Compact under a held write lock — auto-compaction calls
+// it from inside logged writes.
+func (s *Store) compactLocked() error {
 	if s.wal == nil || s.dir == "" {
 		return fmt.Errorf("store: Compact requires a persistent repository")
 	}
@@ -238,15 +269,24 @@ func (s *Store) Compact() error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	// Truncate the log: close, recreate.
-	if err := s.wal.close(); err != nil {
+	// Swap in a truncated log: flush the old writer, open the new one, and
+	// only then drop the old fd. Every failure path before the swap leaves
+	// s.wal usable, so a failed compaction — which auto-compaction may hit
+	// on any logged write — never wedges subsequent writes; the snapshot
+	// just renamed is a superset of the surviving log, and replaying both
+	// in order converges to the same state.
+	if err := s.wal.w.Flush(); err != nil {
 		return err
 	}
 	f, err := os.OpenFile(filepath.Join(s.dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
+	_ = s.wal.f.Close()
 	s.wal = &walWriter{f: f, w: bufio.NewWriter(f)}
+	s.snapRows = s.rowsLocked()
+	s.walRows = 0
+	s.acErr = nil
 	return nil
 }
 

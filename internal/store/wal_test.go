@@ -266,10 +266,11 @@ func TestPutDeltaCreatesAndEvicts(t *testing.T) {
 }
 
 func TestMappingFromRecordErrors(t *testing.T) {
-	if _, err := mappingFromRecord(walRecord{Name: "x", Domain: "bad", Range: "Publication@ACM"}); err == nil {
+	s := NewRepository()
+	if _, err := s.mappingFromRecord(walRecord{Name: "x", Domain: "bad", Range: "Publication@ACM"}); err == nil {
 		t.Error("bad domain LDS should fail")
 	}
-	if _, err := mappingFromRecord(walRecord{Name: "x", Domain: "Publication@DBLP", Range: "bad"}); err == nil {
+	if _, err := s.mappingFromRecord(walRecord{Name: "x", Domain: "Publication@DBLP", Range: "bad"}); err == nil {
 		t.Error("bad range LDS should fail")
 	}
 }

@@ -88,7 +88,35 @@
 // synthetic query traffic and reports throughput and latency percentiles.
 // Batch token blocking shares the same structures: its per-set token
 // columns and ordinal inverted indexes are cached by object-set identity
-// and version, so repeated matches over one set stop rebuilding them.
+// and version, so repeated matches over one set stop rebuilding them — and
+// the similarity-profile columns are cached the same way, keyed by set,
+// attribute, measure and version, so matchers sharing inputs build each
+// profile column once (Touch/Add on the set invalidates).
+//
+// # Columnar ordinal mappings
+//
+// Mapping tables are columnar: a Mapping stores parallel uint32 ordinal
+// columns (domain, range) plus a float64 similarity column, with instance
+// IDs interned once in a model.IDDict symbol table — the ID-level
+// counterpart of the term dictionary the similarity layer uses. All
+// mapping operators run over the integer columns: compose is a hash join
+// on middle ordinals, merge folds packed uint64 pair keys, selections sort
+// row indices, and byDomain/byRange lookups walk lazily-built ordinal
+// posting lists. Matchers emit kept correspondences ordinal-to-ordinal
+// (input id columns are interned once per match), evaluation compares
+// mappings by integer membership probes, and duplicate clustering
+// union-finds over dense ordinal indexes.
+//
+// Ownership follows the term dictionary's rules: mappings created with
+// NewMapping/NewSameMapping intern through the process-global model.IDs,
+// so everything produced in-process shares one ordinal space and operators
+// never translate. A persistent repository (OpenRepository) owns a private
+// dictionary for the mappings it replays from disk — its vocabulary is
+// released with the store — and operators given mixed-dictionary inputs
+// fall back to id-level translation with identical results. Ordinals never
+// reach the disk format; the WAL serializes id strings. Delta-heavy WALs
+// fold themselves into fresh snapshots automatically once the log outgrows
+// the snapshot (Store.SetAutoCompact configures or disables the ratio).
 //
 // # Benchmarks
 //
@@ -148,6 +176,9 @@ type (
 	// MappingType names mapping semantics; SameMappingType marks
 	// same-mappings.
 	MappingType = model.MappingType
+	// IDDict is the interned instance-ID dictionary backing columnar
+	// mapping tables (ordinals are dense, first-seen, append-only).
+	IDDict = model.IDDict
 )
 
 // Object-model constructors and constants.
@@ -156,6 +187,9 @@ var (
 	NewObjectSet = model.NewObjectSet
 	NewSMM       = model.NewSMM
 	ParseLDS     = model.ParseLDS
+	// NewIDDict returns a private ID dictionary for mappings that should
+	// not share the process-global ordinal space (see NewMappingWithDict).
+	NewIDDict = model.NewIDDict
 )
 
 // Common object types and cardinalities.
@@ -200,13 +234,14 @@ type (
 
 // Mapping constructors, operators and constants.
 var (
-	NewMapping     = mapping.New
-	NewSameMapping = mapping.NewSame
-	IdentityOf     = mapping.Identity
-	Merge          = mapping.Merge
-	Compose        = mapping.Compose
-	ComposeChain   = mapping.ComposeChain
-	YearConstraint = mapping.YearConstraint
+	NewMapping         = mapping.New
+	NewMappingWithDict = mapping.NewWithDict
+	NewSameMapping     = mapping.NewSame
+	IdentityOf         = mapping.Identity
+	Merge              = mapping.Merge
+	Compose            = mapping.Compose
+	ComposeChain       = mapping.ComposeChain
+	YearConstraint     = mapping.YearConstraint
 
 	AvgCombiner      = mapping.AvgCombiner
 	Avg0Combiner     = mapping.Avg0Combiner
