@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -39,9 +40,15 @@ func parseFile(path string) (map[string][]sample, []string, error) {
 		return nil, nil, err
 	}
 	defer f.Close()
+	return parse(f)
+}
+
+// parse reads `go test -bench` output: lines that don't look like benchmark
+// results (headers, PASS/ok trailers, garbage) are skipped silently.
+func parse(r io.Reader) (map[string][]sample, []string, error) {
 	out := make(map[string][]sample)
 	var order []string
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<22)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -118,6 +125,43 @@ func pctDelta(oldV, newV float64) float64 {
 	return (newV - oldV) / oldV * 100
 }
 
+// compare writes the comparison table to w and reports whether any
+// benchmark present in both runs regressed past threshold on median ns/op.
+// Benchmarks present on one side only are listed and never gate.
+func compare(w io.Writer, oldRuns map[string][]sample, oldOrder []string, newRuns map[string][]sample, newOrder []string, threshold float64, oldLabel string) bool {
+	fmt.Fprintf(w, "%-52s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "Δns", "ΔB/op")
+	regressed := false
+	for _, name := range oldOrder {
+		news, ok := newRuns[name]
+		if !ok {
+			fmt.Fprintf(w, "%-52s only in %s, skipped\n", name, oldLabel)
+			continue
+		}
+		olds := oldRuns[name]
+		oldNS := medians(olds, func(s sample) float64 { return s.nsPerOp })
+		newNS := medians(news, func(s sample) float64 { return s.nsPerOp })
+		dNS := pctDelta(oldNS, newNS)
+		bytesNote := "-"
+		if olds[0].hasBytes && news[0].hasBytes {
+			oldB := medians(olds, func(s sample) float64 { return s.bytesPerOp })
+			newB := medians(news, func(s sample) float64 { return s.bytesPerOp })
+			bytesNote = fmt.Sprintf("%+.1f%%", pctDelta(oldB, newB))
+		}
+		mark := ""
+		if dNS > threshold*100 {
+			mark = "  <-- REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+7.1f%% %10s%s\n", name, oldNS, newNS, dNS, bytesNote, mark)
+	}
+	for _, name := range newOrder {
+		if _, ok := oldRuns[name]; !ok {
+			fmt.Fprintf(w, "%-52s new benchmark, no baseline\n", name)
+		}
+	}
+	return regressed
+}
+
 func main() {
 	oldPath := flag.String("old", "", "baseline benchmark output")
 	newPath := flag.String("new", "", "candidate benchmark output")
@@ -137,38 +181,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "moma-benchcmp: %v\n", err)
 		os.Exit(2)
 	}
-
-	fmt.Printf("%-52s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "Δns", "ΔB/op")
-	regressed := false
-	for _, name := range oldOrder {
-		news, ok := newRuns[name]
-		if !ok {
-			fmt.Printf("%-52s only in %s, skipped\n", name, *oldPath)
-			continue
-		}
-		olds := oldRuns[name]
-		oldNS := medians(olds, func(s sample) float64 { return s.nsPerOp })
-		newNS := medians(news, func(s sample) float64 { return s.nsPerOp })
-		dNS := pctDelta(oldNS, newNS)
-		bytesNote := "-"
-		if olds[0].hasBytes && news[0].hasBytes {
-			oldB := medians(olds, func(s sample) float64 { return s.bytesPerOp })
-			newB := medians(news, func(s sample) float64 { return s.bytesPerOp })
-			bytesNote = fmt.Sprintf("%+.1f%%", pctDelta(oldB, newB))
-		}
-		mark := ""
-		if dNS > *threshold*100 {
-			mark = "  <-- REGRESSION"
-			regressed = true
-		}
-		fmt.Printf("%-52s %14.0f %14.0f %+7.1f%% %10s%s\n", name, oldNS, newNS, dNS, bytesNote, mark)
-	}
-	for _, name := range newOrder {
-		if _, ok := oldRuns[name]; !ok {
-			fmt.Printf("%-52s new benchmark, no baseline\n", name)
-		}
-	}
-	if regressed {
+	if compare(os.Stdout, oldRuns, oldOrder, newRuns, newOrder, *threshold, *oldPath) {
 		fmt.Printf("\nFAIL: at least one benchmark regressed >%.0f%% on ns/op\n", *threshold*100)
 		os.Exit(1)
 	}

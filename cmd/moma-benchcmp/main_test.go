@@ -1,0 +1,143 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: repro/internal/mapping",
+		"BenchmarkCompose-8   1000   125.5 ns/op   64 B/op   2 allocs/op",
+		"BenchmarkCompose-8   1000   banana ns/op", // non-numeric value
+		"BenchmarkShort-8 1000",                    // too few fields
+		"NotABenchmark-8   1000   10 ns/op",        // wrong prefix
+		"BenchmarkNoUnit-8   1000   42 furlongs",   // no ns/op metric
+		"PASS",
+		"ok  	repro/internal/mapping	1.2s",
+		"",
+		"garbage line with words only",
+	}, "\n")
+	runs, order, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(order) != 1 || order[0] != "BenchmarkCompose" {
+		t.Fatalf("order = %v, want [BenchmarkCompose]", order)
+	}
+	samples := runs["BenchmarkCompose"]
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1 (malformed duplicate must be dropped)", len(samples))
+	}
+	s := samples[0]
+	if s.nsPerOp != 125.5 || !s.hasBytes || s.bytesPerOp != 64 || s.allocsPerOp != 2 {
+		t.Fatalf("sample = %+v", s)
+	}
+}
+
+func TestParseMergesCPUSuffixes(t *testing.T) {
+	input := "BenchmarkX-8 10 100 ns/op\nBenchmarkX-4 10 200 ns/op\nBenchmarkX 10 300 ns/op\n"
+	runs, order, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(order) != 1 {
+		t.Fatalf("order = %v, want one merged name", order)
+	}
+	if got := len(runs["BenchmarkX"]); got != 3 {
+		t.Fatalf("got %d samples under BenchmarkX, want 3", got)
+	}
+}
+
+func TestStripCPUSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":        "BenchmarkX",
+		"BenchmarkX-128":      "BenchmarkX",
+		"BenchmarkX":          "BenchmarkX",
+		"BenchmarkX/sub-2":    "BenchmarkX/sub",
+		"BenchmarkTop-k":      "BenchmarkTop-k", // non-numeric suffix stays
+		"Benchmark-5x/case-4": "Benchmark-5x/case",
+	}
+	for in, want := range cases {
+		if got := stripCPUSuffix(in); got != want {
+			t.Errorf("stripCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMedianOddEvenEmpty(t *testing.T) {
+	if got := median(nil); got != 0 {
+		t.Errorf("median(nil) = %v, want 0", got)
+	}
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v, want 2", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+}
+
+// mustParse is a test helper over parse.
+func mustParse(t *testing.T, s string) (map[string][]sample, []string) {
+	t.Helper()
+	runs, order, err := parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return runs, order
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldRuns, oldOrder := mustParse(t, "BenchmarkA-8 10 100 ns/op\nBenchmarkA-8 10 110 ns/op\nBenchmarkA-8 10 90 ns/op\nBenchmarkB-8 10 50 ns/op\n")
+	newRuns, newOrder := mustParse(t, "BenchmarkA-8 10 300 ns/op\nBenchmarkB-8 10 51 ns/op\n")
+	var out strings.Builder
+	if !compare(&out, oldRuns, oldOrder, newRuns, newOrder, 0.20, "base.txt") {
+		t.Fatalf("3x ns/op increase not flagged as regression; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("output lacks REGRESSION marker:\n%s", out.String())
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	oldRuns, oldOrder := mustParse(t, "BenchmarkA-8 10 100 ns/op\n")
+	newRuns, newOrder := mustParse(t, "BenchmarkA-8 10 115 ns/op\n")
+	var out strings.Builder
+	if compare(&out, oldRuns, oldOrder, newRuns, newOrder, 0.20, "base.txt") {
+		t.Fatalf("+15%% under a 20%% threshold must pass; output:\n%s", out.String())
+	}
+}
+
+func TestCompareUsesMedianNotMean(t *testing.T) {
+	// Median old = 100; one wild outlier must not drag the comparison.
+	oldRuns, oldOrder := mustParse(t, "BenchmarkA-8 10 100 ns/op\nBenchmarkA-8 10 100 ns/op\nBenchmarkA-8 10 100000 ns/op\n")
+	newRuns, newOrder := mustParse(t, "BenchmarkA-8 10 110 ns/op\n")
+	var out strings.Builder
+	if compare(&out, oldRuns, oldOrder, newRuns, newOrder, 0.20, "base.txt") {
+		t.Fatalf("median-based compare must ignore the outlier; output:\n%s", out.String())
+	}
+}
+
+func TestCompareMissingBenchmarksNeverGate(t *testing.T) {
+	oldRuns, oldOrder := mustParse(t, "BenchmarkOldOnly-8 10 100 ns/op\n")
+	newRuns, newOrder := mustParse(t, "BenchmarkNewOnly-8 10 999999 ns/op\n")
+	var out strings.Builder
+	if compare(&out, oldRuns, oldOrder, newRuns, newOrder, 0.20, "base.txt") {
+		t.Fatalf("disjoint benchmark sets must not regress; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "only in base.txt, skipped") {
+		t.Errorf("missing-in-new benchmark not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "new benchmark, no baseline") {
+		t.Errorf("missing-in-old benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareEmptyInputs(t *testing.T) {
+	var out strings.Builder
+	if compare(&out, map[string][]sample{}, nil, map[string][]sample{}, nil, 0.20, "base.txt") {
+		t.Fatal("empty inputs must not regress")
+	}
+}

@@ -1,0 +1,110 @@
+// Command moma-vet runs the repository's invariant analyzers (see
+// internal/analysis) over Go packages and exits non-zero if any invariant
+// is violated. It is a standalone multichecker rather than a `go vet
+// -vettool` plugin: the vettool protocol requires the x/tools unitchecker
+// machinery (serialized facts, objectpath), which the dependency-free
+// framework deliberately omits. CI builds this binary and runs it right
+// after `go vet`.
+//
+// Usage:
+//
+//	moma-vet [-checks mapiter,dictgrowth,columns,guardedby] [packages]
+//
+// Packages default to ./... resolved in the current directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/columns"
+	"repro/internal/analysis/dictgrowth"
+	"repro/internal/analysis/guardedby"
+	"repro/internal/analysis/mapiter"
+)
+
+var all = []*analysis.Analyzer{
+	mapiter.Analyzer,
+	dictgrowth.Analyzer,
+	columns.Analyzer,
+	guardedby.Analyzer,
+}
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: moma-vet [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moma-vet:", err)
+		os.Exit(2)
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moma-vet:", err)
+		os.Exit(2)
+	}
+	fset, pkgs, err := analysis.Load(dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moma-vet:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moma-vet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "moma-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -checks flag against the registry.
+func selectAnalyzers(checks string) ([]*analysis.Analyzer, error) {
+	if checks == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}

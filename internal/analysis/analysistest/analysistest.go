@@ -1,0 +1,164 @@
+// Package analysistest runs an analyzer over golden packages under
+// testdata/src/<pkg> and checks its diagnostics against // want "regex"
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Each expectation is a trailing comment on the line the diagnostic should
+// land on; multiple quoted regexes expect multiple diagnostics on the line:
+//
+//	out = append(out, k) // want "appends to out"
+//
+// Packages are loaded in the order given, sharing one fact store, so a
+// package may import an earlier one by its directory basename — that is
+// how cross-package fact flow is tested. Standard-library imports resolve
+// through export data from the build cache.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each named package from testdata/src/<name>, applies the
+// analyzer in order with shared facts, and reports mismatches with the
+// // want expectations on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	std := analysis.NewStdImporter(fset)
+	facts := analysis.NewFactStore()
+	loaded := make(map[string]*types.Package)
+
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		info := analysis.NewTypesInfo()
+		conf := types.Config{Importer: importerFunc(func(path string) (*types.Package, error) {
+			if p, ok := loaded[path]; ok {
+				return p, nil
+			}
+			return std.Import(path)
+		})}
+		tpkg, err := conf.Check(name, fset, files, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", name, err)
+		}
+		loaded[name] = tpkg
+
+		var diags []analysis.Diagnostic
+		pass := analysis.NewPass(a, fset, files, tpkg, info, facts, func(d analysis.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, name, err)
+		}
+		checkWants(t, fset, files, diags)
+	}
+}
+
+// parseDir parses every .go file of dir in name order.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// want is one expectation: a pattern at a file line, matched at most once.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantRx  = regexp.MustCompile(`// want (.*)$`)
+	quoteRx = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// checkWants matches diagnostics against // want comments in files,
+// reporting unexpected diagnostics and unmet expectations.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				qs := quoteRx.FindAllStringSubmatch(m[1], -1)
+				if len(qs) == 0 {
+					t.Errorf("%s: // want comment with no quoted pattern", pos)
+					continue
+				}
+				for _, q := range qs {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, q[1], err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q was not reported", w.file, w.line, w.re)
+		}
+	}
+}

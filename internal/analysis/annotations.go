@@ -1,0 +1,138 @@
+package analysis
+
+// Comment directives: the repository's invariants are declared in the code
+// they protect as //moma:<name> [args] comments. The full vocabulary:
+//
+//	//moma:interns [note]          this function/method grows a dictionary
+//	                               (seed of the dictgrowth call-graph walk)
+//	//moma:readpath                entry point that must never reach an
+//	                               interning API (dictgrowth checks it)
+//	//moma:parallel f1 f2 ...      (on a struct type) the named fields are
+//	                               parallel columns; any function changing
+//	                               one must change all (columns)
+//	//moma:locked mu [mu2 ...]     callers hold the named mutex(es); the
+//	                               function may touch fields guarded by
+//	                               them (guardedby)
+//	// guarded by mu               (on a struct field) reads and writes
+//	                               require the sibling mutex mu (guardedby)
+//
+// and the per-analyzer suppressions, each of which MUST carry a one-line
+// justification (analyzers reject bare suppressions):
+//
+//	//moma:nondeterministic-ok why   (mapiter, on the range statement)
+//	//moma:dictgrowth-ok why         (dictgrowth, on a call site or func)
+//	//moma:columns-ok why            (columns, on a write site or func)
+//	//moma:guardedby-ok why          (guardedby, on an access site or func)
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //moma:<name> [args] comment.
+type Directive struct {
+	Pos  token.Pos
+	Name string
+	Args string
+}
+
+const directivePrefix = "//moma:"
+
+// parseDirective parses one comment line; ok is false for ordinary comments.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text, found := strings.CutPrefix(c.Text, directivePrefix)
+	if !found {
+		return Directive{}, false
+	}
+	name, args, _ := strings.Cut(text, " ")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Pos: c.Pos(), Name: name, Args: strings.TrimSpace(args)}, true
+}
+
+// DocDirectives returns the directives of a doc comment group with the
+// given name (all of them for name "").
+func DocDirectives(doc *ast.CommentGroup, name string) []Directive {
+	if doc == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c); ok && (name == "" || d.Name == name) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DocDirective returns the first directive of the given name in doc.
+func DocDirective(doc *ast.CommentGroup, name string) (Directive, bool) {
+	ds := DocDirectives(doc, name)
+	if len(ds) == 0 {
+		return Directive{}, false
+	}
+	return ds[0], true
+}
+
+// buildNotes indexes every //moma: directive of the pass's files by file
+// and line, including trailing comments and free-standing ones.
+func (p *Pass) buildNotes() {
+	p.notes = make(map[string]map[int][]Directive)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.notes[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]Directive)
+					p.notes[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+			}
+		}
+	}
+}
+
+// DirectiveAt returns a directive of the given name on the same line as
+// pos or on the line immediately above it — the two idiomatic placements
+// for a site-level annotation.
+func (p *Pass) DirectiveAt(pos token.Pos, name string) (Directive, bool) {
+	if p.notes == nil {
+		p.buildNotes()
+	}
+	at := p.Fset.Position(pos)
+	byLine := p.notes[at.Filename]
+	for _, line := range []int{at.Line, at.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// Suppressed reports whether a site is excused by the named suppression
+// directive at pos or in the enclosing declaration's doc comment. A
+// suppression without a justification is itself reported (at the governed
+// site) — every remaining //moma:*-ok in the tree must say why it is safe.
+func (p *Pass) Suppressed(pos token.Pos, doc *ast.CommentGroup, name string) bool {
+	d, ok := p.DirectiveAt(pos, name)
+	if !ok && doc != nil {
+		d, ok = DocDirective(doc, name)
+	}
+	if !ok {
+		return false
+	}
+	if d.Args == "" {
+		p.Reportf(pos, "//moma:%s needs a one-line justification", name)
+	}
+	return true
+}

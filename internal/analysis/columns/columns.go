@@ -1,0 +1,247 @@
+// Package columns enforces parallel-column discipline. The columnar core
+// (PR 5) stores a mapping as parallel slices — dom, rng, sim — where row i
+// of each column describes the same correspondence; live.Resolver and the
+// dictionary shards use the same layout. The invariant is structural:
+// any operation that changes the length or identity of one column must
+// change all of them, in the same function, or rows silently shear.
+//
+// A struct declares its column groups in its doc comment:
+//
+//	//moma:parallel dom rng sim
+//
+// The analyzer then inspects every function for direct assignments to the
+// named fields (x.f = ..., which covers append, reslice and replacement —
+// the length/identity-changing writes; element writes x.f[i] = v keep the
+// columns aligned and are ignored). A function writing a proper subset of
+// a group on the same base is reported. Writes through an alias of the
+// field (p := &x.f) are invisible — keep column writes direct.
+//
+// A justified //moma:columns-ok on the write line or the function's doc
+// comment suppresses the report.
+package columns
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the columns check.
+var Analyzer = &analysis.Analyzer{
+	Name: "columns",
+	Doc:  "flag writes to a proper subset of a //moma:parallel column group",
+	Run:  run,
+}
+
+// parallelFact records a struct's column group on its type name, so writes
+// from dependent packages are checked too.
+type parallelFact struct{ Fields []string }
+
+func (*parallelFact) AFact() {}
+
+func run(pass *analysis.Pass) (any, error) {
+	groups := collectGroups(pass)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, groups, fd)
+		}
+	}
+	return nil, nil
+}
+
+// collectGroups gathers //moma:parallel declarations from struct type docs,
+// validates the named fields exist, and exports them as facts.
+func collectGroups(pass *analysis.Pass) map[*types.TypeName][]string {
+	groups := make(map[*types.TypeName][]string)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				d, ok := analysis.DocDirective(doc, "parallel")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(d.Args)
+				if len(fields) < 2 {
+					pass.Reportf(d.Pos, "//moma:parallel needs at least two field names")
+					continue
+				}
+				tn, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if tn == nil {
+					continue
+				}
+				st, ok := tn.Type().Underlying().(*types.Struct)
+				if !ok {
+					pass.Reportf(d.Pos, "//moma:parallel on non-struct type %s", ts.Name.Name)
+					continue
+				}
+				for _, name := range fields {
+					if !hasField(st, name) {
+						pass.Reportf(d.Pos, "//moma:parallel names unknown field %s of %s", name, ts.Name.Name)
+					}
+				}
+				groups[tn] = fields
+				pass.ExportObjectFact(tn, &parallelFact{Fields: fields})
+			}
+		}
+	}
+	return groups
+}
+
+func hasField(st *types.Struct, name string) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// colWrite is one direct column assignment site.
+type colWrite struct {
+	field string
+	pos   token.Pos
+}
+
+// baseKey identifies the written object: the struct's type name plus the
+// textual base expression (so m.dom and other.dom are tracked separately).
+type baseKey struct {
+	tn   *types.TypeName
+	base string
+}
+
+// checkFunc reports bases whose written columns are a proper subset of the
+// declared group.
+func checkFunc(pass *analysis.Pass, groups map[*types.TypeName][]string, fd *ast.FuncDecl) {
+	if d, ok := analysis.DocDirective(fd.Doc, "columns-ok"); ok {
+		if d.Args == "" {
+			pass.Reportf(fd.Name.Pos(), "//moma:columns-ok needs a one-line justification")
+		}
+		return
+	}
+	writes := make(map[baseKey][]colWrite)
+	var order []baseKey
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			tn, fields := groupOf(pass, groups, sel)
+			if tn == nil || !contains(fields, sel.Sel.Name) {
+				continue
+			}
+			if pass.Suppressed(lhs.Pos(), nil, "columns-ok") {
+				continue
+			}
+			k := baseKey{tn: tn, base: types.ExprString(sel.X)}
+			if _, seen := writes[k]; !seen {
+				order = append(order, k)
+			}
+			writes[k] = append(writes[k], colWrite{field: sel.Sel.Name, pos: lhs.Pos()})
+		}
+		return true
+	})
+
+	for _, k := range order {
+		group := groups[k.tn]
+		if group == nil {
+			var fact parallelFact
+			if pass.ImportObjectFact(k.tn, &fact) {
+				group = fact.Fields
+			}
+		}
+		written := make(map[string]bool)
+		for _, w := range writes[k] {
+			written[w.field] = true
+		}
+		var missing []string
+		for _, f := range group {
+			if !written[f] {
+				missing = append(missing, f)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		sort.Strings(missing)
+		pass.Reportf(writes[k][0].pos,
+			"%s writes parallel column(s) of %s.%s but not %s (//moma:parallel %s); update every column together or annotate //moma:columns-ok <why>",
+			fd.Name.Name, k.base, joinFields(writes[k]), strings.Join(missing, ", "), strings.Join(group, " "))
+	}
+}
+
+// groupOf resolves the selected field's owning named struct and its column
+// group, consulting facts for types declared in dependency packages.
+func groupOf(pass *analysis.Pass, groups map[*types.TypeName][]string, sel *ast.SelectorExpr) (*types.TypeName, []string) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return nil, nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	tn := named.Obj()
+	if fields, ok := groups[tn]; ok {
+		return tn, fields
+	}
+	var fact parallelFact
+	if pass.ImportObjectFact(tn, &fact) {
+		return tn, fact.Fields
+	}
+	return nil, nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func joinFields(ws []colWrite) string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, w := range ws {
+		if !seen[w.field] {
+			seen[w.field] = true
+			out = append(out, w.field)
+		}
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}

@@ -1,0 +1,12 @@
+package columns_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/columns"
+)
+
+func TestColumns(t *testing.T) {
+	analysistest.Run(t, "testdata", columns.Analyzer, "columns")
+}

@@ -1,0 +1,81 @@
+// Package columns is golden input for the columns analyzer.
+package columns
+
+// Mapping stores correspondences as parallel columns.
+//
+//moma:parallel dom rng sim
+type Mapping struct {
+	dom []uint32
+	rng []uint32
+	sim []float64
+	n   int
+}
+
+// appendRow grows every column: fine.
+func (m *Mapping) appendRow(d, r uint32, s float64) {
+	m.dom = append(m.dom, d)
+	m.rng = append(m.rng, r)
+	m.sim = append(m.sim, s)
+	m.n++
+}
+
+// truncate reslices every column: fine.
+func (m *Mapping) truncate(n int) {
+	m.dom = m.dom[:n]
+	m.rng = m.rng[:n]
+	m.sim = m.sim[:n]
+}
+
+// dropSims forgets two columns: sheared rows.
+func (m *Mapping) dropSims() {
+	m.sim = m.sim[:0] // want "dropSims writes parallel column\(s\) of m.sim but not dom, rng"
+}
+
+// swapDoms replaces one column only.
+func (m *Mapping) swapDoms(dom []uint32) {
+	m.dom = dom // want "swapDoms writes parallel column"
+}
+
+// elementWrite keeps lengths aligned: fine.
+func (m *Mapping) elementWrite(i int, s float64) {
+	m.sim[i] = s
+}
+
+// twoBases tracks each base separately.
+func merge(dst, src *Mapping) {
+	dst.dom = append(dst.dom, src.dom...)
+	dst.rng = append(dst.rng, src.rng...)
+	dst.sim = append(dst.sim, src.sim...)
+}
+
+// mergePartial shears dst while only reading src.
+func mergePartial(dst, src *Mapping) {
+	dst.dom = append(dst.dom, src.dom...) // want "mergePartial writes parallel column\(s\) of dst.dom,rng but not sim"
+	dst.rng = append(dst.rng, src.rng...)
+}
+
+// reset is excused, with a reason.
+//
+//moma:columns-ok swapped wholesale by the caller right after
+func (m *Mapping) reset() {
+	m.dom = nil
+}
+
+// resetNoReason is excused but must say why.
+//
+//moma:columns-ok
+func (m *Mapping) resetNoReason() { // want "needs a one-line justification"
+	m.dom = nil
+}
+
+// siteSuppressed excuses a single write line.
+func (m *Mapping) siteSuppressed() {
+	m.sim = m.sim[:0] //moma:columns-ok sims are rebuilt by the next Score pass
+}
+
+// unrelated structs are untouched.
+type plain struct{ xs, ys []int }
+
+func (p *plain) grow(x int) {
+	p.xs = append(p.xs, x)
+}

@@ -1,0 +1,14 @@
+package dictgrowth_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/dictgrowth"
+)
+
+// Package b (the dictionary owner) is analyzed before a (the read paths) so
+// interning facts flow across the import edge.
+func TestDictgrowth(t *testing.T) {
+	analysistest.Run(t, "testdata", dictgrowth.Analyzer, "b", "a")
+}

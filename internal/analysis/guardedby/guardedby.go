@@ -1,0 +1,360 @@
+// Package guardedby checks the repository's documented lock discipline.
+// Struct fields that must only be touched under a mutex say so next to the
+// field:
+//
+//	maps map[string]*mapping.Mapping // guarded by mu
+//
+// (//moma:guardedby mu is accepted as an equivalent spelling.) The named
+// mutex must be a sibling field of sync.Mutex or sync.RWMutex type.
+//
+// Every selector access x.f of a guarded field is then required to occur in
+// a function that visibly holds the guard, meaning one of:
+//
+//   - the function calls x.mu.Lock() or x.mu.RLock() on the same base
+//     expression (flow-insensitive: locking anywhere in the function
+//     counts — the analyzer checks discipline, not lock ordering);
+//   - the function's doc comment carries //moma:locked mu, the repo's
+//     convention for xxxLocked helpers whose callers hold the lock;
+//   - the base is a local variable built only from fresh composite
+//     literals (&T{...}, T{...}, new(T)) — construct-then-publish code
+//     owns the value exclusively and predates any sharing.
+//
+// Anything else needs a justified //moma:guardedby-ok on the access line
+// or the function's doc comment. Accesses through an alias of the struct
+// taken elsewhere are checked against the alias's own base expression.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the guardedby check.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "flag accesses to '// guarded by mu' fields outside visibly locked regions",
+	Run:  run,
+}
+
+// guardFact records a field's guard mutex name on the field object, so
+// accesses from dependent packages are checked too.
+type guardFact struct{ Mu string }
+
+func (*guardFact) AFact() {}
+
+func run(pass *analysis.Pass) (any, error) {
+	guards := collectGuards(pass)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, guards, fd)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards parses field guard comments, validates the guard is a
+// sibling mutex, and exports facts.
+func collectGuards(pass *analysis.Pass) map[*types.Var]string {
+	guards := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardName(field)
+				if mu == "" {
+					continue
+				}
+				if !siblingMutex(pass.TypesInfo, st, mu) {
+					pass.Reportf(field.Pos(), "guard %q is not a sibling sync.Mutex/RWMutex field", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = mu
+						pass.ExportObjectFact(v, &guardFact{Mu: mu})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardName extracts the guard mutex name from a field's doc or trailing
+// comment: "// guarded by mu" or "//moma:guardedby mu".
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if d, ok := analysis.DocDirective(cg, "guardedby"); ok {
+			return strings.Fields(d.Args + " ")[0]
+		}
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if i := strings.Index(text, "guarded by "); i >= 0 {
+				rest := strings.Fields(text[i+len("guarded by "):])
+				if len(rest) > 0 {
+					return strings.TrimRight(rest[0], ".,;")
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// siblingMutex reports whether the struct literally declares a field named
+// mu of type sync.Mutex or sync.RWMutex (possibly embedded by name).
+func siblingMutex(info *types.Info, st *ast.StructType, mu string) bool {
+	for _, field := range st.Fields.List {
+		names := field.Names
+		if len(names) == 0 {
+			// Embedded field: its name is the type's base name.
+			if id := embeddedName(field.Type); id != nil {
+				names = []*ast.Ident{id}
+			}
+		}
+		for _, name := range names {
+			if name.Name != mu {
+				continue
+			}
+			if t := info.TypeOf(field.Type); t != nil && isMutex(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func embeddedName(e ast.Expr) *ast.Ident {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return t
+	case *ast.StarExpr:
+		return embeddedName(t.X)
+	case *ast.SelectorExpr:
+		return t.Sel
+	}
+	return nil
+}
+
+func isMutex(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// checkFunc reports guarded-field accesses not visibly under their lock.
+func checkFunc(pass *analysis.Pass, guards map[*types.Var]string, fd *ast.FuncDecl) {
+	if d, ok := analysis.DocDirective(fd.Doc, "guardedby-ok"); ok {
+		if d.Args == "" {
+			pass.Reportf(fd.Name.Pos(), "//moma:guardedby-ok needs a one-line justification")
+		}
+		return
+	}
+	lockedNames := make(map[string]bool)
+	for _, d := range analysis.DocDirectives(fd.Doc, "locked") {
+		for _, mu := range strings.Fields(d.Args) {
+			lockedNames[mu] = true
+		}
+	}
+	held := heldKeys(pass.TypesInfo, fd.Body)
+	fresh := freshLocals(pass.TypesInfo, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		fieldVar, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		mu, guarded := guards[fieldVar]
+		if !guarded {
+			var fact guardFact
+			if pass.ImportObjectFact(fieldVar, &fact) {
+				mu, guarded = fact.Mu, true
+			}
+		}
+		if !guarded {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if lockedNames[mu] || held[base+"."+mu] {
+			return true
+		}
+		if root := rootVar(pass.TypesInfo, sel.X); root != nil && fresh[root] {
+			return true
+		}
+		if pass.Suppressed(sel.Pos(), nil, "guardedby-ok") {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"access to %s.%s (guarded by %s) without %s.%s held; lock it, mark the helper //moma:locked %s, or annotate //moma:guardedby-ok <why>",
+			base, fieldVar.Name(), mu, base, mu, mu)
+		return true
+	})
+}
+
+// heldKeys collects "base.mu" strings for every x.mu.Lock/RLock() call in
+// the body.
+func heldKeys(info *types.Info, body *ast.BlockStmt) map[string]bool {
+	held := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		if fn.Name() != "Lock" && fn.Name() != "RLock" {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		held[types.ExprString(muSel.X)+"."+muSel.Sel.Name] = true
+		return true
+	})
+	return held
+}
+
+// freshLocals returns the local variables of fd whose every assignment is a
+// fresh allocation — composite literal, &composite, or new(T). Such values
+// are exclusively owned until published, so guarded-field access is safe.
+func freshLocals(info *types.Info, fd *ast.FuncDecl) map[*types.Var]bool {
+	fresh := make(map[*types.Var]bool)
+	tainted := make(map[*types.Var]bool)
+	note := func(id *ast.Ident, rhs ast.Expr) {
+		v, ok := info.Defs[id].(*types.Var)
+		if !ok {
+			v, ok = info.Uses[id].(*types.Var)
+		}
+		if !ok || v == nil {
+			return
+		}
+		if rhs != nil && isFreshAlloc(info, rhs) {
+			fresh[v] = true
+		} else {
+			tainted[v] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				note(id, rhs)
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, id := range vs.Names {
+						var rhs ast.Expr
+						if i < len(vs.Values) {
+							rhs = vs.Values[i]
+						}
+						note(id, rhs)
+					}
+				}
+			}
+		}
+		return true
+	})
+	for v := range tainted {
+		delete(fresh, v)
+	}
+	return fresh
+}
+
+// isFreshAlloc reports whether e is a fresh allocation expression.
+func isFreshAlloc(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new"
+			}
+		}
+	}
+	return false
+}
+
+// rootVar resolves the base of an expression chain (x, x.f[i].g, ...) to
+// its root local variable (nil for parameters, receivers, globals and
+// package-level values). A fresh root owns everything reachable through
+// inline fields, so construction loops over nested structs stay exempt.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[v]
+			if obj == nil {
+				obj = info.Defs[v]
+			}
+			tv, ok := obj.(*types.Var)
+			if !ok || tv.IsField() {
+				return nil
+			}
+			return tv
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package guardedby is golden input for the guardedby analyzer.
+package guardedby
+
+import "sync"
+
+// Store guards its table with mu.
+type Store struct {
+	mu    sync.RWMutex
+	table map[string]int // guarded by mu
+	hits  int            //moma:guardedby mu
+	name  string         // unguarded
+}
+
+// Get locks before reading: fine.
+func (s *Store) Get(k string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.table[k]
+	return v, ok
+}
+
+// Put write-locks: fine.
+func (s *Store) Put(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.table[k] = v
+	s.hits++
+}
+
+// Racy touches the table with no lock in sight.
+func (s *Store) Racy(k string) int {
+	return s.table[k] // want "access to s.table \(guarded by mu\) without s.mu held"
+}
+
+// Name reads an unguarded field: fine.
+func (s *Store) Name() string {
+	return s.name
+}
+
+// putLocked is a caller-holds-the-lock helper.
+//
+//moma:locked mu
+func (s *Store) putLocked(k string, v int) {
+	s.table[k] = v
+	s.hits++
+}
+
+// putUnannotatedHelper forgot the annotation.
+func (s *Store) putUnannotatedHelper(k string, v int) {
+	s.table[k] = v // want "access to s.table"
+	s.hits++       // want "access to s.hits"
+}
+
+// NewStore builds a fresh value: construct-then-publish is fine.
+func NewStore() *Store {
+	st := &Store{}
+	st.table = make(map[string]int)
+	return st
+}
+
+// reopen mutates a Store received from elsewhere: not fresh.
+func reopen(st *Store) {
+	st.table = nil // want "access to st.table"
+}
+
+// excused says why it may skip the lock.
+//
+//moma:guardedby-ok single-goroutine test fixture, never shared
+func excused(st *Store) {
+	st.table = nil
+}
+
+// excusedNoReason must justify itself.
+//
+//moma:guardedby-ok
+func excusedNoReason(st *Store) { // want "needs a one-line justification"
+	st.table = nil
+}
+
+// siteExcused annotates one access line.
+func siteExcused(st *Store) int {
+	return len(st.table) //moma:guardedby-ok len on a nil-safe map during shutdown, callers quiesced
+}
+
+// badGuard names a missing sibling.
+type badGuard struct {
+	rows []int // guarded by lock // want "guard \"lock\" is not a sibling"
+}
+
+// notAMutex names a non-mutex sibling.
+type notAMutex struct {
+	flag bool
+	rows []int // guarded by flag // want "guard \"flag\" is not a sibling"
+}

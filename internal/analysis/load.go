@@ -1,0 +1,261 @@
+package analysis
+
+// Package loading without golang.org/x/tools/go/packages: `go list -export
+// -deps -json` enumerates the dependency closure in topological order
+// (dependencies strictly before dependents) and hands us compiled export
+// data for every out-of-module package from the build cache. In-module
+// packages are parsed and type-checked from source — analyzers need their
+// syntax — importing dependencies either from the just-checked packages
+// (in-module) or through the gc export-data importer (everything else).
+// Everything works offline: export data comes from the local build cache,
+// which `go list -export` populates as a side effect.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Package is one loaded, type-checked in-module package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	// DepOnly marks packages loaded only as dependencies of the named
+	// patterns; drivers analyze them (facts!) but report no diagnostics.
+	DepOnly   bool
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+}
+
+// Load loads the in-module packages matched by the patterns (plus their
+// in-module dependencies, marked DepOnly) in dependency order.
+func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	fset := token.NewFileSet()
+	std := NewStdImporter(fset)
+	loaded := make(map[string]*Package)
+	var pkgs []*Package
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var lp listPkg
+		if err := dec.Decode(&lp); err != nil {
+			return nil, nil, fmt.Errorf("go list decode: %v", err)
+		}
+		if lp.Standard || lp.Module == nil || !lp.Module.Main {
+			// Out-of-module dependency: remember its export data for the
+			// importer; no source analysis.
+			std.addExport(lp.ImportPath, lp.Export)
+			continue
+		}
+		pkg, err := checkPackage(fset, lp, loaded, std)
+		if err != nil {
+			return nil, nil, err
+		}
+		loaded[lp.ImportPath] = pkg
+		pkgs = append(pkgs, pkg)
+	}
+	return fset, pkgs, nil
+}
+
+// checkPackage parses and type-checks one in-module package.
+func checkPackage(fset *token.FileSet, lp listPkg, loaded map[string]*Package, std *StdImporter) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: moduleImporter{loaded: loaded, std: std}}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   lp.ImportPath,
+		Dir:       lp.Dir,
+		DepOnly:   lp.DepOnly,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// NewTypesInfo returns a types.Info with every map analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// moduleImporter resolves in-module imports to already-checked packages
+// (the loader visits in dependency order, so they exist) and everything
+// else through export data.
+type moduleImporter struct {
+	loaded map[string]*Package
+	std    *StdImporter
+}
+
+func (m moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.loaded[path]; ok {
+		return p.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// StdImporter resolves packages from compiled export data in the build
+// cache, shelling out to `go list -export` for paths it was not seeded
+// with. It backs both the moma-vet loader (seeded with the full dependency
+// closure in one go list call) and analysistest (lazy, testdata files
+// import a handful of std packages).
+type StdImporter struct {
+	mu      sync.Mutex
+	exports map[string]string
+	gc      types.Importer
+}
+
+// NewStdImporter returns an export-data importer over fset.
+func NewStdImporter(fset *token.FileSet) *StdImporter {
+	s := &StdImporter{exports: make(map[string]string)}
+	s.gc = importer.ForCompiler(fset, "gc", s.lookup)
+	return s
+}
+
+func (s *StdImporter) addExport(path, export string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if export != "" {
+		s.exports[path] = export
+	}
+}
+
+// Import implements types.Importer.
+func (s *StdImporter) Import(path string) (*types.Package, error) {
+	return s.gc.Import(path)
+}
+
+// lookup hands the gc importer a reader of a package's export data.
+func (s *StdImporter) lookup(path string) (io.ReadCloser, error) {
+	s.mu.Lock()
+	export, ok := s.exports[path]
+	s.mu.Unlock()
+	if !ok {
+		out, err := exec.Command("go", "list", "-export", "-json=ImportPath,Export", path).Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v", path, err)
+		}
+		var lp listPkg
+		if err := json.Unmarshal(out, &lp); err != nil {
+			return nil, err
+		}
+		export = lp.Export
+		s.addExport(path, export)
+	}
+	if export == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(export)
+}
+
+// Finding is one driver-level diagnostic with its resolved position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies the analyzers to every package, dependencies first so facts
+// flow, and returns the diagnostics of non-DepOnly packages sorted by
+// position. The driver itself honors the determinism rule it enforces:
+// output order is a pure function of the input.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	facts := NewFactStore()
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			report := func(d Diagnostic) {
+				if pkg.DepOnly {
+					return
+				}
+				findings = append(findings, Finding{
+					Pos:      fset.Position(d.Pos),
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			}
+			pass := NewPass(a, fset, pkg.Files, pkg.Types, pkg.TypesInfo, facts, report)
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

@@ -1,0 +1,267 @@
+// Package mapiter flags map iteration whose order can leak into output —
+// the guarantee behind every eps-0 differential oracle in this repository:
+// mappings, reports and serialized state must be bit-identical run to run,
+// insertion order included, and Go randomizes map iteration order.
+//
+// A `range` over a map (or over maps.Keys/Values/All) is reported when its
+// body, in iteration order,
+//
+//   - appends to a slice declared outside the loop, unless the slice is
+//     passed to a sort or slices call later in the same function,
+//   - calls an order-sensitive sink (mapping/store growth methods such as
+//     Add/AddMax/Put/PutDelta, writer methods such as Write/WriteString,
+//     or fmt/log printing),
+//   - sends on a channel, or
+//   - accumulates a floating-point total (float addition is not
+//     associative, so even a sum is order-sensitive bit-wise).
+//
+// Pure aggregation — integer counters, min/max, writes into another map —
+// is order-independent and never flagged. A justified
+// //moma:nondeterministic-ok annotation on the range statement or the sink
+// line suppresses the report.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the mapiter check.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iteration feeding order-sensitive output without a subsequent sort",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkFunc(pass, fd.Doc, fd.Body, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// walkFunc walks stmts inside the enclosing function body `scope` (the
+// region searched for a subsequent sort), recursing into nested function
+// literals with their own scope.
+func walkFunc(pass *analysis.Pass, doc *ast.CommentGroup, scope *ast.BlockStmt, n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			walkFunc(pass, doc, n.Body, n.Body)
+			return false
+		case *ast.RangeStmt:
+			if overMap(pass.TypesInfo, n) {
+				checkRange(pass, doc, scope, n)
+			}
+		}
+		return true
+	})
+}
+
+// overMap reports whether the range statement iterates a map or one of the
+// maps-package iterators (equally unordered).
+func overMap(info *types.Info, rs *ast.RangeStmt) bool {
+	if t := info.TypeOf(rs.X); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return true
+		}
+	}
+	if call, ok := ast.Unparen(rs.X).(*ast.CallExpr); ok {
+		if fn := analysis.CalleeFunc(info, call); fn != nil {
+			return analysis.IsPkgFunc(fn, "maps", "Keys", "Values", "All")
+		}
+	}
+	return false
+}
+
+// checkRange inspects one map-range body for order-sensitive sinks.
+func checkRange(pass *analysis.Pass, doc *ast.CommentGroup, scope *ast.BlockStmt, rs *ast.RangeStmt) {
+	if pass.Suppressed(rs.Pos(), doc, "nondeterministic-ok") {
+		return
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		if pass.Suppressed(pos, nil, "nondeterministic-ok") {
+			return
+		}
+		pass.Reportf(pos, format+" in iteration order of a map range; make the order deterministic or annotate //moma:nondeterministic-ok <why>", args...)
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range is checked on its own; its sinks would be
+			// double-reported from here.
+			if n != rs && overMap(pass.TypesInfo, n) {
+				return false
+			}
+		case *ast.SendStmt:
+			report(n.Pos(), "sends on %s", types.ExprString(n.Chan))
+		case *ast.AssignStmt:
+			checkAssign(pass, report, scope, rs, n)
+		case *ast.CallExpr:
+			if name, ok := callSink(pass.TypesInfo, n); ok {
+				report(n.Pos(), "calls %s", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags appends to outer slices (unless sorted later in the
+// function) and floating-point accumulation.
+func checkAssign(pass *analysis.Pass, report func(token.Pos, string, ...any), scope *ast.BlockStmt, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		if !isFloat(info.TypeOf(lhs)) {
+			return
+		}
+		if obj := rootObj(info, lhs); obj != nil && declaredOutside(obj, rs) {
+			report(as.Pos(), "accumulates floating-point %s (float addition is not associative)", types.ExprString(lhs))
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(info, call) || len(as.Lhs) <= i {
+				continue
+			}
+			target := as.Lhs[i]
+			obj := rootObj(info, target)
+			if obj == nil || !declaredOutside(obj, rs) {
+				continue
+			}
+			if sortedAfter(info, scope, rs, obj) {
+				continue
+			}
+			report(as.Pos(), "appends to %s without sorting the result afterwards", types.ExprString(target))
+		}
+	}
+}
+
+// sinkMethodNames are method names whose calls are order-sensitive: growth
+// of mappings/stores/indexes, sequential writers, and printers.
+var sinkMethodNames = map[string]bool{
+	"Add": true, "AddMax": true, "AddOrd": true, "AddMaxOrd": true,
+	"AddCorrespondences": true, "Append": true, "Push": true,
+	"Enqueue": true, "Put": true, "PutDelta": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true, "Emit": true,
+}
+
+// sinkExemptPkgs hold order-insensitive methods that share sink names
+// (sync.WaitGroup.Add, atomic adds, testing helpers).
+var sinkExemptPkgs = map[string]bool{
+	"sync": true, "sync/atomic": true, "testing": true, "math/rand": true, "math/rand/v2": true,
+}
+
+// callSink classifies a call as order-sensitive, returning a display name.
+func callSink(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg := fn.Pkg().Path()
+	if pkg == "fmt" || pkg == "log" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return pkg + "." + fn.Name(), true
+		}
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || sinkExemptPkgs[pkg] {
+		return "", false
+	}
+	if sinkMethodNames[fn.Name()] {
+		recv := sig.Recv().Type()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		return types.TypeString(recv, types.RelativeTo(fn.Pkg())) + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// rootObj resolves the base identifier of an lvalue chain (x, x.f, x[i].f).
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj is declared outside the range
+// statement — appending to it publishes iteration order beyond the loop.
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call after the
+// range statement in the same function — the collect-then-sort idiom that
+// restores determinism.
+func sortedAfter(info *types.Info, scope *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

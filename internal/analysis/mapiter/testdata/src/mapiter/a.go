@@ -1,0 +1,130 @@
+// Package mapiter is golden input for the mapiter analyzer.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+type sink struct{ rows []string }
+
+func (s *sink) Add(v string)   { s.rows = append(s.rows, v) }
+func (s *sink) Count(v string) {}
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "appends to out"
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendThenSortSlice(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func appendLocalInside(m map[string][]int) {
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...) // local to the loop body: order cannot leak
+		_ = local
+	}
+}
+
+func sinkMethod(m map[string]int, s *sink) {
+	for k := range m {
+		s.Add(k) // want "calls sink.Add"
+	}
+}
+
+func orderFreeMethod(m map[string]int, s *sink) {
+	for k := range m {
+		s.Count(k)
+	}
+}
+
+func waitGroupAddIsFine(m map[string]int) {
+	var wg sync.WaitGroup
+	for range m {
+		wg.Add(1)
+		go func() { wg.Done() }()
+	}
+	wg.Wait()
+}
+
+func printing(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "calls fmt.Printf"
+	}
+}
+
+func channelSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "sends on ch"
+	}
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "accumulates floating-point total"
+	}
+	return total
+}
+
+func intAccumIsFine(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func mapWriteIsFine(m map[string]int) map[int]string {
+	inv := make(map[int]string)
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	//moma:nondeterministic-ok the caller treats out as an unordered set
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func suppressedNoReason(m map[string]int) []string {
+	var out []string
+	//moma:nondeterministic-ok
+	for k := range m { // want "needs a one-line justification"
+		out = append(out, k)
+	}
+	return out
+}
+
+func sliceRangeIsFine(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

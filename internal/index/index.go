@@ -170,7 +170,16 @@ func (ix *Index) Search(query string, k int) []Hit {
 		qCounts[tok]++
 	}
 	scores := make(map[model.ID]float64)
-	for tok, qtf := range qCounts {
+	// Score query terms in ascending token order: float addition is not
+	// associative, so map-order accumulation would leave low-order score
+	// bits — and tie-breaks at the heap boundary — nondeterministic.
+	qToks := make([]uint32, 0, len(qCounts))
+	for tok := range qCounts {
+		qToks = append(qToks, tok)
+	}
+	sort.Slice(qToks, func(i, j int) bool { return qToks[i] < qToks[j] })
+	for _, tok := range qToks {
+		qtf := qCounts[tok]
 		list := ix.postings[tok]
 		if len(list) == 0 {
 			continue

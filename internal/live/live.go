@@ -87,6 +87,8 @@ type Match struct {
 }
 
 // colState is the resident per-column state.
+//
+//moma:parallel profs raws
 type colState struct {
 	cfg    Column
 	ps     sim.ProfiledSim   // nil means the string fallback via cfg.Sim
@@ -100,6 +102,8 @@ type colState struct {
 
 // Resolver holds one registered object set in resident, incrementally
 // maintained form. Create with NewResolver.
+//
+//moma:parallel ids alive blockToks
 type Resolver struct {
 	mu  sync.RWMutex
 	lds model.LDS
@@ -109,12 +113,12 @@ type Resolver struct {
 	totalW    float64
 	cols      []colState
 
-	ids       []model.ID       // slot -> id (stale after Remove, see alive)
-	slots     map[model.ID]int // id -> slot, alive instances only
-	alive     []bool           // slot liveness
-	liveCount int
-	blockToks [][]uint32 // slot -> interned blocking-attribute tokens (index removal)
-	dict      *sim.Dict  // private term dictionary of the blocking index
+	ids       []model.ID       // slot -> id (stale after Remove, see alive); guarded by mu
+	slots     map[model.ID]int // id -> slot, alive instances only; guarded by mu
+	alive     []bool           // slot liveness; guarded by mu
+	liveCount int              // guarded by mu
+	blockToks [][]uint32       // slot -> interned blocking-attribute tokens (index removal); guarded by mu
+	dict      *sim.Dict        // private term dictionary of the blocking index
 	ix        *index.Ords
 }
 
@@ -215,6 +219,8 @@ func (r *Resolver) Has(id model.ID) bool {
 // exact similarities a batch matcher of the same configuration computes.
 // After warm-up, a Resolve allocates proportionally to its candidates —
 // never to the set size.
+//
+//moma:readpath
 func (r *Resolver) Resolve(q *model.Instance) []Match {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -226,6 +232,8 @@ func (r *Resolver) Resolve(q *model.Instance) []Match {
 // records (Resolve, ResolveSet), true for set-side records — an arriving
 // member resolved against its peers (AddResolve) carries the set's
 // attribute names, not the query schema's.
+//
+//moma:locked mu
 func (r *Resolver) resolveLocked(q *model.Instance, asMember bool) []Match {
 	blockAttr := r.cfg.BlockQueryAttr
 	if asMember {
@@ -258,6 +266,7 @@ func (r *Resolver) resolveLocked(q *model.Instance, asMember bool) []Match {
 		case r.cols[i].qp != nil:
 			qcols[i].prof = r.cols[i].qp.ProfileQuery(v)
 		case r.cols[i].ps != nil:
+			//moma:dictgrowth-ok only measures without ProfileQuery reach this branch, and no built-in non-QueryProfiler measure interns (pinned by TestProfiledFallbacksDoNotIntern)
 			qcols[i].prof = r.cols[i].ps.Profile(v)
 		default:
 			qcols[i].raw = v
@@ -343,6 +352,8 @@ func (r *Resolver) AddResolve(in *model.Instance) ([]Match, error) {
 // addLocked inserts or replaces under a held write lock. bulk suppresses
 // the per-arrival reprofile of corpus-backed columns during construction,
 // where NewResolver reprofiles once at the end instead.
+//
+//moma:locked mu
 func (r *Resolver) addLocked(in *model.Instance, bulk bool) {
 	slot, replacing := r.slots[in.ID]
 	var droppedCorpus []bool
@@ -437,6 +448,8 @@ const compactMinDead = 64
 // size (releasing the grown backing arrays), and the blocking index is
 // rebuilt over the new ordinals. Profiles, raw values and corpus statistics
 // move untouched — only slot numbers change.
+//
+//moma:locked mu
 func (r *Resolver) compactLocked() {
 	n := r.liveCount
 	ids := make([]model.ID, 0, n)
@@ -477,6 +490,8 @@ func (r *Resolver) compactLocked() {
 // reprofile controls whether corpus-backed columns rebuild their resident
 // vectors immediately; a caller that changes the corpus again right after
 // (addLocked's replace path) passes false and reprofiles once at the end.
+//
+//moma:locked mu
 func (r *Resolver) dropSlotLocked(slot int, reprofile bool) {
 	if !r.alive[slot] {
 		return
@@ -504,6 +519,8 @@ func (r *Resolver) dropSlotLocked(slot int, reprofile bool) {
 // corpus changed: TF-IDF weights of every document shift with any
 // document-frequency change, so cached vectors are rebuilt eagerly — reads
 // stay lock-free and exact.
+//
+//moma:locked mu
 func (r *Resolver) reprofileLocked(c *colState) {
 	for slot := range c.profs {
 		if r.alive[slot] {

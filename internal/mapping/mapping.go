@@ -62,6 +62,8 @@ func ordKey(d, r uint32) uint64 { return uint64(d)<<32 | uint64(r) }
 // Mapping is a fuzzy instance-level mapping between two logical data
 // sources, stored as a columnar mapping table. The zero value is not
 // usable; create mappings with New, NewSame or NewWithDict.
+//
+//moma:parallel dom rng sim
 type Mapping struct {
 	domLDS model.LDS
 	rngLDS model.LDS

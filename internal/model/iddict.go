@@ -39,8 +39,8 @@ import "sync"
 // (or use the global IDs).
 type IDDict struct {
 	mu   sync.RWMutex
-	ords map[ID]uint32
-	ids  []ID
+	ords map[ID]uint32 // guarded by mu
+	ids  []ID          // guarded by mu
 }
 
 // IDs is the process-global default dictionary; see the package comment of
@@ -53,6 +53,8 @@ func NewIDDict() *IDDict {
 }
 
 // Ord interns id, assigning the next dense ordinal on first sight.
+//
+//moma:interns
 func (d *IDDict) Ord(id ID) uint32 {
 	d.mu.RLock()
 	ord, ok := d.ords[id]

@@ -37,8 +37,8 @@ type histogram struct {
 type metrics struct {
 	mu       sync.Mutex
 	start    time.Time
-	requests map[counterKey]uint64
-	byRoute  map[string]*histogram
+	requests map[counterKey]uint64 // guarded by mu
+	byRoute  map[string]*histogram // guarded by mu
 }
 
 func newMetrics() *metrics {

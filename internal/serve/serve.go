@@ -51,7 +51,7 @@ type Server struct {
 	// different sets never contend. locks lazily allocates one mutex per
 	// set name (delta-mapping reads key by the set the mapping belongs to).
 	locksMu sync.Mutex
-	locks   map[string]*sync.Mutex
+	locks   map[string]*sync.Mutex // guarded by locksMu
 }
 
 // New returns a server over the system. Resolvers must already be
@@ -214,6 +214,9 @@ type ResolverHealth struct {
 
 // --- handlers ------------------------------------------------------------
 
+// handleHealthz reports liveness and per-resolver stats.
+//
+//moma:readpath
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) (int, error) {
 	resp := HealthResponse{
 		Status:    "ok",
@@ -231,6 +234,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) (int, err
 	return http.StatusOK, nil
 }
 
+// handleResolve resolves one query record against a set's live resolver.
+// GET-shaped read traffic: it must stay lookup-only end to end.
+//
+//moma:readpath
 func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) (int, error) {
 	setName := r.PathValue("set")
 	res, ok := s.sys.Resolver(setName)
@@ -357,6 +364,9 @@ func (s *Server) dropFromDeltaLocked(setName string, id model.ID) error {
 	return s.sys.Repo.Put(name, filtered)
 }
 
+// handleGetMapping serves a stored mapping page.
+//
+//moma:readpath
 func (s *Server) handleGetMapping(w http.ResponseWriter, r *http.Request) (int, error) {
 	name := r.PathValue("name")
 	m, ok := s.sys.MappingByName(name)

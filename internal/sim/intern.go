@@ -71,11 +71,13 @@ const (
 
 // dictShard holds one shard of the symbol table. strs and keys are aligned:
 // entry i of the shard is ID uint32(i)<<dictShardBits | shard.
+//
+//moma:parallel strs keys
 type dictShard struct {
 	mu   sync.RWMutex
-	ids  map[string]uint32
-	strs []string
-	keys []uint64
+	ids  map[string]uint32 // guarded by mu
+	strs []string          // guarded by mu
+	keys []uint64          // guarded by mu
 }
 
 // Dict is a concurrency-safe, append-only string↔uint32 symbol table.
@@ -109,6 +111,8 @@ func dictKey(tok string) uint64 {
 }
 
 // ID interns tok, assigning a fresh ID on first sight.
+//
+//moma:interns
 func (d *Dict) ID(tok string) uint32 {
 	key := dictKey(tok)
 	sh := &d.shards[key&dictShardMask]

@@ -73,7 +73,11 @@ type PairFunc func(a, b *Profile) float64
 // value; Compare must be pure and safe for concurrent use over profiles
 // produced by the same ProfiledSim.
 type ProfiledSim interface {
-	// Profile builds the per-value cache this measure needs.
+	// Profile builds the per-value cache this measure needs. The contract
+	// permits interning into the process-global Terms dictionary (token and
+	// TF-IDF measures do); read paths must profile via QueryProfiler.
+	//
+	//moma:interns
 	Profile(s string) *Profile
 	// Compare scores two profiles built by this measure's Profile.
 	Compare(a, b *Profile) float64

@@ -213,8 +213,11 @@ func (dd *deriver) deriveDBLP() *Source {
 		}
 	}
 	// Perfect duplicate-author mapping (Table 9 ground truth), symmetric.
+	// Rows are added in ascending world index so the mapping's row order is
+	// a pure function of the seed.
 	dups := mapping.NewSame(DBLPAut, DBLPAut)
-	for idx, alt := range dd.dblpAltID {
+	for _, idx := range sortedIntKeys(dd.dblpAltID) {
+		alt := dd.dblpAltID[idx]
 		prim := dd.dblpAutID[idx]
 		dups.Add(prim, alt, 1)
 		dups.Add(alt, prim, 1)
@@ -335,16 +338,17 @@ func (dd *deriver) deriveACM() *Source {
 		}
 	}
 
-	// Perfect DBLP-ACM mappings.
+	// Perfect DBLP-ACM mappings, rows in ascending world index for
+	// seed-deterministic row order.
 	pubSame := mapping.NewSame(DBLPPub, ACMPub)
-	for idx, acmID := range dd.acmPubID {
-		pubSame.Add(dd.dblpPubID[idx], acmID, 1)
+	for _, idx := range sortedIntKeys(dd.acmPubID) {
+		pubSame.Add(dd.dblpPubID[idx], dd.acmPubID[idx], 1)
 	}
 	dd.perfect.PubDBLPACM = pubSame
 
 	venSame := mapping.NewSame(DBLPVen, ACMVen)
-	for idx, acmID := range dd.acmVenID {
-		venSame.Add(dd.dblpVenID[idx], acmID, 1)
+	for _, idx := range sortedIntKeys(dd.acmVenID) {
+		venSame.Add(dd.dblpVenID[idx], dd.acmVenID[idx], 1)
 	}
 	dd.perfect.VenueDBLPACM = venSame
 
@@ -542,4 +546,16 @@ var noiseTopics = []string{
 	"Virtual Machines", "Operating System Kernels", "Compiler Backends",
 	"Network Switches", "Microarchitectures", "Distributed Shared Memory",
 	"Real-Time Kernels", "Optical Networks", "Vector Units",
+}
+
+// sortedIntKeys returns m's keys in increasing order. World derivation must
+// be a pure function of the seed, so map iteration never feeds mapping rows
+// (or any other order-sensitive sink) directly.
+func sortedIntKeys(m map[int]model.ID) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }

@@ -1,0 +1,149 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+// walFixture builds a realistic log through the public API — put, delta
+// merge, delete, auto-compaction bookkeeping — and returns the raw bytes of
+// the resulting wal file. Fuzz seeds grown this way exercise the same
+// record shapes production writes.
+func walFixture(f *testing.F) []byte {
+	f.Helper()
+	dir := f.TempDir()
+	s, err := OpenRepository(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := s.Put("pubs", sampleMapping(5)); err != nil {
+		f.Fatal(err)
+	}
+	if err := s.PutDelta("live.pubs", dblpPub, acmPub, model.SameMappingType, []mapping.Correspondence{
+		{Domain: "a", Range: "B", Sim: 0.9},
+		{Domain: "c", Range: "D", Sim: 0.75},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	s.Put("dropme", sampleMapping(2))
+	s.Delete("dropme")
+	if err := s.Close(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, walFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// replay loads the byte slice as a wal file in a fresh directory and
+// returns the opened store (nil on replay error).
+func replay(t *testing.T, data []byte) (*Store, error) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walFile), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return OpenRepository(dir)
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the wal replay path. Properties:
+// replay never panics; a replayable log is deterministic (two replays agree
+// on names and row counts); and a torn trailing write — any partial last
+// line without its newline — is detected and dropped without touching the
+// intact prefix.
+func FuzzWALReplay(f *testing.F) {
+	f.Add(walFixture(f))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"op":"put","name":"m","domain":"publication@A","range":"publication@B","type":"same","rows":[{"d":"x","r":"y","s":0.5}]}` + "\n"))
+	f.Add([]byte(`{"op":"add","name":"m","domain":"publication@A","range":"publication@B","type":"same","rows":[{"d":"x","r":"y","s":1}]}` + "\n"))
+	f.Add([]byte(`{"op":"del","name":"m"}` + "\n"))
+	f.Add([]byte(`{"op":"frobnicate","name":"m"}` + "\n"))                                               // unknown op
+	f.Add([]byte(`{"op":"put","name":"m","domain":"not-an-lds"}` + "\n"))                                // bad LDS
+	f.Add([]byte(`{"op":"put","na`))                                                                     // torn first line
+	f.Add([]byte(`{"op":"del","name":"m"}` + "\n" + `{"op":"put","name":"q","dom`))                      // torn tail
+	f.Add([]byte("{\"op\":\"del\",\"name\":\"m\"}\nnot json at all\n{\"op\":\"del\",\"name\":\"m\"}\n")) // corruption mid-log
+	f.Add([]byte{0x00, 0xff, '\n'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := replay(t, data) // must not panic, whatever the bytes
+		if err != nil {
+			return
+		}
+		names := s.Names()
+		rows := storeRows(s)
+		s.Close()
+
+		// Replay is a pure function of the bytes.
+		s2, err := replay(t, data)
+		if err != nil {
+			t.Fatalf("second replay of accepted bytes failed: %v", err)
+		}
+		if got := s2.Names(); !equalStrings(got, names) {
+			t.Fatalf("replay nondeterministic: names %v then %v", names, got)
+		}
+		if got := storeRows(s2); got != rows {
+			t.Fatalf("replay nondeterministic: %d rows then %d", rows, got)
+		}
+		s2.Close()
+
+		// A torn trailing write must be tolerated and must not change the
+		// replayed state. Two preconditions: the log must end in a newline
+		// (garbage after an unterminated last line merges with that line
+		// instead of forming a torn record of its own), and every existing
+		// line must be a valid record — a corrupt FINAL line is itself
+		// tolerated as torn, so "replays OK" alone is not enough; probe by
+		// appending a benign no-op record, which turns latent last-line
+		// corruption into a replay error.
+		if len(data) > 0 && data[len(data)-1] == '\n' {
+			probe := append(append([]byte{}, data...), []byte(`{"op":"del","name":"fuzz-probe-nonexistent"}`+"\n")...)
+			sp, err := replay(t, probe)
+			if err != nil {
+				return
+			}
+			sp.Close()
+			torn := append(append([]byte{}, data...), []byte(`{"op":"put","name":"torn","domain":`)...)
+			s3, err := replay(t, torn)
+			if err != nil {
+				t.Fatalf("torn tail not tolerated: %v", err)
+			}
+			if got := s3.Names(); !equalStrings(got, names) {
+				t.Fatalf("torn tail changed state: names %v, want %v", got, names)
+			}
+			if got := storeRows(s3); got != rows {
+				t.Fatalf("torn tail changed state: %d rows, want %d", got, rows)
+			}
+			s3.Close()
+		}
+	})
+}
+
+// storeRows sums the mapping lengths — a cheap state fingerprint.
+func storeRows(s *Store) int {
+	total := 0
+	for _, name := range s.Names() {
+		if m, ok := s.Get(name); ok {
+			total += m.Len()
+		}
+	}
+	return total
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string{}, a...)
+	bs := append([]string{}, b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	return strings.Join(as, "\x00") == strings.Join(bs, "\x00")
+}

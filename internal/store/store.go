@@ -26,8 +26,8 @@ import (
 // Store is a named collection of mappings, safe for concurrent use.
 type Store struct {
 	mu    sync.RWMutex
-	maps  map[string]*mapping.Mapping
-	order []string
+	maps  map[string]*mapping.Mapping // guarded by mu
+	order []string                    // guarded by mu
 
 	// dict is the ID dictionary mappings materialized by this store intern
 	// through: the process-global model.IDs for in-memory stores (results
@@ -49,11 +49,11 @@ type Store struct {
 	// triggered it (the write is already durable in the log): the error is
 	// parked in acErr, auto-compaction stands down until a successful
 	// manual Compact clears it. See SetAutoCompact.
-	walRows   int
-	snapRows  int
-	acRatio   float64
-	acMinRows int
-	acErr     error
+	walRows   int     // guarded by mu
+	snapRows  int     // guarded by mu
+	acRatio   float64 // guarded by mu
+	acMinRows int     // guarded by mu
+	acErr     error   // guarded by mu
 
 	// limit > 0 bounds the number of entries (cache mode); the oldest
 	// entries are evicted first.
@@ -112,6 +112,8 @@ func (s *Store) AutoCompactErr() error {
 // log has outgrown the snapshot. Callers hold mu and have just appended;
 // the append has already succeeded, so a failed fold must not — and does
 // not — propagate into the write's result.
+//
+//moma:locked mu
 func (s *Store) noteWALRowsLocked(rows int) {
 	s.walRows += rows
 	if s.acRatio <= 0 || s.acErr != nil || s.walRows < s.acMinRows {
@@ -131,6 +133,8 @@ func (s *Store) noteWALRowsLocked(rows int) {
 
 // rowsLocked counts the correspondence rows of the current state — the
 // snapshot size auto-compaction compares the log against.
+//
+//moma:locked mu
 func (s *Store) rowsLocked() int {
 	n := 0
 	for _, m := range s.maps {
@@ -170,6 +174,8 @@ func (s *Store) Put(name string, m *mapping.Mapping) error {
 // touchLocked refreshes an existing entry's age: it moves to the back of
 // order so a bounded cache doesn't evict a just-written hot entry as if it
 // were the oldest. Callers hold mu.
+//
+//moma:locked mu
 func (s *Store) touchLocked(name string) {
 	for i, n := range s.order {
 		if n == name {
@@ -238,6 +244,8 @@ func (s *Store) PutDelta(name string, dom, rng model.LDS, mtype model.MappingTyp
 }
 
 // evictLocked drops oldest entries beyond the limit. Callers hold mu.
+//
+//moma:locked mu
 func (s *Store) evictLocked() {
 	if s.limit <= 0 {
 		return

@@ -122,6 +122,8 @@ func (s *Store) mappingFromRecord(rec walRecord) (*mapping.Mapping, error) {
 // vocabulary instead of growing the process-global model.IDs with every
 // mapping ever persisted. Auto-compaction is on at the documented defaults
 // (SetAutoCompact).
+//
+//moma:guardedby-ok construct-then-publish: the store is not shared until OpenRepository returns
 func OpenRepository(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
@@ -151,6 +153,8 @@ func OpenRepository(dir string) (*Store, error) {
 // replayFile applies all records of a snapshot or log file, returning the
 // number of correspondence rows replayed; a missing file is fine. A
 // trailing partial line (torn write) is tolerated on the last record only.
+//
+//moma:guardedby-ok called only from OpenRepository, before the store is published to any other goroutine
 func (s *Store) replayFile(path string) (int, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -239,6 +243,8 @@ func (s *Store) Compact() error {
 
 // compactLocked is Compact under a held write lock — auto-compaction calls
 // it from inside logged writes.
+//
+//moma:locked mu
 func (s *Store) compactLocked() error {
 	if s.wal == nil || s.dir == "" {
 		return fmt.Errorf("store: Compact requires a persistent repository")

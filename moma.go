@@ -118,6 +118,52 @@
 // fold themselves into fresh snapshots automatically once the log outgrows
 // the snapshot (Store.SetAutoCompact configures or disables the ratio).
 //
+// # Repo invariants
+//
+// Four cross-cutting invariants hold everywhere in this tree, and
+// cmd/moma-vet machine-checks them:
+//
+//  1. Determinism: no observable output may depend on Go's randomized map
+//     iteration order. Loops over maps must not append to outer slices
+//     (unless the result is sorted immediately after), call order-sensitive
+//     sinks, send on channels, or accumulate floats (addition is not
+//     associative). Checker: mapiter.
+//  2. Dictionary ownership: read paths never grow a dictionary. A function
+//     marked `//moma:readpath` must not reach — through any call chain — an
+//     API marked `//moma:interns` (sim.Dict.ID, model.IDDict.Ord, the
+//     ProfiledSim.Profile contract). Checker: dictgrowth.
+//  3. Columnar integrity: parallel columns move together. A struct doc
+//     comment `//moma:parallel f1 f2 ...` declares that the named fields
+//     are index-aligned; a function that reassigns a proper subset of them
+//     on one receiver desynchronizes the table. Element writes (x.f[i]=v)
+//     are always fine. Checker: columns.
+//  4. Lock discipline: a field with a `// guarded by mu` (or
+//     `//moma:guardedby mu`) comment is only touched while its sibling
+//     mutex is visibly held — a `mu.Lock()`/`mu.RLock()` in the same
+//     function, or a `//moma:locked mu` doc comment naming the caller's
+//     obligation. Checker: guardedby.
+//
+// Run the suite with:
+//
+//	go run ./cmd/moma-vet ./...          # all four analyzers
+//	go run ./cmd/moma-vet -checks mapiter,guardedby ./internal/store
+//	go run ./cmd/moma-vet -list          # enumerate analyzers
+//
+// Findings exit 1; a clean tree exits 0. CI runs the suite after go vet.
+// Suppressions are per-invariant (`//moma:nondeterministic-ok <why>`,
+// `//moma:dictgrowth-ok <why>`, `//moma:columns-ok <why>`,
+// `//moma:guardedby-ok <why>`) and require a one-line justification — an
+// empty justification is itself a finding. Place the suppression on the
+// offending line, the line above it, or in the function's doc comment.
+//
+// moma-vet is a standalone driver, not a `go vet -vettool`: the vettool
+// protocol needs golang.org/x/tools' unitchecker and objectpath machinery
+// to serialize facts between separately-compiled units, and this repo is
+// dependency-free. Instead internal/analysis loads the whole module into
+// one shared type universe (`go list -export -deps` for out-of-module
+// imports), so cross-package facts are plain in-memory objects and the
+// analyzers stay small.
+//
 // # Benchmarks
 //
 // The pair-scoring hot path is covered by benchmarks at the repo root:
