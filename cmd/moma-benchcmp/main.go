@@ -39,7 +39,7 @@ func parseFile(path string) (map[string][]sample, []string, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
+	defer f.Close() //moma:errsink-ok read-only fd, contents already parsed
 	return parse(f)
 }
 

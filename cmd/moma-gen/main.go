@@ -130,7 +130,7 @@ func writeFile(path string, write func(*os.File) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		f.Close() //moma:errsink-ok error path; the write error wins
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	return f.Close()

@@ -180,7 +180,7 @@ func loadCSVWorld(sys *moma.System, dir string) error {
 			return err
 		}
 		set, serr := moma.ReadObjectSetCSV(f)
-		f.Close()
+		f.Close() //moma:errsink-ok read-only fd, contents already parsed
 		if serr == nil {
 			name := string(set.LDS().Source) + "." + string(set.LDS().Type)
 			if err := sys.AddObjectSet(name, set); err != nil {
@@ -195,7 +195,7 @@ func loadCSVWorld(sys *moma.System, dir string) error {
 			return err
 		}
 		m, merr := moma.ReadMappingCSV(f)
-		f.Close()
+		f.Close() //moma:errsink-ok read-only fd, contents already parsed
 		if merr != nil {
 			return fmt.Errorf("%s: neither object set (%v) nor mapping (%v)", e.Name(), serr, merr)
 		}

@@ -8,12 +8,20 @@
 //
 // Usage:
 //
-//	moma-vet [-checks mapiter,dictgrowth,columns,guardedby] [packages]
+//	moma-vet [-checks mapiter,dictgrowth,columns,guardedby,noalloc,workerpool,errsink] [-json] [packages]
+//	moma-vet -suppressions [packages]
 //
-// Packages default to ./... resolved in the current directory.
+// Packages default to ./... resolved in the current directory. -json emits
+// one JSON object per finding (fields in fixed order: file, line, col,
+// analyzer, message) so CI can pipe the output through a GitHub Actions
+// problem matcher and annotate PR diffs inline. -suppressions lists every
+// //moma:*-ok and //moma:cold directive in the module — including test
+// files — with file:line and justification, so suppression debt is
+// auditable in review.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,8 +30,11 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/columns"
 	"repro/internal/analysis/dictgrowth"
+	"repro/internal/analysis/errsink"
 	"repro/internal/analysis/guardedby"
 	"repro/internal/analysis/mapiter"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/workerpool"
 )
 
 var all = []*analysis.Analyzer{
@@ -31,11 +42,16 @@ var all = []*analysis.Analyzer{
 	dictgrowth.Analyzer,
 	columns.Analyzer,
 	guardedby.Analyzer,
+	noalloc.Analyzer,
+	workerpool.Analyzer,
+	errsink.Analyzer,
 }
 
 func main() {
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON lines (file, line, col, analyzer, message)")
+	suppressions := flag.Bool("suppressions", false, "list every suppression directive in the module and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: moma-vet [flags] [packages]\n\nAnalyzers:\n")
 		for _, a := range all {
@@ -52,34 +68,84 @@ func main() {
 		return
 	}
 
-	analyzers, err := selectAnalyzers(*checks)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "moma-vet:", err)
-		os.Exit(2)
-	}
-
 	dir, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "moma-vet:", err)
-		os.Exit(2)
+		fatal(err)
+	}
+
+	if *suppressions {
+		supps, err := analysis.ScanModuleSuppressions(dir, flag.Args()...)
+		if err != nil {
+			fatal(err)
+		}
+		bare := 0
+		for _, s := range supps {
+			fmt.Println(s)
+			if s.Justification == "" {
+				bare++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "moma-vet: %d suppression(s)", len(supps))
+		if bare > 0 {
+			fmt.Fprintf(os.Stderr, ", %d without justification", bare)
+		}
+		fmt.Fprintln(os.Stderr)
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fatal(err)
 	}
 	fset, pkgs, err := analysis.Load(dir, flag.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "moma-vet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	findings, err := analysis.Run(fset, pkgs, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "moma-vet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	for _, f := range findings {
-		fmt.Println(f)
+		if *jsonOut {
+			printJSON(f)
+		} else {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "moma-vet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding fixes the field order the CI problem matcher's regex relies
+// on (see .github/moma-vet-matcher.json): file, line, col, analyzer,
+// message.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSON(f analysis.Finding) {
+	b, err := json.Marshal(jsonFinding{
+		File:     f.Pos.Filename,
+		Line:     f.Pos.Line,
+		Col:      f.Pos.Column,
+		Analyzer: f.Analyzer,
+		Message:  f.Message,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(b))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "moma-vet:", err)
+	os.Exit(2)
 }
 
 // selectAnalyzers resolves the -checks flag against the registry.

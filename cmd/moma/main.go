@@ -80,7 +80,7 @@ func run(scriptPath string, sets, maps map[string]string, out, evalPath string, 
 			return err
 		}
 		set, err := store.ReadObjectSetCSV(f)
-		f.Close()
+		f.Close() //moma:errsink-ok read-only fd, contents already parsed
 		if err != nil {
 			return fmt.Errorf("%s: %w", file, err)
 		}
@@ -92,7 +92,7 @@ func run(scriptPath string, sets, maps map[string]string, out, evalPath string, 
 			return err
 		}
 		m, err := store.ReadMappingCSV(f)
-		f.Close()
+		f.Close() //moma:errsink-ok read-only fd, contents already parsed
 		if err != nil {
 			return fmt.Errorf("%s: %w", file, err)
 		}
@@ -118,16 +118,27 @@ func run(scriptPath string, sets, maps map[string]string, out, evalPath string, 
 	result := v.Mapping
 
 	w := os.Stdout
+	var outFile *os.File
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		outFile = f
 		w = f
 	}
 	if err := store.WriteMappingCSV(w, result); err != nil {
+		if outFile != nil {
+			outFile.Close() //moma:errsink-ok error path; the write error wins
+		}
 		return err
+	}
+	// The close error matters here: the result CSV was just written through
+	// OS buffers, and a failed close is the last chance to hear about it.
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			return fmt.Errorf("%s: %w", out, err)
+		}
 	}
 	if evalPath != "" {
 		f, err := os.Open(evalPath)
@@ -135,7 +146,7 @@ func run(scriptPath string, sets, maps map[string]string, out, evalPath string, 
 			return err
 		}
 		perfect, err := store.ReadMappingCSV(f)
-		f.Close()
+		f.Close() //moma:errsink-ok read-only fd, contents already parsed
 		if err != nil {
 			return fmt.Errorf("%s: %w", evalPath, err)
 		}

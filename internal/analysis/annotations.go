@@ -15,6 +15,15 @@ package analysis
 //	                               them (guardedby)
 //	// guarded by mu               (on a struct field) reads and writes
 //	                               require the sibling mutex mu (guardedby)
+//	//moma:noalloc                 this function is a steady-state hot path:
+//	                               no heap allocation on any reachable path,
+//	                               transitively through the call graph
+//	                               (noalloc)
+//	//moma:cold why                (inside a noalloc function, on or above a
+//	                               statement) the statement subtree runs
+//	                               once or rarely — lazy init, first-call
+//	                               growth — and may allocate; the
+//	                               justification is mandatory (noalloc)
 //
 // and the per-analyzer suppressions, each of which MUST carry a one-line
 // justification (analyzers reject bare suppressions):
@@ -23,6 +32,18 @@ package analysis
 //	//moma:dictgrowth-ok why         (dictgrowth, on a call site or func)
 //	//moma:columns-ok why            (columns, on a write site or func)
 //	//moma:guardedby-ok why          (guardedby, on an access site or func)
+//	//moma:noalloc-ok why            (noalloc, on an allocation site —
+//	                                 e.g. append into reused capacity, a
+//	                                 provably stack-allocated closure)
+//	//moma:workerpool-ok why         (workerpool, on the go statement or the
+//	                                 launching function)
+//	//moma:errsink-ok why            (errsink, on the dropped Close/Sync/
+//	                                 Flush/Encode call)
+//
+// Site-level directives go on the governed line or the line immediately
+// above it (DirectiveAt); function-level ones in the doc comment.
+// moma-vet -suppressions lists every suppression in the module with its
+// justification.
 
 import (
 	"go/ast"

@@ -1,0 +1,134 @@
+// Package callgraph is the shared call-graph machinery of the moma-vet
+// analyzers that reason about reachability: dictgrowth ("can this read path
+// reach an interning API?") and noalloc ("can this annotated hot function
+// reach a heap allocation?"). Both walk the same statically-resolved call
+// edges and propagate a string-valued mark — a human-readable chain ending
+// at the property's leaf — backwards from callees to callers until a
+// fixpoint, with cross-package edges flowing through analyzer facts.
+//
+// The graph is deliberately static and conservative in the same way as the
+// x/tools callgraph/static package: calls through function-typed variables
+// are invisible (no edge), interface calls resolve to the interface method
+// object (which participates via annotation, not via its implementations).
+// Analyzers that need stronger guarantees pair the static walk with a
+// dynamic pin, e.g. a testing.AllocsPerRun gate.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Site is one statically-resolved outgoing call edge.
+type Site struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// Node is one function declaration with its outgoing edges.
+type Node struct {
+	Decl  *ast.FuncDecl
+	Fn    *types.Func
+	Calls []Site
+}
+
+// Collect gathers the function declarations of the pass's files and their
+// statically-resolved call sites, in file and declaration order. skip, when
+// non-nil, excludes individual call sites (suppressed lines, guarded
+// branches) from the edge set.
+func Collect(pass *analysis.Pass, skip func(*ast.CallExpr) bool) []*Node {
+	var nodes []*Node
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[d.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			nodes = append(nodes, &Node{
+				Decl:  d,
+				Fn:    fn,
+				Calls: Calls(pass.TypesInfo, d.Body, skip),
+			})
+		}
+	}
+	return nodes
+}
+
+// Calls returns the statically-resolved calls of one syntax subtree in
+// source order, excluding sites skip rejects.
+func Calls(info *types.Info, body ast.Node, skip func(*ast.CallExpr) bool) []Site {
+	var out []Site
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		if skip != nil && skip(call) {
+			return true
+		}
+		out = append(out, Site{Callee: fn, Pos: call.Pos()})
+		return true
+	})
+	return out
+}
+
+// Marks is the propagated property of one analyzer run over one package:
+// function -> human-readable chain down to the property's leaf.
+type Marks map[*types.Func]string
+
+// Propagate runs the fixpoint: a node with a marked callee — marked in
+// this package, or marked in a dependency per lookup — becomes marked with
+// "Display(node) → <callee chain>". skip, when non-nil, exempts nodes from
+// ever being marked (cleared or separately-checked functions). onMark is
+// invoked once per newly marked node, in discovery order; analyzers export
+// their fact there. Iteration handles in-package mutual recursion; the
+// driver's dependency-first package order handles cross-package edges.
+func Propagate(nodes []*Node, marks Marks, lookup func(*types.Func) (string, bool), skip func(*Node) bool, onMark func(*Node, string)) {
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if marks[n.Fn] != "" || (skip != nil && skip(n)) {
+				continue
+			}
+			for _, c := range n.Calls {
+				chain, ok := marks[c.Callee]
+				if !ok && lookup != nil {
+					chain, ok = lookup(c.Callee)
+				}
+				if !ok {
+					continue
+				}
+				full := Display(n.Fn) + " → " + chain
+				marks[n.Fn] = full
+				if onMark != nil {
+					onMark(n, full)
+				}
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+// Display renders a function as Name or Recv.Name, relative to its package.
+func Display(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		return types.TypeString(t, types.RelativeTo(fn.Pkg())) + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,87 @@
+package callgraph
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func newFunc(name string) *types.Func {
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	return types.NewFunc(token.NoPos, nil, name, sig)
+}
+
+func node(fn *types.Func, callees ...*types.Func) *Node {
+	n := &Node{Fn: fn}
+	for _, c := range callees {
+		n.Calls = append(n.Calls, Site{Callee: c})
+	}
+	return n
+}
+
+// TestPropagateChain pins the core fixpoint: marks flow from a seeded leaf
+// backwards through callers, recording the chain, and stop at skipped nodes.
+func TestPropagateChain(t *testing.T) {
+	leaf, mid, root, cleared := newFunc("leaf"), newFunc("mid"), newFunc("root"), newFunc("cleared")
+	nodes := []*Node{
+		node(root, mid),
+		node(mid, leaf),
+		node(cleared, leaf),
+	}
+	marks := Marks{leaf: "leaf [seed]"}
+	var marked []string
+	Propagate(nodes, marks, nil,
+		func(n *Node) bool { return n.Fn == cleared },
+		func(n *Node, chain string) { marked = append(marked, n.Fn.Name()) })
+
+	if got, want := marks[mid], "mid → leaf [seed]"; got != want {
+		t.Errorf("mid chain = %q, want %q", got, want)
+	}
+	if got, want := marks[root], "root → mid → leaf [seed]"; got != want {
+		t.Errorf("root chain = %q, want %q", got, want)
+	}
+	if _, ok := marks[cleared]; ok {
+		t.Errorf("cleared node was marked: %q", marks[cleared])
+	}
+	if got := strings.Join(marked, ","); got != "mid,root" && got != "root,mid" {
+		// Two fixpoint iterations: mid first (direct edge), root second.
+		t.Errorf("onMark order = %q", got)
+	}
+}
+
+// TestPropagateMutualRecursion: a cycle with no path to a seed never marks;
+// a cycle with one does, and the fixpoint terminates.
+func TestPropagateMutualRecursion(t *testing.T) {
+	a, b := newFunc("a"), newFunc("b")
+	marks := Marks{}
+	Propagate([]*Node{node(a, b), node(b, a)}, marks, nil, nil, nil)
+	if len(marks) != 0 {
+		t.Errorf("unreachable cycle marked: %v", marks)
+	}
+
+	seed := newFunc("seed")
+	marks = Marks{seed: "seed [leaf]"}
+	Propagate([]*Node{node(a, b), node(b, a), node(b, seed)}, marks, nil, nil, nil)
+	// The later node entry for b (with the seed edge) wins; both a and b mark.
+	if marks[a] == "" || marks[b] == "" {
+		t.Errorf("cycle with seeded escape did not fully mark: %v", marks)
+	}
+}
+
+// TestPropagateLookup: cross-package marks arrive through the lookup
+// callback (the analyzers' fact import).
+func TestPropagateLookup(t *testing.T) {
+	ext, caller := newFunc("ext"), newFunc("caller")
+	marks := Marks{}
+	Propagate([]*Node{node(caller, ext)}, marks,
+		func(fn *types.Func) (string, bool) {
+			if fn == ext {
+				return "ext [imported fact]", true
+			}
+			return "", false
+		}, nil, nil)
+	if got, want := marks[caller], "caller → ext [imported fact]"; got != want {
+		t.Errorf("caller chain = %q, want %q", got, want)
+	}
+}

@@ -12,6 +12,8 @@
 // The analyzer propagates "can reach an interning API" backwards through
 // the static call graph — across packages via analyzer facts — and reports
 // every read-path entry point that can reach a leaf, with the call chain.
+// The walk and fixpoint live in internal/analysis/callgraph, shared with
+// the noalloc analyzer.
 //
 // Calls through function values are invisible to the propagation (a
 // documented limitation shared with most static call-graph analyses);
@@ -23,10 +25,10 @@ package dictgrowth
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 )
 
 // Analyzer is the dictgrowth check.
@@ -42,157 +44,94 @@ type internsFact struct{ Chain string }
 
 func (*internsFact) AFact() {}
 
-// callSite is one statically-resolved outgoing edge of a function.
-type callSite struct {
-	callee *types.Func
-	pos    token.Pos
-}
-
-type funcInfo struct {
-	decl     *ast.FuncDecl
-	fn       *types.Func
-	calls    []callSite
-	readpath bool
-	cleared  bool // //moma:dictgrowth-ok on the function: treat as clean
-}
-
 func run(pass *analysis.Pass) (any, error) {
-	var funcs []*funcInfo
-	marked := make(map[*types.Func]string)
+	nodes := callgraph.Collect(pass, func(call *ast.CallExpr) bool {
+		return pass.Suppressed(call.Pos(), nil, "dictgrowth-ok")
+	})
 
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				fn, _ := pass.TypesInfo.Defs[d.Name].(*types.Func)
-				if fn == nil || d.Body == nil {
-					continue
-				}
-				fi := &funcInfo{decl: d, fn: fn}
-				if _, ok := analysis.DocDirective(d.Doc, "readpath"); ok {
-					fi.readpath = true
-				}
-				if dd, ok := analysis.DocDirective(fi.decl.Doc, "dictgrowth-ok"); ok {
-					fi.cleared = true
-					if dd.Args == "" {
-						pass.Reportf(d.Name.Pos(), "//moma:dictgrowth-ok needs a one-line justification")
-					}
-				}
-				if d, ok := analysis.DocDirective(fi.decl.Doc, "interns"); ok && !fi.cleared {
-					_ = d
-					chain := display(fn) + " [//moma:interns]"
-					marked[fn] = chain
-					pass.ExportObjectFact(fn, &internsFact{Chain: chain})
-				}
-				fi.calls = collectCalls(pass, d)
-				funcs = append(funcs, fi)
-			case *ast.GenDecl:
-				seedInterfaceMethods(pass, d, marked)
+	marks := make(callgraph.Marks)
+	readpath := make(map[*ast.FuncDecl]bool)
+	cleared := make(map[*ast.FuncDecl]bool)
+	for _, n := range nodes {
+		if _, ok := analysis.DocDirective(n.Decl.Doc, "readpath"); ok {
+			readpath[n.Decl] = true
+		}
+		if d, ok := analysis.DocDirective(n.Decl.Doc, "dictgrowth-ok"); ok {
+			cleared[n.Decl] = true
+			if d.Args == "" {
+				pass.Reportf(n.Decl.Name.Pos(), "//moma:dictgrowth-ok needs a one-line justification")
 			}
 		}
+		if _, ok := analysis.DocDirective(n.Decl.Doc, "interns"); ok && !cleared[n.Decl] {
+			chain := callgraph.Display(n.Fn) + " [//moma:interns]"
+			marks[n.Fn] = chain
+			pass.ExportObjectFact(n.Fn, &internsFact{Chain: chain})
+		}
 	}
+	// Interface methods annotated //moma:interns: calls through such an
+	// interface count as potential interning even though the concrete
+	// implementation is unknown statically.
+	seedInterfaceMethods(pass, marks)
 
 	// Fixpoint: a function that calls a marked function is marked. The
 	// loader analyzes dependencies first, so cross-package reachability
-	// arrives through facts; within the package, iterate until stable
-	// (handles mutual recursion).
-	for changed := true; changed; {
-		changed = false
-		for _, fi := range funcs {
-			if fi.cleared || marked[fi.fn] != "" {
-				continue
+	// arrives through facts.
+	callgraph.Propagate(nodes, marks,
+		func(callee *types.Func) (string, bool) {
+			var fact internsFact
+			if pass.ImportObjectFact(callee, &fact) {
+				return fact.Chain, true
 			}
-			for _, c := range fi.calls {
-				chain, ok := marked[c.callee]
-				if !ok {
-					var fact internsFact
-					if pass.ImportObjectFact(c.callee, &fact) {
-						chain, ok = fact.Chain, true
-					}
-				}
-				if !ok {
-					continue
-				}
-				full := display(fi.fn) + " → " + chain
-				marked[fi.fn] = full
-				pass.ExportObjectFact(fi.fn, &internsFact{Chain: full})
-				changed = true
-				break
-			}
-		}
-	}
+			return "", false
+		},
+		func(n *callgraph.Node) bool { return cleared[n.Decl] },
+		func(n *callgraph.Node, chain string) {
+			pass.ExportObjectFact(n.Fn, &internsFact{Chain: chain})
+		})
 
-	for _, fi := range funcs {
-		if !fi.readpath {
+	for _, n := range nodes {
+		if !readpath[n.Decl] {
 			continue
 		}
-		if chain, ok := marked[fi.fn]; ok {
-			pass.Reportf(fi.decl.Name.Pos(),
+		if chain, ok := marks[n.Fn]; ok {
+			pass.Reportf(n.Decl.Name.Pos(),
 				"read path %s can reach an interning API: %s; keep read traffic lookup-only (fix the call, or annotate the guarded call site //moma:dictgrowth-ok <why>)",
-				display(fi.fn), chain)
+				callgraph.Display(n.Fn), chain)
 		}
 	}
 	return nil, nil
 }
 
-// collectCalls gathers the statically-resolved calls of a declaration,
-// skipping call sites excused by a justified line-level //moma:dictgrowth-ok.
-func collectCalls(pass *analysis.Pass, d *ast.FuncDecl) []callSite {
-	var out []callSite
-	ast.Inspect(d.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn := analysis.CalleeFunc(pass.TypesInfo, call)
-		if fn == nil {
-			return true
-		}
-		if pass.Suppressed(call.Pos(), nil, "dictgrowth-ok") {
-			return true
-		}
-		out = append(out, callSite{callee: fn, pos: call.Pos()})
-		return true
-	})
-	return out
-}
-
-// seedInterfaceMethods marks interface methods annotated //moma:interns:
-// calls through such an interface count as potential interning even though
-// the concrete implementation is unknown statically.
-func seedInterfaceMethods(pass *analysis.Pass, gd *ast.GenDecl, marked map[*types.Func]string) {
-	for _, spec := range gd.Specs {
-		ts, ok := spec.(*ast.TypeSpec)
-		if !ok {
-			continue
-		}
-		it, ok := ts.Type.(*ast.InterfaceType)
-		if !ok {
-			continue
-		}
-		for _, m := range it.Methods.List {
-			if _, ok := analysis.DocDirective(m.Doc, "interns"); !ok || len(m.Names) == 0 {
+// seedInterfaceMethods marks interface methods annotated //moma:interns.
+func seedInterfaceMethods(pass *analysis.Pass, marks callgraph.Marks) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
 				continue
 			}
-			fn, _ := pass.TypesInfo.Defs[m.Names[0]].(*types.Func)
-			if fn == nil {
-				continue
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				it, ok := ts.Type.(*ast.InterfaceType)
+				if !ok {
+					continue
+				}
+				for _, m := range it.Methods.List {
+					if _, ok := analysis.DocDirective(m.Doc, "interns"); !ok || len(m.Names) == 0 {
+						continue
+					}
+					fn, _ := pass.TypesInfo.Defs[m.Names[0]].(*types.Func)
+					if fn == nil {
+						continue
+					}
+					chain := ts.Name.Name + "." + fn.Name() + " [interface, //moma:interns]"
+					marks[fn] = chain
+					pass.ExportObjectFact(fn, &internsFact{Chain: chain})
+				}
 			}
-			chain := ts.Name.Name + "." + fn.Name() + " [interface, //moma:interns]"
-			marked[fn] = chain
-			pass.ExportObjectFact(fn, &internsFact{Chain: chain})
 		}
 	}
-}
-
-// display renders a function as Name or Recv.Name.
-func display(fn *types.Func) string {
-	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		t := sig.Recv().Type()
-		if p, ok := t.(*types.Pointer); ok {
-			t = p.Elem()
-		}
-		return types.TypeString(t, types.RelativeTo(fn.Pkg())) + "." + fn.Name()
-	}
-	return fn.Name()
 }

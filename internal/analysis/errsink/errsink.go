@@ -1,0 +1,135 @@
+// Package errsink flags dropped error returns on persistence-critical
+// calls. The WAL and snapshot paths in internal/store promise durability
+// — an fsync'd frame is replayable after a crash — and that promise dies
+// silently when a Close, Sync, Flush, or Encode error is discarded: the
+// buffered bytes never reached the disk and nobody noticed.
+//
+// A call is a finding when all of these hold:
+//
+//   - the result is dropped: a bare expression statement, a `defer`, or
+//     an assignment whose final (error) position is the blank identifier;
+//   - the method is named Close, Sync, Flush, or Encode and its last
+//     result is an error;
+//   - the receiver can sink bytes: its method set has Write, WriteString,
+//     ReadFrom, or Sync — or the method is Encode (encoders wrap a writer
+//     they do not expose).
+//
+// The receiver filter is what keeps the analyzer quiet on read-side
+// plumbing: `defer resp.Body.Close()` on an io.ReadCloser has no Write
+// method and is not reported. Read-only *os.File closes DO match (a file
+// handle can sink bytes) — that is deliberate: the suppression,
+// //moma:errsink-ok <why> on the line or the enclosing function's doc,
+// records why the drop is safe, and `moma-vet -suppressions` keeps the
+// debt auditable.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errsink check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "flag dropped Close/Sync/Flush/Encode errors on writer-capable receivers",
+	Run:  run,
+}
+
+// sinkMethods are the persistence-finalizing method names.
+var sinkMethods = map[string]bool{"Close": true, "Sync": true, "Flush": true, "Encode": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			ast.Inspect(d.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						check(pass, d, call)
+					}
+				case *ast.DeferStmt:
+					check(pass, d, n.Call)
+				case *ast.GoStmt:
+					check(pass, d, n.Call)
+				case *ast.AssignStmt:
+					// `_ = f.Close()` or `n, _ := w.Write...`: the error
+					// position (last LHS) is blanked.
+					if len(n.Rhs) != 1 {
+						return true
+					}
+					call, ok := n.Rhs[0].(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					last, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident)
+					if ok && last.Name == "_" {
+						check(pass, d, call)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, d *ast.FuncDecl, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !sinkMethods[sel.Sel.Name] {
+		return
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !lastResultIsError(sig) {
+		return
+	}
+	recv := pass.TypesInfo.Types[sel.X].Type
+	if recv == nil {
+		return
+	}
+	if fn.Name() != "Encode" && !writerCapable(recv) {
+		return
+	}
+	if pass.Suppressed(call.Pos(), d.Doc, "errsink-ok") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error from %s.%s is dropped on a persistence-capable sink; handle it or annotate //moma:errsink-ok <why>",
+		types.TypeString(recv, types.RelativeTo(pass.Pkg)), fn.Name())
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	t := res.At(res.Len() - 1).Type()
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// writerCapable reports whether the receiver's method set (through a
+// pointer) can sink bytes.
+func writerCapable(t types.Type) bool {
+	if !types.IsInterface(t) {
+		if _, ok := t.(*types.Pointer); !ok {
+			t = types.NewPointer(t)
+		}
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Write", "WriteString", "ReadFrom", "Sync":
+			return true
+		}
+	}
+	return false
+}

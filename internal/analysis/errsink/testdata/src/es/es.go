@@ -1,0 +1,52 @@
+// Package es is golden input for errsink: dropped persistence errors.
+package es
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// drops ignores every finalizer on writer-capable receivers.
+func drops(f *os.File, w *bufio.Writer) {
+	w.Flush() // want "error from .bufio.Writer.Flush is dropped"
+	f.Sync()  // want "error from .os.File.Sync is dropped"
+	f.Close() // want "error from .os.File.Close is dropped"
+}
+
+// deferred drops through defer, the classic shape.
+func deferred(f *os.File) {
+	defer f.Close() // want "error from .os.File.Close is dropped"
+	_, _ = f.Write([]byte("x"))
+}
+
+// blanked drops explicitly via the blank identifier.
+func blanked(enc *json.Encoder, v any) {
+	_ = enc.Encode(v) // want "json.Encoder.Encode is dropped"
+}
+
+// handled propagates: nothing to report.
+func handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// readOnly closes an io.ReadCloser: no Write method, not a sink, silent.
+func readOnly(r io.ReadCloser) {
+	defer r.Close()
+}
+
+// suppressed records why the drop is safe.
+func suppressed(f *os.File) {
+	//moma:errsink-ok read-only fd, no buffered writes to lose
+	f.Close()
+}
+
+// suppressedBare forgot the justification.
+func suppressedBare(f *os.File) {
+	//moma:errsink-ok
+	f.Close() // want "errsink-ok needs a one-line justification"
+}

@@ -1,0 +1,14 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noalloc"
+)
+
+// Package nd (the allocating dependency) is analyzed before na (the
+// annotated hot functions) so allocation facts flow across the import edge.
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "nd", "na")
+}

@@ -1,0 +1,133 @@
+// Package na is golden input for noalloc: annotated hot functions and the
+// construct classes the analyzer must flag.
+package na
+
+import (
+	"fmt"
+
+	"nd"
+)
+
+// Grow trips the direct construct classes, one per line.
+//
+//moma:noalloc
+func Grow(n int, bs []byte) string {
+	m := map[int]int{}                     // want "map literal"
+	s := make([]int, n)                    // want "path Grow: make"
+	p := new(int)                          // want "path Grow: new"
+	s = append(s, *p)                      // want "append may grow its backing array"
+	f := func() int { return m[0] + s[0] } // want "func literal"
+	_ = []int{1, 2, 3}                     // want "slice literal"
+	_ = f()
+	return string(bs) + "x" // want "conversion copies" "string concatenation"
+}
+
+type point struct{ x, y int }
+
+// NewPoint's pointer-to-literal escapes.
+//
+//moma:noalloc
+func NewPoint() *point {
+	return &point{1, 2} // want "escapes to the heap"
+}
+
+// Box boxes a concrete value into an interface.
+//
+//moma:noalloc
+func Box(n int) any {
+	return any(n) // want "boxing into any"
+}
+
+// Describe calls into fmt, flagged wholesale.
+//
+//moma:noalloc
+func Describe(n int) string {
+	return fmt.Sprintf("%d", n) // want "call to fmt.Sprintf"
+}
+
+// helper is not annotated: its allocation is legal here, but the mark
+// propagates to annotated callers with the chain.
+func helper(n int) []int {
+	return nd.Alloc(n)
+}
+
+// Probe reaches an allocation two hops away, one across the import edge.
+//
+//moma:noalloc
+func Probe(n int) int {
+	xs := helper(n) // want "calls a function that can allocate: helper → Alloc"
+	return len(xs)
+}
+
+// Total calls an annotated-clean dependency: trusted, no report.
+//
+//moma:noalloc
+func Total(xs []int) int {
+	return nd.Sum(xs)
+}
+
+type cache struct{ vals map[int]int }
+
+// Cached hides one-time growth behind a justified cold branch.
+//
+//moma:noalloc
+func Cached(c *cache, k int) int {
+	if c.vals == nil {
+		//moma:cold first call builds the cache, steady state only reads
+		c.vals = map[int]int{k: k}
+	}
+	return c.vals[k]
+}
+
+// ColdBare exempts the branch but forgot to say why.
+//
+//moma:noalloc
+func ColdBare(c *cache, k int) int {
+	if c.vals == nil {
+		//moma:cold
+		c.vals = map[int]int{k: k} // want "cold needs a one-line justification"
+	}
+	return c.vals[k]
+}
+
+// Reuse suppresses an append into caller-provisioned capacity.
+//
+//moma:noalloc
+func Reuse(dst, src []int) []int {
+	dst = append(dst, src...) //moma:noalloc-ok caller provisions capacity, never grows
+	return dst
+}
+
+// BareSuppression suppresses without a justification: itself a finding.
+//
+//moma:noalloc
+func BareSuppression(dst []int) []int {
+	//moma:noalloc-ok
+	return append(dst, 1) // want "noalloc-ok needs a one-line justification"
+}
+
+// onceInit allocates but is cleared wholesale with a justification, so
+// callers do not inherit the mark.
+//
+//moma:noalloc-ok called once at startup before serving begins
+func onceInit() map[int]int {
+	return map[int]int{0: 0}
+}
+
+// UsesCleared trusts the wholesale clearance.
+//
+//moma:noalloc
+func UsesCleared(k int) int {
+	m := onceInit()
+	return m[k]
+}
+
+// scratch allocates freely: not annotated, nothing reported here.
+func scratch(n int) []int {
+	return make([]int, n)
+}
+
+// Indirect keeps scratch reachable and itself unannotated: still silent.
+func Indirect(n int) int {
+	return len(scratch(n))
+}

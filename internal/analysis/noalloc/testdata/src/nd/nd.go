@@ -1,0 +1,20 @@
+// Package nd is golden input for noalloc: the dependency side. Alloc's
+// "can allocate" mark must cross the import edge into package na via an
+// exported object fact.
+package nd
+
+// Alloc allocates; callers in package na learn through the fact.
+func Alloc(n int) []int {
+	return make([]int, n)
+}
+
+// Sum is annotated clean and trusted by callers without re-derivation.
+//
+//moma:noalloc
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+package workerpool_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/workerpool"
+)
+
+func TestWorkerpool(t *testing.T) {
+	analysistest.Run(t, "testdata", workerpool.Analyzer, "wp")
+}

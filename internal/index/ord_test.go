@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/race"
+
 	"repro/internal/model"
 	"repro/internal/sim"
 )
@@ -133,5 +135,34 @@ func TestOrdsRealTokens(t *testing.T) {
 	got := collectOrds(x, sim.Terms.TokenIDs("view selection"), 2)
 	if !reflect.DeepEqual(got, []int{0, 1}) {
 		t.Fatalf("got %v", got)
+	}
+}
+
+// TestEachCandidateZeroAllocs pins EachCandidate's pooled-buffer contract:
+// once the hit buffer has grown to the probe's high-water mark, a candidate
+// probe performs zero heap allocations — including the yield closure, which
+// must stay stack-allocated.
+func TestEachCandidateZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	x := NewOrds()
+	for i := 0; i < 500; i++ {
+		x.Add(i, []uint32{uint32(i % 7), uint32(i % 11), uint32(i % 13), 99})
+	}
+	toks := []uint32{3, 5, 99, 99}
+	n := 0
+	probe := func() {
+		n = 0
+		x.EachCandidate(toks, 2, func(ord int) bool {
+			n++
+			return true
+		})
+	}
+	if allocs := testing.AllocsPerRun(100, probe); allocs != 0 {
+		t.Errorf("EachCandidate allocates %.0f times per run, want 0", allocs)
+	}
+	if n == 0 {
+		t.Fatal("probe matched nothing; fixture broken")
 	}
 }

@@ -91,9 +91,10 @@ type Match struct {
 //moma:parallel profs raws
 type colState struct {
 	cfg    Column
-	ps     sim.ProfiledSim   // nil means the string fallback via cfg.Sim
-	qp     sim.QueryProfiler // non-nil when ps can profile queries lookup-only
-	corpus *sim.TFIDF        // non-nil for TFIDF columns
+	ps     sim.ProfiledSim          // nil means the string fallback via cfg.Sim
+	qp     sim.QueryProfiler        // non-nil when ps can profile queries lookup-only
+	pi     sim.InPlaceQueryProfiler // non-nil when ps can profile queries allocation-free
+	corpus *sim.TFIDF               // non-nil for TFIDF columns
 	w      float64
 
 	profs []*sim.Profile // per slot, profiled columns
@@ -176,8 +177,10 @@ func NewResolver(set *model.ObjectSet, cfg Config) (*Resolver, error) {
 			return nil, fmt.Errorf("live: column %d has no similarity function", i)
 		}
 		// Query records are profiled lookup-only where the measure supports
-		// it, so resolve traffic never grows the term dictionaries.
+		// it, so resolve traffic never grows the term dictionaries — and
+		// in place where it can, so warm resolves allocate nothing.
 		cs.qp, _ = cs.ps.(sim.QueryProfiler)
+		cs.pi, _ = cs.ps.(sim.InPlaceQueryProfiler)
 		r.cols[i] = cs
 		r.totalW += cs.w
 	}
@@ -224,38 +227,79 @@ func (r *Resolver) Has(id model.ID) bool {
 func (r *Resolver) Resolve(q *model.Instance) []Match {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.resolveLocked(q, false)
+	return r.resolveLocked(q, false, nil)
 }
 
-// resolveLocked is Resolve under a held lock (any mode). asMember selects
-// which attribute names the record is read under: false for query-side
-// records (Resolve, ResolveSet), true for set-side records — an arriving
-// member resolved against its peers (AddResolve) carries the set's
-// attribute names, not the query schema's.
+// ResolveAppend is Resolve appending into dst — the steady-state serving
+// entry point. When dst has capacity and every column's measure supports
+// in-place query profiling (sim.InPlaceQueryProfiler: the equality, n-gram,
+// token-set and year measures), a warm ResolveAppend performs zero heap
+// allocations; TestResolveAppendZeroAllocs pins that. Matches are appended
+// in the set's insertion order; dst[:0] reuse is the intended idiom.
+//
+//moma:readpath
+func (r *Resolver) ResolveAppend(q *model.Instance, dst []Match) []Match {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.resolveLocked(q, false, dst)
+}
+
+// queryCol is one column's profiled query value.
+type queryCol struct {
+	prof *sim.Profile
+	raw  string
+}
+
+// resolveScratch holds the per-resolve working memory: the query's token
+// IDs and normalization buffer, one Profile slot per column (in-place
+// profiling target), and the column view over them. Pooled so concurrent
+// warm resolves neither contend nor allocate.
+type resolveScratch struct {
+	norm  []byte
+	toks  []uint32
+	qcols []queryCol
+	profs []sim.Profile
+	sc    sim.Scratch
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(resolveScratch) }}
+
+// resolveLocked is Resolve under a held lock (any mode), appending matches
+// to dst. asMember selects which attribute names the record is read under:
+// false for query-side records (Resolve, ResolveSet), true for set-side
+// records — an arriving member resolved against its peers (AddResolve)
+// carries the set's attribute names, not the query schema's.
 //
 //moma:locked mu
-func (r *Resolver) resolveLocked(q *model.Instance, asMember bool) []Match {
+//moma:noalloc
+func (r *Resolver) resolveLocked(q *model.Instance, asMember bool, dst []Match) []Match {
 	blockAttr := r.cfg.BlockQueryAttr
 	if asMember {
 		blockAttr = r.cfg.BlockSetAttr
 	}
 	blockVal := q.Attr(blockAttr)
 	if blockVal == "" {
-		return nil
+		return dst
 	}
+	scratch := scratchPool.Get().(*resolveScratch)
+	defer scratchPool.Put(scratch)
 	// Lookup-only interning: query tokens never seen by an Add cannot block
 	// to any candidate and are dropped without growing the dictionary.
-	toks := r.dict.LookupTokenIDs(blockVal)
+	scratch.norm, scratch.toks = r.dict.AppendLookupTokenIDs(blockVal, scratch.norm, scratch.toks)
+	toks := scratch.toks
 	if len(toks) == 0 {
-		return nil
+		return dst
 	}
 	// Profile the query once per column, exactly as a batch profile build
-	// does for every domain instance.
-	type queryCol struct {
-		prof *sim.Profile
-		raw  string
+	// does for every domain instance. Columns with an in-place profiler
+	// reuse the pooled Profile slots; the rest allocate per resolve.
+	//moma:cold first resolve through this scratch; the slots are reused afterwards
+	if cap(scratch.qcols) < len(r.cols) {
+		scratch.qcols = make([]queryCol, len(r.cols))
+		scratch.profs = make([]sim.Profile, len(r.cols))
 	}
-	qcols := make([]queryCol, len(r.cols))
+	qcols := scratch.qcols[:len(r.cols)]
+	profs := scratch.profs[:len(r.cols)]
 	for i := range r.cols {
 		attr := r.cols[i].cfg.QueryAttr
 		if asMember {
@@ -263,16 +307,19 @@ func (r *Resolver) resolveLocked(q *model.Instance, asMember bool) []Match {
 		}
 		v := q.Attr(attr)
 		switch {
+		case r.cols[i].pi != nil:
+			r.cols[i].pi.ProfileQueryInto(v, &profs[i], &scratch.sc)
+			qcols[i] = queryCol{prof: &profs[i]}
 		case r.cols[i].qp != nil:
-			qcols[i].prof = r.cols[i].qp.ProfileQuery(v)
+			qcols[i] = queryCol{prof: r.cols[i].qp.ProfileQuery(v)}
 		case r.cols[i].ps != nil:
 			//moma:dictgrowth-ok only measures without ProfileQuery reach this branch, and no built-in non-QueryProfiler measure interns (pinned by TestProfiledFallbacksDoNotIntern)
-			qcols[i].prof = r.cols[i].ps.Profile(v)
+			qcols[i] = queryCol{prof: r.cols[i].ps.Profile(v)}
 		default:
-			qcols[i].raw = v
+			qcols[i] = queryCol{raw: v}
 		}
 	}
-	var out []Match
+	//moma:noalloc-ok the candidate closure is stack-allocated: EachCandidate does not retain it (pinned by TestResolveAppendZeroAllocs)
 	r.ix.EachCandidate(toks, r.minShared, func(ord int) bool {
 		var sum float64
 		for i := range r.cols {
@@ -284,11 +331,11 @@ func (r *Resolver) resolveLocked(q *model.Instance, asMember bool) []Match {
 			}
 		}
 		if s := sum / r.totalW; s >= r.cfg.Threshold {
-			out = append(out, Match{ID: r.ids[ord], Sim: s})
+			dst = append(dst, Match{ID: r.ids[ord], Sim: s}) //moma:noalloc-ok appends into caller-reused capacity; grows once to the high-water mark
 		}
 		return true
 	})
-	return out
+	return dst
 }
 
 // ResolveSet resolves every instance of a query set and collects the
@@ -302,7 +349,7 @@ func (r *Resolver) ResolveSet(queries *model.ObjectSet) (*mapping.Mapping, error
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	queries.Each(func(q *model.Instance) bool {
-		for _, m := range r.resolveLocked(q, false) {
+		for _, m := range r.resolveLocked(q, false, nil) {
 			out.AddMax(q.ID, m.ID, m.Sim)
 		}
 		return true
@@ -344,7 +391,7 @@ func (r *Resolver) AddResolve(in *model.Instance) ([]Match, error) {
 		// the resolve below (the previous version is already gone).
 		r.dropSlotLocked(slot, true)
 	}
-	matches := r.resolveLocked(in, true)
+	matches := r.resolveLocked(in, true, nil)
 	r.addLocked(in, false)
 	return matches, nil
 }

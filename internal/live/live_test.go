@@ -10,6 +10,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/match"
 	"repro/internal/model"
+	"repro/internal/race"
 	"repro/internal/sim"
 )
 
@@ -569,5 +570,42 @@ func TestConcurrentResolveAdd(t *testing.T) {
 	st := r.Stats()
 	if st.Live != 40 || st.Slots < 80 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestResolveAppendZeroAllocs pins the serving-path contract: with every
+// column on an in-place profiled measure (trigram, token Jaccard, year — as
+// in testConfig) and a reused dst, a warm ResolveAppend performs zero heap
+// allocations. This is the runtime twin of the //moma:noalloc annotation on
+// resolveLocked.
+func TestResolveAppendZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	queries, set := syntheticSets(120)
+	r, err := NewResolver(set, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := queries.Instances()
+	// Warm-up: grow the pooled scratch, the index probe buffer, and dst to
+	// the fixture's high-water mark.
+	var dst []Match
+	total := 0
+	for _, q := range qs {
+		dst = r.ResolveAppend(q, dst[:0])
+		total += len(dst)
+	}
+	if total == 0 {
+		t.Fatal("fixture produced no matches; fixture broken")
+	}
+	for _, q := range qs[:8] {
+		q := q
+		allocs := testing.AllocsPerRun(100, func() {
+			dst = r.ResolveAppend(q, dst[:0])
+		})
+		if allocs != 0 {
+			t.Errorf("ResolveAppend(%s) allocates %.0f times per run, want 0", q.ID, allocs)
+		}
 	}
 }

@@ -210,6 +210,7 @@ func (m *Mapping) appendRow(key uint64, d, r uint32, s float64) {
 // The once-guard serializes concurrent first readers; afterwards readers
 // only load the maps and a single writer (Add) appends to them.
 func (m *Mapping) postings() (byDom, byRng map[uint32][]int32) {
+	//moma:cold one-time lazy build; every later call only loads the two map headers
 	m.postOnce.Do(func() {
 		bd := make(map[uint32][]int32)
 		br := make(map[uint32][]int32)
@@ -230,6 +231,8 @@ func (m *Mapping) AddCorrespondences(cs []Correspondence) {
 }
 
 // Sim returns the similarity of (a, b) and whether the pair is present.
+//
+//moma:noalloc
 func (m *Mapping) Sim(a, b model.ID) (float64, bool) {
 	d, ok := m.dict.Lookup(a)
 	if !ok {
@@ -243,6 +246,8 @@ func (m *Mapping) Sim(a, b model.ID) (float64, bool) {
 }
 
 // SimOrd is Sim over ordinals of this mapping's dictionary.
+//
+//moma:noalloc
 func (m *Mapping) SimOrd(d, r uint32) (float64, bool) {
 	if i, ok := m.index[ordKey(d, r)]; ok {
 		return m.sim[i], true
@@ -251,12 +256,16 @@ func (m *Mapping) SimOrd(d, r uint32) (float64, bool) {
 }
 
 // Has reports whether the pair (a, b) is present.
+//
+//moma:noalloc
 func (m *Mapping) Has(a, b model.ID) bool {
 	_, ok := m.Sim(a, b)
 	return ok
 }
 
 // HasOrd is Has over ordinals of this mapping's dictionary.
+//
+//moma:noalloc
 func (m *Mapping) HasOrd(d, r uint32) bool {
 	_, ok := m.index[ordKey(d, r)]
 	return ok
@@ -264,6 +273,8 @@ func (m *Mapping) HasOrd(d, r uint32) bool {
 
 // At returns the correspondence at row i in insertion order. It panics when
 // i is out of [0, Len()), mirroring slice indexing.
+//
+//moma:noalloc
 func (m *Mapping) At(i int) Correspondence {
 	return Correspondence{Domain: m.dict.IDOf(m.dom[i]), Range: m.dict.IDOf(m.rng[i]), Sim: m.sim[i]}
 }
@@ -290,6 +301,8 @@ func (m *Mapping) Each(fn func(Correspondence)) {
 // values — ordinals of Dict() — stopping early when fn returns false. It is
 // the no-copy iteration consumers on hot paths use; resolve ordinals
 // through Dict().All().
+//
+//moma:noalloc
 func (m *Mapping) EachOrd(fn func(dom, rng uint32, sim float64) bool) {
 	for i := range m.sim {
 		if !fn(m.dom[i], m.rng[i], m.sim[i]) {
@@ -311,6 +324,8 @@ func (m *Mapping) ForDomain(a model.ID) []Correspondence {
 // EachForDomain calls fn for every correspondence of domain object a in
 // insertion order — ForDomain without the copy — stopping early when fn
 // returns false.
+//
+//moma:noalloc
 func (m *Mapping) EachForDomain(a model.ID, fn func(Correspondence) bool) {
 	d, ok := m.dict.Lookup(a)
 	if !ok {
@@ -343,6 +358,8 @@ func (m *Mapping) ForRange(b model.ID) []Correspondence {
 
 // DomainCount returns n(a): the number of correspondences of domain object
 // a (Figure 5).
+//
+//moma:noalloc
 func (m *Mapping) DomainCount(a model.ID) int {
 	d, ok := m.dict.Lookup(a)
 	if !ok {
@@ -353,6 +370,8 @@ func (m *Mapping) DomainCount(a model.ID) int {
 }
 
 // RangeCount returns n(b): the number of correspondences of range object b.
+//
+//moma:noalloc
 func (m *Mapping) RangeCount(b model.ID) int {
 	r, ok := m.dict.Lookup(b)
 	if !ok {
@@ -365,6 +384,8 @@ func (m *Mapping) RangeCount(b model.ID) int {
 // Touches reports whether id appears as a domain or range object of any
 // correspondence — the posting-list membership probe consumers use to skip
 // a full filter pass when an id is absent.
+//
+//moma:noalloc
 func (m *Mapping) Touches(id model.ID) bool {
 	ord, ok := m.dict.Lookup(id)
 	if !ok {

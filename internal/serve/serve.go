@@ -459,5 +459,5 @@ func rankMatches(matches []moma.LiveMatch, limit int) []MatchResult {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_ = json.NewEncoder(w).Encode(v) //moma:errsink-ok a failed write means the client hung up; nothing durable to lose
 }

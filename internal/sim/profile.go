@@ -209,6 +209,9 @@ func (g ngramProfiled) Profile(s string) *Profile {
 	return &Profile{Raw: s, Norm: norm, Grams: hashedGrams(norm, g.n)}
 }
 
+// Compare scores two gram sets by a merge-join over the sorted hashes.
+//
+//moma:noalloc
 func (g ngramProfiled) Compare(a, b *Profile) float64 {
 	ga, gb := a.Grams, b.Grams
 	if len(ga) == 0 && len(gb) == 0 {
@@ -258,6 +261,10 @@ func (t tokenProfiled) ProfileQuery(s string) *Profile {
 	return &Profile{Raw: s, SortedTokenIDs: uniqueSorted(known), ExtraTokens: extra}
 }
 
+// Compare scores two token-ID sets by a merge-join; unknown query tokens
+// enlarge the set sizes through ExtraTokens without being materialized.
+//
+//moma:noalloc
 func (t tokenProfiled) Compare(a, b *Profile) float64 {
 	na := len(a.SortedTokenIDs) + a.ExtraTokens
 	nb := len(b.SortedTokenIDs) + b.ExtraTokens
@@ -281,6 +288,7 @@ type equalProfiled struct{}
 
 func (equalProfiled) Profile(s string) *Profile { return &Profile{Raw: s} }
 
+//moma:noalloc
 func (equalProfiled) Compare(a, b *Profile) float64 {
 	if a.Raw == b.Raw {
 		return 1
@@ -294,6 +302,7 @@ func (equalFoldProfiled) Profile(s string) *Profile {
 	return &Profile{Raw: s, NormSpace: NormalizeSpace(s)}
 }
 
+//moma:noalloc
 func (equalFoldProfiled) Compare(a, b *Profile) float64 {
 	if strings.EqualFold(a.NormSpace, b.NormSpace) {
 		return 1
@@ -357,6 +366,9 @@ func (affixProfiled) Profile(s string) *Profile {
 	return &Profile{Raw: s, Runes: []rune(Normalize(s))}
 }
 
+// Compare scans the shared prefix/suffix in place over the profiled runes.
+//
+//moma:noalloc
 func (m affixProfiled) Compare(a, b *Profile) float64 {
 	ra, rb := a.Runes, b.Runes
 	if len(ra) == 0 && len(rb) == 0 {
@@ -431,6 +443,7 @@ func (soundexProfiled) Profile(s string) *Profile {
 	return &Profile{Raw: s, Code: Soundex(s)}
 }
 
+//moma:noalloc
 func (soundexProfiled) Compare(a, b *Profile) float64 {
 	if a.Code == "" || b.Code == "" {
 		return 0
@@ -450,6 +463,7 @@ func (yearProfiled) Profile(s string) *Profile {
 	return &Profile{Raw: s, Year: y, YearOK: err == nil}
 }
 
+//moma:noalloc
 func (p yearProfiled) Compare(a, b *Profile) float64 {
 	if !a.YearOK || !b.YearOK {
 		return 0

@@ -1,0 +1,250 @@
+package sim
+
+// In-place query profiling: the zero-allocation leg of the warm resolve
+// path.
+//
+// QueryProfiler.ProfileQuery keeps dictionaries flat under read traffic,
+// but still allocates a fresh *Profile (plus its slices) per query column.
+// For the live resolver's steady state — the same handful of columns
+// profiled thousands of times per second — that garbage is the dominant
+// cost. InPlaceQueryProfiler rebuilds the profile into caller-owned memory
+// instead: the caller keeps one Profile per column and one Scratch per
+// resolve, the profiling stage reuses their backing arrays, and after the
+// buffers reach the working-set high-water mark a profile build performs
+// zero heap allocations. testing.AllocsPerRun gates in live and sim pin
+// that property; the noalloc analyzer checks it statically.
+//
+// The contract matches ProfileQuery exactly: lookup-only (never interns,
+// so dictgrowth-clean) and Compare-identical to the allocating path —
+// differential tests in profile_test.go pin score equality.
+
+import (
+	"bytes"
+	"slices"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Scratch holds the reusable buffers of in-place query profiling. The zero
+// value is ready to use; buffers grow to the high-water mark of the values
+// profiled through them and are then reused without further allocation.
+// A Scratch is not safe for concurrent use; pool or per-goroutine it.
+type Scratch struct {
+	norm  []byte // normalized value bytes
+	runes []rune // padded rune window for gram hashing
+	spans []span // unknown-token byte ranges in norm
+}
+
+// span is one token's byte range within Scratch.norm.
+type span struct{ start, end int }
+
+// InPlaceQueryProfiler is implemented by profiled measures whose query
+// profile can be rebuilt into a caller-owned Profile with zero steady-state
+// allocations. ProfileQueryInto must be lookup-only (it never interns) and
+// must leave p Compare-identical to ProfileQuery(s) — or to Profile(s) for
+// measures whose profiling stage is a pure function of the value. p's slice
+// fields are reused as append targets; everything else in p is overwritten.
+type InPlaceQueryProfiler interface {
+	ProfiledSim
+	ProfileQueryInto(s string, p *Profile, sc *Scratch)
+}
+
+// appendNormalized appends Normalize(s) to dst byte-wise — the same fold,
+// the same separator classes, no intermediate string.
+//
+//moma:noalloc
+func appendNormalized(dst []byte, s string) []byte {
+	lastSpace := true
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			dst = utf8.AppendRune(dst, unicode.ToLower(r)) //moma:noalloc-ok appends into reused scratch capacity
+			lastSpace = false
+		case unicode.IsSpace(r) || r == '-' || r == '_' || r == '/':
+			if !lastSpace {
+				dst = append(dst, ' ') //moma:noalloc-ok appends into reused scratch capacity
+				lastSpace = true
+			}
+		}
+	}
+	for len(dst) > 0 && dst[len(dst)-1] == ' ' {
+		dst = dst[:len(dst)-1]
+	}
+	return dst
+}
+
+// lookupBytes is Lookup over a byte-slice token: the compiler recognizes
+// the map[string]-indexed-by-string(bytes) form and probes without
+// materializing the string.
+//
+//moma:noalloc
+func (d *Dict) lookupBytes(tok []byte) (uint32, bool) {
+	h := fnvOffset64
+	for i := 0; i < len(tok); i++ {
+		h ^= uint64(tok[i])
+		h *= fnvPrime64
+	}
+	sh := &d.shards[h&dictShardMask]
+	sh.mu.RLock()
+	id, ok := sh.ids[string(tok)] //moma:noalloc-ok zero-alloc map probe: string(bytes) used only as the lookup key
+	sh.mu.RUnlock()
+	return id, ok
+}
+
+// AppendLookupTokenIDs is LookupTokenIDs with caller-owned buffers: the
+// value is normalized into norm and the known token IDs appended to dst
+// (both reused at their grown capacity), so a warm index probe allocates
+// nothing. Returns the two buffers for reuse.
+//
+//moma:noalloc
+func (d *Dict) AppendLookupTokenIDs(s string, norm []byte, dst []uint32) ([]byte, []uint32) {
+	norm = appendNormalized(norm[:0], s)
+	dst = dst[:0]
+	start := 0
+	for start < len(norm) {
+		end := start
+		for end < len(norm) && norm[end] != ' ' {
+			end++
+		}
+		if id, ok := d.lookupBytes(norm[start:end]); ok {
+			dst = append(dst, id) //moma:noalloc-ok appends into reused scratch capacity
+		}
+		start = end + 1
+	}
+	return norm, dst
+}
+
+// --- InPlaceQueryProfiler implementations --------------------------------
+
+// ProfileQueryInto implements InPlaceQueryProfiler: equality needs only the
+// raw value.
+//
+//moma:noalloc
+func (equalProfiled) ProfileQueryInto(s string, p *Profile, _ *Scratch) {
+	*p = Profile{Raw: s}
+}
+
+// ProfileQueryInto implements InPlaceQueryProfiler: grams are hashed from a
+// padded rune window decoded into scratch; the profile reuses its Grams
+// array. Compare reads only Grams, so Norm stays empty.
+//
+//moma:noalloc
+func (g ngramProfiled) ProfileQueryInto(s string, p *Profile, sc *Scratch) {
+	grams := p.Grams[:0]
+	sc.norm = appendNormalized(sc.norm[:0], s)
+	if len(sc.norm) > 0 {
+		sc.runes = sc.runes[:0]
+		for i := 0; i < g.n-1; i++ {
+			sc.runes = append(sc.runes, '\x01') //moma:noalloc-ok appends into reused scratch capacity
+		}
+		for i := 0; i < len(sc.norm); {
+			r, size := utf8.DecodeRune(sc.norm[i:])
+			sc.runes = append(sc.runes, r) //moma:noalloc-ok appends into reused scratch capacity
+			i += size
+		}
+		for i := 0; i < g.n-1; i++ {
+			sc.runes = append(sc.runes, '\x02') //moma:noalloc-ok appends into reused scratch capacity
+		}
+		if len(sc.runes) >= g.n {
+			for i := 0; i+g.n <= len(sc.runes); i++ {
+				h := fnvOffset64
+				for _, r := range sc.runes[i : i+g.n] {
+					h ^= uint64(uint32(r))
+					h *= fnvPrime64
+				}
+				grams = append(grams, h) //moma:noalloc-ok appends into reused profile capacity
+			}
+			slices.Sort(grams)
+			grams = slices.Compact(grams)
+		}
+	}
+	*p = Profile{Raw: s, Grams: grams}
+}
+
+// ProfileQueryInto implements InPlaceQueryProfiler with ProfileQuery's
+// semantics: known tokens become the sorted deduplicated ID set (reusing
+// the profile's array), unknown tokens contribute their distinct count via
+// ExtraTokens — deduplicated by content through scratch spans, never
+// through a map.
+//
+//moma:noalloc
+func (t tokenProfiled) ProfileQueryInto(s string, p *Profile, sc *Scratch) {
+	ids := p.SortedTokenIDs[:0]
+	sc.norm = appendNormalized(sc.norm[:0], s)
+	sc.spans = sc.spans[:0]
+	start := 0
+	for start < len(sc.norm) {
+		end := start
+		for end < len(sc.norm) && sc.norm[end] != ' ' {
+			end++
+		}
+		if id, ok := Terms.lookupBytes(sc.norm[start:end]); ok {
+			ids = append(ids, id) //moma:noalloc-ok appends into reused profile capacity
+		} else {
+			sc.spans = append(sc.spans, span{start, end}) //moma:noalloc-ok appends into reused scratch capacity
+		}
+		start = end + 1
+	}
+	slices.Sort(ids)
+	ids = slices.Compact(ids)
+	extra := 0
+	if len(sc.spans) > 0 {
+		n := sc.norm
+		//moma:noalloc-ok the comparison closure is stack-allocated: SortFunc does not retain it
+		slices.SortFunc(sc.spans, func(a, b span) int {
+			return bytes.Compare(n[a.start:a.end], n[b.start:b.end])
+		})
+		for i, sp := range sc.spans {
+			if i == 0 || !bytes.Equal(n[sp.start:sp.end], n[sc.spans[i-1].start:sc.spans[i-1].end]) {
+				extra++
+			}
+		}
+	}
+	*p = Profile{Raw: s, SortedTokenIDs: ids, ExtraTokens: extra}
+}
+
+// ProfileQueryInto implements InPlaceQueryProfiler: the year is parsed
+// without strconv's error allocation.
+//
+//moma:noalloc
+func (yearProfiled) ProfileQueryInto(s string, p *Profile, _ *Scratch) {
+	y, ok := parseYearInt(s)
+	*p = Profile{Raw: s, Year: y, YearOK: ok}
+}
+
+// parseYearInt mirrors strconv.Atoi(strings.TrimSpace(s)) for realistic
+// magnitudes without allocating a *NumError on the (hot, for non-numeric
+// columns) failure path. Values beyond 18 digits are rejected rather than
+// range-checked exactly — centuries away from any year.
+//
+//moma:noalloc
+func parseYearInt(s string) (int, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	neg := false
+	if s[0] == '+' || s[0] == '-' {
+		neg = s[0] == '-'
+		s = s[1:]
+		if s == "" {
+			return 0, false
+		}
+	}
+	if len(s) > 18 {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}

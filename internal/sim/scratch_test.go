@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"slices"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/race"
+)
+
+// scratchValues mixes the cases the in-place profiling path must agree with
+// the allocating path on: unicode folding, separator classes, empty and
+// blank values, years (signed, padded, overlong, garbage), and tokens the
+// dictionary has never seen.
+func scratchValues() []string {
+	return []string{
+		"",
+		"   ",
+		"Mapping-Based Object_Matching",
+		"mapping based object matching for data integration",
+		"a formal perspective on the view selection problem",
+		"Ångström ünïcode Σ tokens",
+		"a",
+		"1997",
+		" 2003 ",
+		"+42",
+		"-7",
+		"not a year",
+		"12345678901234567890123",
+		"zzz never-interned qqq never-interned",
+	}
+}
+
+// inPlaceMeasures enumerates every measure that implements
+// InPlaceQueryProfiler, with the variants that change scoring.
+func inPlaceMeasures() map[string]InPlaceQueryProfiler {
+	return map[string]InPlaceQueryProfiler{
+		"equal":          equalProfiled{},
+		"trigramDice":    ngramProfiled{n: 3, dice: true},
+		"bigramDice":     ngramProfiled{n: 2, dice: true},
+		"trigramJaccard": ngramProfiled{n: 3},
+		"tokenJaccard":   tokenProfiled{},
+		"tokenDice":      tokenProfiled{dice: true},
+		"year":           yearProfiled{},
+		"yearExact":      yearProfiled{exact: true},
+	}
+}
+
+// TestAppendNormalizedMatchesNormalize pins the byte-wise normalizer to the
+// string one for every fixture value.
+func TestAppendNormalizedMatchesNormalize(t *testing.T) {
+	var buf []byte
+	for _, v := range scratchValues() {
+		buf = appendNormalized(buf[:0], v)
+		if got, want := string(buf), Normalize(v); got != want {
+			t.Errorf("appendNormalized(%q) = %q, Normalize = %q", v, got, want)
+		}
+	}
+}
+
+// TestAppendLookupTokenIDsMatchesLookupTokenIDs pins the buffer-reusing
+// lookup to the allocating one: same known IDs, same order, unknowns
+// dropped.
+func TestAppendLookupTokenIDsMatchesLookupTokenIDs(t *testing.T) {
+	Terms.TokenIDs("mapping based object matching for data integration")
+	Terms.TokenIDs("a formal perspective on the view selection problem")
+	var norm []byte
+	var ids []uint32
+	for _, v := range scratchValues() {
+		norm, ids = Terms.AppendLookupTokenIDs(v, norm, ids)
+		want := Terms.LookupTokenIDs(v)
+		if !slices.Equal(ids, want) {
+			t.Errorf("AppendLookupTokenIDs(%q) = %v, LookupTokenIDs = %v", v, ids, want)
+		}
+	}
+}
+
+// TestParseYearIntMatchesAtoi pins the allocation-free parser to
+// strconv.Atoi over the fixture values plus strconv edge cases.
+func TestParseYearIntMatchesAtoi(t *testing.T) {
+	cases := append(scratchValues(), "0", "007", "-0", "+", "-", "1e3", "١٩٩٧")
+	for _, v := range cases {
+		got, ok := parseYearInt(v)
+		want, err := strconv.Atoi(strings.TrimSpace(v))
+		if wantOK := err == nil; ok != wantOK || (ok && got != want) {
+			t.Errorf("parseYearInt(%q) = (%d, %v), Atoi = (%d, %v)", v, got, ok, want, err)
+		}
+	}
+}
+
+// TestProfileQueryIntoMatchesQueryPath is the differential contract test of
+// InPlaceQueryProfiler: against every indexed profile, a profile rebuilt
+// into reused memory scores exactly like the allocating query path
+// (ProfileQuery where the measure interns, Profile otherwise).
+func TestProfileQueryIntoMatchesQueryPath(t *testing.T) {
+	vals := scratchValues()
+	for name, ip := range inPlaceMeasures() {
+		// Index every value first (interning measures grow the dictionary
+		// here), then query with the tail values still unknown where the
+		// fixture says so.
+		indexed := make([]*Profile, len(vals))
+		for i, v := range vals[:len(vals)-1] {
+			indexed[i] = ip.Profile(v)
+		}
+		indexed[len(vals)-1] = &Profile{} // the unknown-token query never gets indexed
+		var p Profile
+		var sc Scratch
+		for _, q := range vals {
+			baseline := ip.Profile(q)
+			if qp, ok := ip.(QueryProfiler); ok {
+				baseline = qp.ProfileQuery(q)
+			}
+			ip.ProfileQueryInto(q, &p, &sc)
+			for i, v := range vals[:len(vals)-1] {
+				got := ip.Compare(&p, indexed[i])
+				want := ip.Compare(baseline, indexed[i])
+				if got != want {
+					t.Errorf("%s: Compare(into(%q), profile(%q)) = %v, query path = %v", name, q, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestProfileQueryIntoZeroAllocs pins the whole point: once the scratch and
+// profile buffers reach their high-water mark, rebuilding a query profile
+// allocates nothing — for every in-place measure, including the
+// unknown-token dedup of the token-set measures.
+func TestProfileQueryIntoZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	Terms.TokenIDs("mapping based object matching for data integration")
+	queries := []string{
+		"Mapping-Based object matching",
+		"mapping based integration zzz-unknown qqq-unknown zzz-unknown",
+		" 1997 ",
+	}
+	for name, ip := range inPlaceMeasures() {
+		var p Profile
+		var sc Scratch
+		for _, q := range queries {
+			allocs := testing.AllocsPerRun(100, func() {
+				ip.ProfileQueryInto(q, &p, &sc)
+			})
+			if allocs != 0 {
+				t.Errorf("%s: ProfileQueryInto(%q) allocates %.0f times per run, want 0", name, q, allocs)
+			}
+		}
+	}
+}
+
+// TestAppendLookupTokenIDsZeroAllocs pins the blocking-token probe: a warm
+// lookup through reused buffers allocates nothing.
+func TestAppendLookupTokenIDsZeroAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	Terms.TokenIDs("adaptive blocking techniques for scalable record linkage")
+	q := "Adaptive record LINKAGE with unknown-zzz tokens"
+	var norm []byte
+	var ids []uint32
+	allocs := testing.AllocsPerRun(100, func() {
+		norm, ids = Terms.AppendLookupTokenIDs(q, norm, ids)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendLookupTokenIDs allocates %.0f times per run, want 0", allocs)
+	}
+	if len(ids) == 0 {
+		t.Fatal("probe found no known tokens; fixture broken")
+	}
+}

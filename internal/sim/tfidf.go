@@ -339,6 +339,10 @@ func vecProfile(s string, v *docVec) *Profile {
 		WeightNorm2: v.norm2, ExtraTokens: v.extra}
 }
 
+// Compare is a merge-join over the pre-weighted vectors; ties on the
+// 64-bit content key fall back to interned-string order without allocating.
+//
+//moma:noalloc
 func (p tfidfProfiled) Compare(a, b *Profile) float64 {
 	return cosineVec(a.TermIDs, a.TermKeys, a.Weights, a.WeightNorm2, a.ExtraTokens,
 		b.TermIDs, b.TermKeys, b.Weights, b.WeightNorm2, b.ExtraTokens)

@@ -68,12 +68,17 @@ func (w *walWriter) logDelete(name string) error {
 	return w.append(walRecord{Op: "del", Name: name})
 }
 
+// close flushes and closes the log file. Both errors are durability
+// signals: a flush failure means buffered records never reached the kernel,
+// and a close failure can surface a deferred write-back error — the flush
+// error wins when both fail, but neither is dropped.
 func (w *walWriter) close() error {
-	if err := w.w.Flush(); err != nil {
-		w.f.Close()
-		return err
+	flushErr := w.w.Flush()
+	closeErr := w.f.Close()
+	if flushErr != nil {
+		return flushErr
 	}
-	return w.f.Close()
+	return closeErr
 }
 
 // putRecord serializes a mapping straight from its columns: rows stream
@@ -163,7 +168,7 @@ func (s *Store) replayFile(path string) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("store: open %s: %w", path, err)
 	}
-	defer f.Close()
+	defer f.Close() //moma:errsink-ok read-only replay fd, nothing buffered to lose
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 	lineNo := 0
@@ -257,13 +262,21 @@ func (s *Store) compactLocked() error {
 	enc := json.NewEncoder(w)
 	for _, name := range s.order {
 		if err := enc.Encode(putRecord(name, s.maps[name])); err != nil {
-			tmp.Close()
+			tmp.Close() //moma:errsink-ok error path; the encode error wins and the tmp file is removed
 			os.Remove(tmp.Name())
 			return err
 		}
 	}
 	if err := w.Flush(); err != nil {
-		tmp.Close()
+		tmp.Close() //moma:errsink-ok error path; the flush error wins and the tmp file is removed
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Sync before the rename: the rename is the commit point, and a crash
+	// between rename and write-back would otherwise publish a snapshot whose
+	// bytes never reached the disk.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close() //moma:errsink-ok error path; the sync error wins and the tmp file is removed
 		os.Remove(tmp.Name())
 		return err
 	}
@@ -288,7 +301,7 @@ func (s *Store) compactLocked() error {
 	if err != nil {
 		return err
 	}
-	_ = s.wal.f.Close()
+	_ = s.wal.f.Close() //moma:errsink-ok old fd already flushed above; the truncated file replaces it
 	s.wal = &walWriter{f: f, w: bufio.NewWriter(f)}
 	s.snapRows = s.rowsLocked()
 	s.walRows = 0

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"bufio"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -301,5 +303,39 @@ func TestDeletePersisted(t *testing.T) {
 	defer s3.Close()
 	if s3.Has("m") {
 		t.Error("delete should survive restart")
+	}
+}
+
+// TestWALWriterCloseSurfacesErrors pins walWriter.close's durability
+// contract: neither a flush failure (buffered records never reached the
+// kernel) nor a close failure (deferred write-back error) may be dropped.
+func TestWALWriterCloseSurfacesErrors(t *testing.T) {
+	newClosedWriter := func(t *testing.T) *walWriter {
+		t.Helper()
+		f, err := os.Create(filepath.Join(t.TempDir(), "wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return &walWriter{f: f, w: bufio.NewWriter(f)}
+	}
+
+	// Close failure with an empty buffer: the flush is a no-op, so the only
+	// error is the close's — it must come back.
+	w := newClosedWriter(t)
+	if err := w.close(); !errors.Is(err, os.ErrClosed) {
+		t.Errorf("close with failing fd close: got %v, want ErrClosed", err)
+	}
+
+	// Flush failure: buffered bytes that cannot reach the fd must surface,
+	// even though the close also fails.
+	w = newClosedWriter(t)
+	if _, err := w.w.WriteString("pending record\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); !errors.Is(err, os.ErrClosed) {
+		t.Errorf("close with buffered data and failing fd: got %v, want ErrClosed", err)
 	}
 }

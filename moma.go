@@ -120,7 +120,7 @@
 //
 // # Repo invariants
 //
-// Four cross-cutting invariants hold everywhere in this tree, and
+// Seven cross-cutting invariants hold everywhere in this tree, and
 // cmd/moma-vet machine-checks them:
 //
 //  1. Determinism: no observable output may depend on Go's randomized map
@@ -142,19 +142,46 @@
 //     mutex is visibly held — a `mu.Lock()`/`mu.RLock()` in the same
 //     function, or a `//moma:locked mu` doc comment naming the caller's
 //     obligation. Checker: guardedby.
+//  5. Allocation discipline: a function marked `//moma:noalloc` is a
+//     steady-state hot path — a warm call performs zero heap allocations,
+//     transitively through everything it calls. One-time growth (lazy
+//     builds, first-call buffer sizing) lives behind `//moma:cold <why>`;
+//     appends into reused capacity and provably stack-allocated closures
+//     carry `//moma:noalloc-ok <why>` and a testing.AllocsPerRun gate
+//     (TestResolveAppendZeroAllocs, TestEachCandidateZeroAllocs,
+//     TestProfileQueryIntoZeroAllocs). Checker: noalloc.
+//  6. Worker-pool discipline: a goroutine launched in a loop writes shared
+//     state only by partition-by-index — each worker owns slice slot i and
+//     nobody else's, results are read after a visible wg.Wait — and never
+//     writes a shared map without holding a lock. Partition-by-index is the
+//     blessed parallel-write idiom of this repo: pre-size the results
+//     slice, hand worker i index i, join, then reduce sequentially.
+//     Checker: workerpool.
+//  7. Durability errors are handled: the error of a Close/Sync/Flush/Encode
+//     on a persistence-capable sink (anything with Write/Sync in its method
+//     set, or any encoder) is never silently dropped — a failed close is
+//     the last chance to hear that buffered bytes missed the disk.
+//     Read-only fds may suppress with `//moma:errsink-ok <why>`.
+//     Checker: errsink.
 //
 // Run the suite with:
 //
-//	go run ./cmd/moma-vet ./...          # all four analyzers
+//	go run ./cmd/moma-vet ./...          # all seven analyzers
 //	go run ./cmd/moma-vet -checks mapiter,guardedby ./internal/store
 //	go run ./cmd/moma-vet -list          # enumerate analyzers
+//	go run ./cmd/moma-vet -json ./...    # one JSON object per finding (CI)
+//	go run ./cmd/moma-vet -suppressions  # audit every suppression + why
 //
-// Findings exit 1; a clean tree exits 0. CI runs the suite after go vet.
-// Suppressions are per-invariant (`//moma:nondeterministic-ok <why>`,
-// `//moma:dictgrowth-ok <why>`, `//moma:columns-ok <why>`,
-// `//moma:guardedby-ok <why>`) and require a one-line justification — an
+// Findings exit 1; a clean tree exits 0. CI runs the suite after go vet and
+// pipes -json output through a problem matcher, so findings annotate PR
+// diffs inline. Suppressions are per-invariant
+// (`//moma:nondeterministic-ok <why>`, `//moma:dictgrowth-ok <why>`,
+// `//moma:columns-ok <why>`, `//moma:guardedby-ok <why>`,
+// `//moma:noalloc-ok <why>`, `//moma:workerpool-ok <why>`,
+// `//moma:errsink-ok <why>`) and require a one-line justification — an
 // empty justification is itself a finding. Place the suppression on the
-// offending line, the line above it, or in the function's doc comment.
+// offending line, the line above it, or in the function's doc comment;
+// `moma-vet -suppressions` lists them all for review.
 //
 // moma-vet is a standalone driver, not a `go vet -vettool`: the vettool
 // protocol needs golang.org/x/tools' unitchecker and objectpath machinery
