@@ -3,14 +3,19 @@
 //
 // Usage:
 //
-//	moma-benchcmp -old base.txt -new pr.txt [-threshold 0.20]
+//	moma-benchcmp -old base.txt -new pr.txt [-threshold 0.20] [-alloc-floor 0]
 //
 // Both files may contain multiple runs of each benchmark (-count N); the
 // per-benchmark median is compared. The exit status is 1 when any
-// benchmark present in both files regressed by more than the threshold on
-// the gating metric (ns/op by default); B/op and allocs/op changes are
-// reported but only annotate. Benchmarks present in one file only are
-// listed and skipped.
+// benchmark present in both files regressed past the threshold on ns/op —
+// or, when both files carry -benchmem columns, on B/op or allocs/op.
+// Each metric gates on the same rule: the increase must exceed both the
+// metric's absolute floor and the relative threshold share of the old
+// value. ns/op and B/op have a zero floor; allocs/op takes -alloc-floor,
+// and the relative arm keeps counting-noise on alloc-heavy benchmarks from
+// tripping the gate while a floor of zero still fails the hot-path case
+// that matters most: 0 allocs/op becoming 1. Benchmarks present in one
+// file only are listed and skipped.
 package main
 
 import (
@@ -30,6 +35,7 @@ type sample struct {
 	bytesPerOp  float64
 	allocsPerOp float64
 	hasBytes    bool
+	hasAllocs   bool
 }
 
 // parseFile extracts benchmark samples keyed by benchmark name (CPU suffix
@@ -72,6 +78,7 @@ func parse(r io.Reader) (map[string][]sample, []string, error) {
 				s.hasBytes = true
 			case "allocs/op":
 				s.allocsPerOp = v
+				s.hasAllocs = true
 			}
 		}
 		if !ok {
@@ -125,11 +132,29 @@ func pctDelta(oldV, newV float64) float64 {
 	return (newV - oldV) / oldV * 100
 }
 
+// gates configures what counts as a regression.
+type gates struct {
+	// threshold is the relative increase every metric tolerates.
+	threshold float64
+	// allocFloor is the absolute allocs/op increase always tolerated; at the
+	// default 0, any alloc increase past the relative threshold gates — in
+	// particular 0 -> 1 on a zero-alloc benchmark.
+	allocFloor float64
+}
+
+// exceeded reports whether newV regressed past the gate relative to oldV:
+// the increase must exceed both the absolute floor and the relative
+// threshold share of the old value.
+func (g gates) exceeded(oldV, newV, floor float64) bool {
+	return newV-oldV > max(floor, g.threshold*oldV)
+}
+
 // compare writes the comparison table to w and reports whether any
-// benchmark present in both runs regressed past threshold on median ns/op.
+// benchmark present in both runs regressed past the gates on median ns/op —
+// or, when both runs carry -benchmem columns, on B/op or allocs/op.
 // Benchmarks present on one side only are listed and never gate.
-func compare(w io.Writer, oldRuns map[string][]sample, oldOrder []string, newRuns map[string][]sample, newOrder []string, threshold float64, oldLabel string) bool {
-	fmt.Fprintf(w, "%-52s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "Δns", "ΔB/op")
+func compare(w io.Writer, oldRuns map[string][]sample, oldOrder []string, newRuns map[string][]sample, newOrder []string, g gates, oldLabel string) bool {
+	fmt.Fprintf(w, "%-52s %14s %14s %8s %10s %10s\n", "benchmark", "old ns/op", "new ns/op", "Δns", "ΔB/op", "Δallocs")
 	regressed := false
 	for _, name := range oldOrder {
 		news, ok := newRuns[name]
@@ -141,18 +166,33 @@ func compare(w io.Writer, oldRuns map[string][]sample, oldOrder []string, newRun
 		oldNS := medians(olds, func(s sample) float64 { return s.nsPerOp })
 		newNS := medians(news, func(s sample) float64 { return s.nsPerOp })
 		dNS := pctDelta(oldNS, newNS)
-		bytesNote := "-"
+		var failed []string
+		if g.exceeded(oldNS, newNS, 0) {
+			failed = append(failed, "ns/op")
+		}
+		bytesNote, allocsNote := "-", "-"
 		if olds[0].hasBytes && news[0].hasBytes {
 			oldB := medians(olds, func(s sample) float64 { return s.bytesPerOp })
 			newB := medians(news, func(s sample) float64 { return s.bytesPerOp })
 			bytesNote = fmt.Sprintf("%+.1f%%", pctDelta(oldB, newB))
+			if g.exceeded(oldB, newB, 0) {
+				failed = append(failed, "B/op")
+			}
+		}
+		if olds[0].hasAllocs && news[0].hasAllocs {
+			oldA := medians(olds, func(s sample) float64 { return s.allocsPerOp })
+			newA := medians(news, func(s sample) float64 { return s.allocsPerOp })
+			allocsNote = fmt.Sprintf("%+.0f", newA-oldA)
+			if g.exceeded(oldA, newA, g.allocFloor) {
+				failed = append(failed, "allocs/op")
+			}
 		}
 		mark := ""
-		if dNS > threshold*100 {
-			mark = "  <-- REGRESSION"
+		if len(failed) > 0 {
+			mark = "  <-- REGRESSION(" + strings.Join(failed, ", ") + ")"
 			regressed = true
 		}
-		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+7.1f%% %10s%s\n", name, oldNS, newNS, dNS, bytesNote, mark)
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %+7.1f%% %10s %10s%s\n", name, oldNS, newNS, dNS, bytesNote, allocsNote, mark)
 	}
 	for _, name := range newOrder {
 		if _, ok := oldRuns[name]; !ok {
@@ -165,10 +205,11 @@ func compare(w io.Writer, oldRuns map[string][]sample, oldOrder []string, newRun
 func main() {
 	oldPath := flag.String("old", "", "baseline benchmark output")
 	newPath := flag.String("new", "", "candidate benchmark output")
-	threshold := flag.Float64("threshold", 0.20, "relative ns/op regression that fails the compare")
+	threshold := flag.Float64("threshold", 0.20, "relative regression on ns/op, B/op or allocs/op that fails the compare")
+	allocFloor := flag.Float64("alloc-floor", 0, "absolute allocs/op increase always tolerated (0 fails a zero-alloc benchmark gaining its first alloc)")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: moma-benchcmp -old base.txt -new pr.txt [-threshold 0.20]")
+		fmt.Fprintln(os.Stderr, "usage: moma-benchcmp -old base.txt -new pr.txt [-threshold 0.20] [-alloc-floor 0]")
 		os.Exit(2)
 	}
 	oldRuns, oldOrder, err := parseFile(*oldPath)
@@ -181,8 +222,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "moma-benchcmp: %v\n", err)
 		os.Exit(2)
 	}
-	if compare(os.Stdout, oldRuns, oldOrder, newRuns, newOrder, *threshold, *oldPath) {
-		fmt.Printf("\nFAIL: at least one benchmark regressed >%.0f%% on ns/op\n", *threshold*100)
+	if compare(os.Stdout, oldRuns, oldOrder, newRuns, newOrder, gates{threshold: *threshold, allocFloor: *allocFloor}, *oldPath) {
+		fmt.Printf("\nFAIL: at least one benchmark regressed >%.0f%% (ns/op, B/op or allocs/op)\n", *threshold*100)
 		os.Exit(1)
 	}
 	fmt.Println("\nok: no benchmark regressed past the threshold")

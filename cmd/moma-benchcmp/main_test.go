@@ -93,7 +93,7 @@ func TestCompareFlagsRegression(t *testing.T) {
 	oldRuns, oldOrder := mustParse(t, "BenchmarkA-8 10 100 ns/op\nBenchmarkA-8 10 110 ns/op\nBenchmarkA-8 10 90 ns/op\nBenchmarkB-8 10 50 ns/op\n")
 	newRuns, newOrder := mustParse(t, "BenchmarkA-8 10 300 ns/op\nBenchmarkB-8 10 51 ns/op\n")
 	var out strings.Builder
-	if !compare(&out, oldRuns, oldOrder, newRuns, newOrder, 0.20, "base.txt") {
+	if !compare(&out, oldRuns, oldOrder, newRuns, newOrder, gates{threshold: 0.20}, "base.txt") {
 		t.Fatalf("3x ns/op increase not flagged as regression; output:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "REGRESSION") {
@@ -105,7 +105,7 @@ func TestCompareWithinThresholdPasses(t *testing.T) {
 	oldRuns, oldOrder := mustParse(t, "BenchmarkA-8 10 100 ns/op\n")
 	newRuns, newOrder := mustParse(t, "BenchmarkA-8 10 115 ns/op\n")
 	var out strings.Builder
-	if compare(&out, oldRuns, oldOrder, newRuns, newOrder, 0.20, "base.txt") {
+	if compare(&out, oldRuns, oldOrder, newRuns, newOrder, gates{threshold: 0.20}, "base.txt") {
 		t.Fatalf("+15%% under a 20%% threshold must pass; output:\n%s", out.String())
 	}
 }
@@ -115,7 +115,7 @@ func TestCompareUsesMedianNotMean(t *testing.T) {
 	oldRuns, oldOrder := mustParse(t, "BenchmarkA-8 10 100 ns/op\nBenchmarkA-8 10 100 ns/op\nBenchmarkA-8 10 100000 ns/op\n")
 	newRuns, newOrder := mustParse(t, "BenchmarkA-8 10 110 ns/op\n")
 	var out strings.Builder
-	if compare(&out, oldRuns, oldOrder, newRuns, newOrder, 0.20, "base.txt") {
+	if compare(&out, oldRuns, oldOrder, newRuns, newOrder, gates{threshold: 0.20}, "base.txt") {
 		t.Fatalf("median-based compare must ignore the outlier; output:\n%s", out.String())
 	}
 }
@@ -124,7 +124,7 @@ func TestCompareMissingBenchmarksNeverGate(t *testing.T) {
 	oldRuns, oldOrder := mustParse(t, "BenchmarkOldOnly-8 10 100 ns/op\n")
 	newRuns, newOrder := mustParse(t, "BenchmarkNewOnly-8 10 999999 ns/op\n")
 	var out strings.Builder
-	if compare(&out, oldRuns, oldOrder, newRuns, newOrder, 0.20, "base.txt") {
+	if compare(&out, oldRuns, oldOrder, newRuns, newOrder, gates{threshold: 0.20}, "base.txt") {
 		t.Fatalf("disjoint benchmark sets must not regress; output:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "only in base.txt, skipped") {
@@ -137,7 +137,69 @@ func TestCompareMissingBenchmarksNeverGate(t *testing.T) {
 
 func TestCompareEmptyInputs(t *testing.T) {
 	var out strings.Builder
-	if compare(&out, map[string][]sample{}, nil, map[string][]sample{}, nil, 0.20, "base.txt") {
+	if compare(&out, map[string][]sample{}, nil, map[string][]sample{}, nil, gates{threshold: 0.20}, "base.txt") {
 		t.Fatal("empty inputs must not regress")
+	}
+}
+
+func TestCompareGatesZeroToOneAlloc(t *testing.T) {
+	// The case the alloc gate exists for: a zero-alloc hot path gaining its
+	// first allocation. ns/op and B/op are flat; only allocs/op moves.
+	oldRuns, oldOrder := mustParse(t, "BenchmarkHot-8 10 100 ns/op 0 B/op 0 allocs/op\n")
+	newRuns, newOrder := mustParse(t, "BenchmarkHot-8 10 100 ns/op 8 B/op 1 allocs/op\n")
+	var out strings.Builder
+	if !compare(&out, oldRuns, oldOrder, newRuns, newOrder, gates{threshold: 0.20}, "base.txt") {
+		t.Fatalf("0 -> 1 allocs/op must gate at the default floor; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op") {
+		t.Errorf("regression marker does not name allocs/op:\n%s", out.String())
+	}
+}
+
+func TestCompareToleratesAllocCountingNoise(t *testing.T) {
+	// An alloc-heavy benchmark drifting by a handful of allocations is
+	// noise under the relative threshold: 9000 -> 9010 is +0.1%.
+	oldRuns, oldOrder := mustParse(t, "BenchmarkBulk-8 10 100 ns/op 1000 B/op 9000 allocs/op\n")
+	newRuns, newOrder := mustParse(t, "BenchmarkBulk-8 10 100 ns/op 1000 B/op 9010 allocs/op\n")
+	var out strings.Builder
+	if compare(&out, oldRuns, oldOrder, newRuns, newOrder, gates{threshold: 0.20}, "base.txt") {
+		t.Fatalf("+10 allocs on a 9000-alloc benchmark must pass; output:\n%s", out.String())
+	}
+}
+
+func TestCompareAllocFloorToleratesSmallAbsoluteIncrease(t *testing.T) {
+	oldRuns, oldOrder := mustParse(t, "BenchmarkHot-8 10 100 ns/op 0 B/op 0 allocs/op\n")
+	newRuns, newOrder := mustParse(t, "BenchmarkHot-8 10 100 ns/op 0 B/op 1 allocs/op\n")
+	var out strings.Builder
+	if compare(&out, oldRuns, oldOrder, newRuns, newOrder, gates{threshold: 0.20, allocFloor: 1}, "base.txt") {
+		t.Fatalf("0 -> 1 allocs/op within -alloc-floor 1 must pass; output:\n%s", out.String())
+	}
+	newRuns, newOrder = mustParse(t, "BenchmarkHot-8 10 100 ns/op 0 B/op 2 allocs/op\n")
+	out.Reset()
+	if !compare(&out, oldRuns, oldOrder, newRuns, newOrder, gates{threshold: 0.20, allocFloor: 1}, "base.txt") {
+		t.Fatalf("0 -> 2 allocs/op past -alloc-floor 1 must gate; output:\n%s", out.String())
+	}
+}
+
+func TestCompareGatesBytesPerOp(t *testing.T) {
+	oldRuns, oldOrder := mustParse(t, "BenchmarkA-8 10 100 ns/op 100 B/op 2 allocs/op\n")
+	newRuns, newOrder := mustParse(t, "BenchmarkA-8 10 100 ns/op 200 B/op 2 allocs/op\n")
+	var out strings.Builder
+	if !compare(&out, oldRuns, oldOrder, newRuns, newOrder, gates{threshold: 0.20}, "base.txt") {
+		t.Fatalf("2x B/op must gate; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "B/op") {
+		t.Errorf("regression marker does not name B/op:\n%s", out.String())
+	}
+}
+
+func TestCompareNoBenchmemColumnsGatesOnlyNs(t *testing.T) {
+	// Files without -benchmem columns keep the pre-benchmem behavior:
+	// only ns/op gates, and missing memory columns are annotated "-".
+	oldRuns, oldOrder := mustParse(t, "BenchmarkA-8 10 100 ns/op\n")
+	newRuns, newOrder := mustParse(t, "BenchmarkA-8 10 110 ns/op\n")
+	var out strings.Builder
+	if compare(&out, oldRuns, oldOrder, newRuns, newOrder, gates{threshold: 0.20}, "base.txt") {
+		t.Fatalf("+10%% ns/op with no memory columns must pass; output:\n%s", out.String())
 	}
 }

@@ -7,7 +7,10 @@
 // publication titles are fired at the served ACM publication set, the
 // cross-source resolution the batch experiments run offline. Each worker
 // sends synchronous POST /sets/{set}/resolve requests; latencies are
-// collected per worker and merged for the final report.
+// collected per worker and merged for the final report. The target's
+// /metrics endpoint is scraped before and after the run, and the delta of
+// the engine-side resolve-stage histograms is printed next to the
+// client-side percentiles — where the time went, not just how long it took.
 //
 // Usage:
 //
@@ -16,6 +19,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -24,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -98,6 +103,10 @@ func run(baseURL, set, source, scale string, seed int64, queryAttr string, concu
 	if err := probe(client, target, payloads[0]); err != nil {
 		return err
 	}
+	// Scrape the server's engine metrics before and after the run: the delta
+	// of the resolve-stage histograms is the server-side view of the same
+	// traffic the client-side percentiles below describe.
+	before := scrapeStages(client, baseURL)
 
 	var (
 		sent     atomic.Int64
@@ -175,10 +184,125 @@ func run(baseURL, set, source, scale string, seed int64, queryAttr string, concu
 		(sum / time.Duration(ok)).Round(time.Microsecond),
 		pct(50).Round(time.Microsecond), pct(95).Round(time.Microsecond),
 		pct(99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+	printEngineReport(before, scrapeStages(client, baseURL))
 	if errs.Load() > 0 {
 		return fmt.Errorf("%d requests failed", errs.Load())
 	}
 	return nil
+}
+
+// stageAgg is one histogram's (sum, count) pair scraped from /metrics.
+type stageAgg struct {
+	sum   float64 // seconds
+	count uint64
+}
+
+// scrapeStages fetches the target's /metrics and extracts the engine-side
+// resolve-stage histograms: per-stage series keyed by stage name, the
+// whole-operation histogram keyed by "". A nil return means the endpoint or
+// the series are unavailable (an older server, say) — the caller skips the
+// engine report rather than failing the load run.
+func scrapeStages(client *http.Client, baseURL string) map[string]stageAgg {
+	resp, err := client.Get(strings.TrimRight(baseURL, "/") + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	const (
+		stageSum   = `moma_live_resolve_stage_seconds_sum{stage="`
+		stageCount = `moma_live_resolve_stage_seconds_count{stage="`
+		totalSum   = "moma_live_resolve_seconds_sum "
+		totalCount = "moma_live_resolve_seconds_count "
+	)
+	out := make(map[string]stageAgg)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, stageSum):
+			if stage, ok := labelValue(fields[0], stageSum); ok {
+				a := out[stage]
+				a.sum = v
+				out[stage] = a
+			}
+		case strings.HasPrefix(line, stageCount):
+			if stage, ok := labelValue(fields[0], stageCount); ok {
+				a := out[stage]
+				a.count = uint64(v)
+				out[stage] = a
+			}
+		case strings.HasPrefix(line, totalSum):
+			a := out[""]
+			a.sum = v
+			out[""] = a
+		case strings.HasPrefix(line, totalCount):
+			a := out[""]
+			a.count = uint64(v)
+			out[""] = a
+		}
+	}
+	if _, ok := out[""]; !ok {
+		return nil
+	}
+	return out
+}
+
+// labelValue extracts the label value from `prefix<value>"}`.
+func labelValue(series, prefix string) (string, bool) {
+	rest := strings.TrimPrefix(series, prefix)
+	i := strings.IndexByte(rest, '"')
+	if i < 0 {
+		return "", false
+	}
+	return rest[:i], true
+}
+
+// printEngineReport renders the server-side stage breakdown of the run: the
+// delta of the scraped histograms between the before and after snapshots.
+func printEngineReport(before, after map[string]stageAgg) {
+	if before == nil || after == nil {
+		fmt.Println("  engine      /metrics unavailable; skipping server-side stage breakdown")
+		return
+	}
+	ops := after[""].count - before[""].count
+	if ops == 0 {
+		fmt.Println("  engine      no resolves recorded server-side; skipping stage breakdown")
+		return
+	}
+	totalSec := after[""].sum - before[""].sum
+	fmt.Printf("  engine      %d resolves server-side, mean %v/op across stages:\n",
+		ops, time.Duration(totalSec/float64(ops)*1e9).Round(time.Microsecond))
+	stages := make([]string, 0, len(after))
+	for s := range after {
+		if s != "" {
+			stages = append(stages, s)
+		}
+	}
+	// Alphabetical order happens to be pipeline order for the resolver's
+	// stages (block, profile, score) and is deterministic for any other.
+	sort.Strings(stages)
+	for _, s := range stages {
+		d := after[s].sum - before[s].sum
+		share := 0.0
+		if totalSec > 0 {
+			share = d / totalSec * 100
+		}
+		fmt.Printf("    %-9s %5.1f%%  mean %v/op\n",
+			s, share, time.Duration(d/float64(ops)*1e9).Round(time.Microsecond))
+	}
 }
 
 // buildPayloads pre-serializes one resolve request per query record so the

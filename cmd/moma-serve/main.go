@@ -28,6 +28,7 @@ import (
 	"syscall"
 
 	moma "repro"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sources"
 )
@@ -43,8 +44,13 @@ func main() {
 	minShared := flag.Int("min-shared", 2, "blocking: minimum shared tokens between query and candidate")
 	threshold := flag.Float64("threshold", 0.8, "minimum similarity of returned matches")
 	measure := flag.String("measure", "trigram", "similarity measure: trigram or tfidf")
+	slowQuery := flag.Duration("slow-query", 0, "capture resolves at or above this latency into GET /debug/slow (0 disables)")
 	flag.Parse()
 
+	if *slowQuery > 0 {
+		obs.SetSlowThreshold(*slowQuery)
+		fmt.Printf("moma-serve: capturing resolves >= %v into /debug/slow\n", *slowQuery)
+	}
 	if err := run(*addr, *data, *scale, *seed, *sets, *queryAttr, *setAttr, *minShared, *threshold, *measure); err != nil {
 		fmt.Fprintf(os.Stderr, "moma-serve: %v\n", err)
 		os.Exit(1)

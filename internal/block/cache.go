@@ -57,13 +57,20 @@ func cachedColumn(set *model.ObjectSet, attr string) Tokens {
 	key := cacheKey{set: weak.Make(set), attr: attr}
 	ver := set.Version()
 	blockCache.Lock()
-	if e, ok := blockCache.entries[key]; ok && e.version == ver && e.toks != nil {
-		toks := e.toks
-		blockCache.Unlock()
-		return toks
+	if e, ok := blockCache.entries[key]; ok {
+		if e.version == ver && e.toks != nil {
+			toks := e.toks
+			blockCache.Unlock()
+			blockTokenHits.Inc()
+			return toks
+		}
+		if e.version != ver {
+			blockInvalidations.Inc()
+		}
 	}
 	blockCache.Unlock()
 
+	blockTokenMisses.Inc()
 	toks := tokenizeColumn(set, attr)
 	upsertEntry(set, key, ver, func(e *cacheEntry) {
 		if e.toks == nil {
@@ -85,13 +92,20 @@ func cachedNormColumn(set *model.ObjectSet, attr string) []string {
 	key := cacheKey{set: weak.Make(set), attr: attr}
 	ver := set.Version()
 	blockCache.Lock()
-	if e, ok := blockCache.entries[key]; ok && e.version == ver && e.norm != nil {
-		norm := e.norm
-		blockCache.Unlock()
-		return norm
+	if e, ok := blockCache.entries[key]; ok {
+		if e.version == ver && e.norm != nil {
+			norm := e.norm
+			blockCache.Unlock()
+			blockNormHits.Inc()
+			return norm
+		}
+		if e.version != ver {
+			blockInvalidations.Inc()
+		}
 	}
 	blockCache.Unlock()
 
+	blockNormMisses.Inc()
 	norm := normalizeColumn(set, attr)
 	upsertEntry(set, key, ver, func(e *cacheEntry) {
 		if e.norm == nil {
@@ -123,13 +137,18 @@ func cachedOrdIndex(set *model.ObjectSet, attr string, col Tokens) *index.Ords {
 	ver := set.Version()
 	blockCache.Lock()
 	e, ok := blockCache.entries[key]
+	if ok && e.version != ver {
+		blockInvalidations.Inc()
+	}
 	if ok && e.version == ver && sameColumn(e.toks, col) {
 		if e.ix != nil {
 			ix := e.ix
 			blockCache.Unlock()
+			blockIndexHits.Inc()
 			return ix
 		}
 		blockCache.Unlock()
+		blockIndexMisses.Inc()
 		ix := buildOrdIndex(col)
 		blockCache.Lock()
 		// Re-check: the entry may have been evicted or refreshed meanwhile.
@@ -144,6 +163,7 @@ func cachedOrdIndex(set *model.ObjectSet, attr string, col Tokens) *index.Ords {
 		return ix
 	}
 	blockCache.Unlock()
+	blockIndexMisses.Inc()
 	return buildOrdIndex(col)
 }
 

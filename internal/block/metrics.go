@@ -1,0 +1,34 @@
+package block
+
+import "repro/internal/obs"
+
+// Engine-side blocking-cache metrics, registered once at package init on
+// the process-global registry. The cache serves three independently-lazy
+// derivations per (set, attribute) entry — the token column, the normalized
+// sort-key column, and the ordinal inverted index — so hits and misses are
+// labeled by which derivation was asked for.
+var (
+	blockTokenHits = obs.Default.Counter("moma_blockcache_hits_total",
+		"Blocking-cache hits by derivation.", `col="tokens"`)
+	blockTokenMisses = obs.Default.Counter("moma_blockcache_misses_total",
+		"Blocking-cache misses (derivation built) by derivation.", `col="tokens"`)
+	blockNormHits = obs.Default.Counter("moma_blockcache_hits_total",
+		"Blocking-cache hits by derivation.", `col="norm"`)
+	blockNormMisses = obs.Default.Counter("moma_blockcache_misses_total",
+		"Blocking-cache misses (derivation built) by derivation.", `col="norm"`)
+	blockIndexHits = obs.Default.Counter("moma_blockcache_hits_total",
+		"Blocking-cache hits by derivation.", `col="index"`)
+	blockIndexMisses = obs.Default.Counter("moma_blockcache_misses_total",
+		"Blocking-cache misses (derivation built) by derivation.", `col="index"`)
+	blockInvalidations = obs.Default.Counter("moma_blockcache_invalidations_total",
+		"Blocking-cache entries found stale because the object set's version moved.")
+)
+
+func init() {
+	obs.Default.GaugeFunc("moma_blockcache_entries",
+		"Resident blocking-cache entries.", func() float64 {
+			blockCache.Lock()
+			defer blockCache.Unlock()
+			return float64(len(blockCache.entries))
+		})
+}

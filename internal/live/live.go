@@ -47,6 +47,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/mapping"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -260,6 +261,7 @@ type resolveScratch struct {
 	qcols []queryCol
 	profs []sim.Profile
 	sc    sim.Scratch
+	span  obs.Span
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(resolveScratch) }}
@@ -273,6 +275,7 @@ var scratchPool = sync.Pool{New: func() any { return new(resolveScratch) }}
 //moma:locked mu
 //moma:noalloc
 func (r *Resolver) resolveLocked(q *model.Instance, asMember bool, dst []Match) []Match {
+	resolvesTotal.Inc()
 	blockAttr := r.cfg.BlockQueryAttr
 	if asMember {
 		blockAttr = r.cfg.BlockSetAttr
@@ -283,6 +286,8 @@ func (r *Resolver) resolveLocked(q *model.Instance, asMember bool, dst []Match) 
 	}
 	scratch := scratchPool.Get().(*resolveScratch)
 	defer scratchPool.Put(scratch)
+	sp := &scratch.span
+	sp.Begin()
 	// Lookup-only interning: query tokens never seen by an Add cannot block
 	// to any candidate and are dropped without growing the dictionary.
 	scratch.norm, scratch.toks = r.dict.AppendLookupTokenIDs(blockVal, scratch.norm, scratch.toks)
@@ -290,6 +295,7 @@ func (r *Resolver) resolveLocked(q *model.Instance, asMember bool, dst []Match) 
 	if len(toks) == 0 {
 		return dst
 	}
+	sp.Mark(stageBlock)
 	// Profile the query once per column, exactly as a batch profile build
 	// does for every domain instance. Columns with an in-place profiler
 	// reuse the pooled Profile slots; the rest allocate per resolve.
@@ -319,8 +325,10 @@ func (r *Resolver) resolveLocked(q *model.Instance, asMember bool, dst []Match) 
 			qcols[i] = queryCol{raw: v}
 		}
 	}
+	sp.Mark(stageProfile)
 	//moma:noalloc-ok the candidate closure is stack-allocated: EachCandidate does not retain it (pinned by TestResolveAppendZeroAllocs)
 	r.ix.EachCandidate(toks, r.minShared, func(ord int) bool {
+		sp.Candidates++
 		var sum float64
 		for i := range r.cols {
 			c := &r.cols[i]
@@ -331,10 +339,15 @@ func (r *Resolver) resolveLocked(q *model.Instance, asMember bool, dst []Match) 
 			}
 		}
 		if s := sum / r.totalW; s >= r.cfg.Threshold {
+			sp.Kept++
 			dst = append(dst, Match{ID: r.ids[ord], Sim: s}) //moma:noalloc-ok appends into caller-reused capacity; grows once to the high-water mark
 		}
 		return true
 	})
+	sp.Mark(stageScore)
+	resolveCandidates.Add(uint64(sp.Candidates))
+	resolveMatches.Add(uint64(sp.Kept))
+	resolveStages.Finish(sp, string(q.ID))
 	return dst
 }
 
@@ -428,6 +441,8 @@ func (r *Resolver) addLocked(in *model.Instance, bulk bool) {
 	r.slots[in.ID] = slot
 	r.alive[slot] = true
 	r.liveCount++
+	addsTotal.Inc()
+	instancesLive.Add(1)
 	if v := in.Attr(r.cfg.BlockSetAttr); v != "" {
 		toks := r.dict.TokenIDs(v)
 		r.blockToks[slot] = toks
@@ -477,6 +492,7 @@ func (r *Resolver) Remove(id model.ID) bool {
 	}
 	r.dropSlotLocked(slot, true)
 	delete(r.slots, id)
+	removesTotal.Inc()
 	if dead := len(r.ids) - r.liveCount; dead >= compactMinDead && dead > r.liveCount {
 		r.compactLocked()
 	}
@@ -498,6 +514,7 @@ const compactMinDead = 64
 //
 //moma:locked mu
 func (r *Resolver) compactLocked() {
+	compactionsTotal.Inc()
 	n := r.liveCount
 	ids := make([]model.ID, 0, n)
 	alive := make([]bool, 0, n)
@@ -545,6 +562,7 @@ func (r *Resolver) dropSlotLocked(slot int, reprofile bool) {
 	}
 	r.alive[slot] = false
 	r.liveCount--
+	instancesLive.Add(-1)
 	if toks := r.blockToks[slot]; len(toks) > 0 {
 		r.ix.Remove(slot, toks)
 		r.blockToks[slot] = nil

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/mapping"
@@ -132,9 +133,18 @@ func streamScore(stream func(yield func(block.Pair) bool), workers int, score fu
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Pipeline metrics accumulate in locals and flush once on return — the
+	// per-pair loop must not pay atomic traffic.
+	var pairs, kept uint64
+	defer func() {
+		matchPairsTotal.Add(pairs)
+		matchKeptTotal.Add(kept)
+	}()
 	if workers <= 1 {
 		stream(func(p block.Pair) bool {
+			pairs++
 			if s, keep := score(p); keep {
+				kept++
 				emit(p, s)
 			}
 			return true
@@ -172,15 +182,24 @@ func streamScore(stream func(yield func(block.Pair) bool), workers int, score fu
 			}(w)
 		}
 	}
+	// sendBatch times the channel send: a non-zero wait means every worker
+	// is busy and the producer is back-pressured.
+	sendBatch := func(bt batch) {
+		t0 := time.Now()
+		batches <- bt
+		matchQueueWait.Observe(time.Since(t0).Seconds())
+		matchBatchesTotal.Inc()
+	}
 	var seq uint64
 	buf := make([]block.Pair, 0, scoreBatchSize)
 	stream(func(p block.Pair) bool {
+		pairs++
 		buf = append(buf, p)
 		if len(buf) == scoreBatchSize {
 			if batches == nil {
 				startWorkers()
 			}
-			batches <- batch{seq: seq, pairs: buf}
+			sendBatch(batch{seq: seq, pairs: buf})
 			seq += uint64(len(buf))
 			buf = make([]block.Pair, 0, scoreBatchSize)
 		}
@@ -189,13 +208,14 @@ func streamScore(stream func(yield func(block.Pair) bool), workers int, score fu
 	if batches == nil {
 		for _, p := range buf {
 			if s, keep := score(p); keep {
+				kept++
 				emit(p, s)
 			}
 		}
 		return
 	}
 	if len(buf) > 0 {
-		batches <- batch{seq: seq, pairs: buf}
+		sendBatch(batch{seq: seq, pairs: buf})
 	}
 	close(batches)
 	wg.Wait()
@@ -212,6 +232,7 @@ func streamScore(stream func(yield func(block.Pair) bool), workers int, score fu
 		all = append(all, s...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	kept += uint64(len(all))
 	for _, k := range all {
 		emit(k.pair, k.sim)
 	}

@@ -1,0 +1,34 @@
+package match
+
+import "repro/internal/obs"
+
+// Engine-side matcher metrics, registered once at package init on the
+// process-global registry. Pipeline counts are accumulated in locals and
+// flushed once per streamScore call, so the per-pair hot loop carries no
+// atomic traffic.
+var (
+	matchPairsTotal = obs.Default.Counter("moma_match_pairs_total",
+		"Candidate pairs streamed into the scoring pipeline.")
+	matchKeptTotal = obs.Default.Counter("moma_match_pairs_kept_total",
+		"Above-threshold pairs kept by the scoring pipeline.")
+	matchBatchesTotal = obs.Default.Counter("moma_match_batches_total",
+		"Scoring batches dispatched to pipeline workers.")
+	matchQueueWait = obs.Default.Histogram("moma_match_queue_wait_seconds",
+		"Producer wait enqueueing a scoring batch (all workers busy).", nil)
+
+	profileCacheHits = obs.Default.Counter("moma_profilecache_hits_total",
+		"Profile-column cache hits.")
+	profileCacheMisses = obs.Default.Counter("moma_profilecache_misses_total",
+		"Profile-column cache misses (column built).")
+	profileCacheInvalidations = obs.Default.Counter("moma_profilecache_invalidations_total",
+		"Profile-column cache entries found stale because the object set's version moved.")
+)
+
+func init() {
+	obs.Default.GaugeFunc("moma_profilecache_entries",
+		"Resident profile-column cache entries.", func() float64 {
+			profileCache.Lock()
+			defer profileCache.Unlock()
+			return float64(len(profileCache.entries))
+		})
+}

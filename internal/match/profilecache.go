@@ -79,13 +79,18 @@ func cachedProfileColumn(set *model.ObjectSet, attr string, ps sim.ProfiledSim, 
 	}
 	ver := set.Version()
 	profileCache.Lock()
-	if e, ok := profileCache.entries[key]; ok && e.version == ver {
-		profs := e.profs
-		profileCache.Unlock()
-		return profs
+	if e, ok := profileCache.entries[key]; ok {
+		if e.version == ver {
+			profs := e.profs
+			profileCache.Unlock()
+			profileCacheHits.Inc()
+			return profs
+		}
+		profileCacheInvalidations.Inc()
 	}
 	profileCache.Unlock()
 
+	profileCacheMisses.Inc()
 	profs := build()
 	storeProfileEntry(set, key, &profileEntry{version: ver, profs: profs})
 	return profs

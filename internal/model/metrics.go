@@ -1,0 +1,12 @@
+package model
+
+import "repro/internal/obs"
+
+// The process-global ID dictionary's size is exported as a scrape-time
+// gauge; together with moma_sim_dict_terms it bounds the resident
+// vocabulary of the columnar mapping core.
+func init() {
+	obs.Default.GaugeFunc("moma_model_dict_ids",
+		"Interned object IDs in the process-global model.IDs dictionary.",
+		func() float64 { return float64(IDs.Len()) })
+}

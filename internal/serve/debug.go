@@ -1,0 +1,48 @@
+package serve
+
+// Diagnostics surface: pprof, expvar and the slow-query flight recorder.
+// These routes bypass the per-route request metrics — scrapes and profile
+// downloads would otherwise dominate the latency histograms they exist to
+// explain.
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// SlowQueriesResponse answers GET /debug/slow: the capture threshold, the
+// lifetime number of captured traces, and the retained traces newest first.
+type SlowQueriesResponse struct {
+	ThresholdNS int64           `json:"threshold_ns"`
+	Total       uint64          `json:"total"`
+	Queries     []obs.SlowQuery `json:"queries"`
+}
+
+// registerDebug mounts the diagnostics routes. The pprof handlers are
+// mounted explicitly on the server's own mux — the server never serves
+// http.DefaultServeMux, so the net/http/pprof side-effect registrations
+// alone would be unreachable.
+func (s *Server) registerDebug() {
+	s.mux.HandleFunc("GET /debug/slow", s.handleSlow)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// handleSlow drains the process-global slow-query ring. Capture is
+// threshold-gated (moma-serve's -slow-query flag, obs.SetSlowThreshold from
+// an embedding program); with the threshold unset the ring is empty and the
+// response says so via threshold_ns = 0.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SlowQueriesResponse{
+		ThresholdNS: int64(obs.DefaultSlow.Threshold()),
+		Total:       obs.DefaultSlow.Total(),
+		Queries:     obs.SlowSnapshot(),
+	})
+}

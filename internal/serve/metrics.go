@@ -69,13 +69,20 @@ func (m *metrics) observe(route string, code int, took time.Duration) {
 	}
 }
 
-// write emits the Prometheus text exposition.
+// write emits the Prometheus text exposition. The mutex guards the maps the
+// handlers record into, and w is typically a network connection — so write
+// snapshots everything under the lock and emits after unlocking, and a
+// stalled scraper never blocks request recording
+// (TestMetricsWriteDoesNotHoldLock pins this).
 func (m *metrics) write(w io.Writer) {
+	type histSnap struct {
+		route  string
+		counts []uint64
+		sum    float64
+		total  uint64
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	fmt.Fprintln(w, "# HELP moma_requests_total Requests served, by route and status code.")
-	fmt.Fprintln(w, "# TYPE moma_requests_total counter")
+	uptime := time.Since(m.start).Seconds()
 	keys := make([]counterKey, 0, len(m.requests))
 	for k := range m.requests {
 		keys = append(keys, k)
@@ -86,28 +93,45 @@ func (m *metrics) write(w io.Writer) {
 		}
 		return keys[i].code < keys[j].code
 	})
-	for _, k := range keys {
-		fmt.Fprintf(w, "moma_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	reqs := make([]uint64, len(keys))
+	for i, k := range keys {
+		reqs[i] = m.requests[k]
 	}
-
-	fmt.Fprintln(w, "# HELP moma_request_duration_seconds Request latency, by route.")
-	fmt.Fprintln(w, "# TYPE moma_request_duration_seconds histogram")
 	routes := make([]string, 0, len(m.byRoute))
 	for r := range m.byRoute {
 		routes = append(routes, r)
 	}
 	sort.Strings(routes)
+	hists := make([]histSnap, 0, len(routes))
 	for _, route := range routes {
 		h := m.byRoute[route]
+		hists = append(hists, histSnap{
+			route:  route,
+			counts: append([]uint64(nil), h.counts...),
+			sum:    h.sum,
+			total:  h.total,
+		})
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP moma_requests_total Requests served, by route and status code.")
+	fmt.Fprintln(w, "# TYPE moma_requests_total counter")
+	for i, k := range keys {
+		fmt.Fprintf(w, "moma_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, reqs[i])
+	}
+
+	fmt.Fprintln(w, "# HELP moma_request_duration_seconds Request latency, by route.")
+	fmt.Fprintln(w, "# TYPE moma_request_duration_seconds histogram")
+	for _, h := range hists {
 		for i, ub := range latencyBuckets {
-			fmt.Fprintf(w, "moma_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", route, ub, h.counts[i])
+			fmt.Fprintf(w, "moma_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", h.route, ub, h.counts[i])
 		}
-		fmt.Fprintf(w, "moma_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, h.total)
-		fmt.Fprintf(w, "moma_request_duration_seconds_sum{route=%q} %g\n", route, h.sum)
-		fmt.Fprintf(w, "moma_request_duration_seconds_count{route=%q} %d\n", route, h.total)
+		fmt.Fprintf(w, "moma_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", h.route, h.total)
+		fmt.Fprintf(w, "moma_request_duration_seconds_sum{route=%q} %g\n", h.route, h.sum)
+		fmt.Fprintf(w, "moma_request_duration_seconds_count{route=%q} %d\n", h.route, h.total)
 	}
 
 	fmt.Fprintln(w, "# HELP moma_uptime_seconds Seconds since the server started.")
 	fmt.Fprintln(w, "# TYPE moma_uptime_seconds gauge")
-	fmt.Fprintf(w, "moma_uptime_seconds %g\n", time.Since(m.start).Seconds())
+	fmt.Fprintf(w, "moma_uptime_seconds %g\n", uptime)
 }

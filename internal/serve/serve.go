@@ -12,7 +12,10 @@
 //	DELETE /sets/{set}/instances/{id} remove a record from the live view
 //	GET    /mappings/{name}           read a stored mapping
 //	GET    /healthz                   liveness, uptime and resolver sizes
-//	GET    /metrics                   Prometheus text: counts + latency histograms
+//	GET    /metrics                   Prometheus text: route metrics + engine metrics
+//	GET    /debug/slow                recent slow-query traces (threshold-gated)
+//	GET    /debug/vars                expvar JSON
+//	GET    /debug/pprof/*             runtime profiles (index, profile, trace, ...)
 //
 // Adding an instance resolves it against the live members first and records
 // the resulting correspondences in the repository mapping "live.<set>" —
@@ -36,6 +39,7 @@ import (
 	moma "repro"
 	"repro/internal/mapping"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Server wires a moma.System to the HTTP API. Create with New.
@@ -69,7 +73,11 @@ func New(sys *moma.System) *Server {
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.metrics.write(w)
+		// Engine-side series (resolver stages, pipeline counters, store and
+		// cache metrics) follow the route metrics in one scrape body.
+		obs.Default.WritePrometheus(w)
 	})
+	s.registerDebug()
 	return s
 }
 

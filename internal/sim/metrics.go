@@ -1,0 +1,13 @@
+package sim
+
+import "repro/internal/obs"
+
+// The process-global term dictionary's size is exported as a scrape-time
+// gauge: unbounded growth here would mean a read path is interning (the
+// invariant moma-vet's dictgrowth analyzer guards statically), so the gauge
+// is the runtime dial for the same property.
+func init() {
+	obs.Default.GaugeFunc("moma_sim_dict_terms",
+		"Interned terms in the process-global sim.Terms dictionary.",
+		func() float64 { return float64(Terms.Len()) })
+}

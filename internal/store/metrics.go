@@ -1,0 +1,26 @@
+package store
+
+import "repro/internal/obs"
+
+// Engine-side repository metrics, registered once at package init on the
+// process-global registry. Durations cover the whole entry point — lock
+// wait, WAL append and eviction included — because that is the latency a
+// serving handler actually pays.
+var (
+	storePutSeconds = obs.Default.Histogram("moma_store_put_seconds",
+		"Latency of Store.Put (full-mapping store).", nil)
+	storeDeltaSeconds = obs.Default.Histogram("moma_store_delta_seconds",
+		"Latency of Store.PutDelta (logged delta merge).", nil)
+	storeCompactionSeconds = obs.Default.Histogram("moma_store_compaction_seconds",
+		"Latency of a snapshot compaction.", nil)
+	storeCompactions = obs.Default.Counter("moma_store_compactions_total",
+		"Completed snapshot compactions (manual and automatic).")
+	storeWALBytes = obs.Default.Counter("moma_store_wal_bytes_total",
+		"Bytes appended to the write-ahead log (newlines included).")
+	storeWALRecords = obs.Default.Counter("moma_store_wal_records_total",
+		"Records appended to the write-ahead log.")
+	storeFsyncs = obs.Default.Counter("moma_store_fsyncs_total",
+		"File syncs issued (snapshot commit points).")
+	storeSnapshotBytes = obs.Default.Gauge("moma_store_snapshot_bytes",
+		"Size in bytes of the last snapshot written by compaction.")
+)

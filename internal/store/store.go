@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/mapping"
 	"repro/internal/model"
@@ -153,6 +154,8 @@ func (s *Store) Put(name string, m *mapping.Mapping) error {
 	if m == nil {
 		return fmt.Errorf("store: nil mapping for %q", name)
 	}
+	t0 := time.Now()
+	defer func() { storePutSeconds.Observe(time.Since(t0).Seconds()) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.maps[name]; !exists {
@@ -201,6 +204,8 @@ func (s *Store) PutDelta(name string, dom, rng model.LDS, mtype model.MappingTyp
 	if len(rows) == 0 {
 		return nil
 	}
+	t0 := time.Now()
+	defer func() { storeDeltaSeconds.Observe(time.Since(t0).Seconds()) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m, exists := s.maps[name]

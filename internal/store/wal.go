@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/mapping"
 	"repro/internal/model"
@@ -57,7 +59,12 @@ func (w *walWriter) append(rec walRecord) error {
 	if err := w.w.WriteByte('\n'); err != nil {
 		return err
 	}
-	return w.w.Flush()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	storeWALBytes.Add(uint64(len(data)) + 1)
+	storeWALRecords.Inc()
+	return nil
 }
 
 func (w *walWriter) logPut(name string, m *mapping.Mapping) error {
@@ -254,11 +261,13 @@ func (s *Store) compactLocked() error {
 	if s.wal == nil || s.dir == "" {
 		return fmt.Errorf("store: Compact requires a persistent repository")
 	}
+	t0 := time.Now()
 	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(tmp)
+	cw := &countingWriter{w: tmp}
+	w := bufio.NewWriter(cw)
 	enc := json.NewEncoder(w)
 	for _, name := range s.order {
 		if err := enc.Encode(putRecord(name, s.maps[name])); err != nil {
@@ -280,6 +289,7 @@ func (s *Store) compactLocked() error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	storeFsyncs.Inc()
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
@@ -306,7 +316,23 @@ func (s *Store) compactLocked() error {
 	s.snapRows = s.rowsLocked()
 	s.walRows = 0
 	s.acErr = nil
+	storeCompactions.Inc()
+	storeCompactionSeconds.Observe(time.Since(t0).Seconds())
+	storeSnapshotBytes.Set(cw.n)
 	return nil
+}
+
+// countingWriter counts bytes on their way to the snapshot file, so
+// compaction can report the snapshot size without a second stat.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // Close flushes and closes the write-ahead log of a persistent repository;

@@ -118,6 +118,48 @@
 // fold themselves into fresh snapshots automatically once the log outgrows
 // the snapshot (Store.SetAutoCompact configures or disables the ratio).
 //
+// # Observability
+//
+// internal/obs is the dependency-free observability core: counters, gauges
+// and fixed-bucket histograms allocated at registration time and recorded
+// with a few atomic operations, a process-global registry with
+// deterministic Prometheus text exposition, and a stage-trace facility
+// that times named pipeline stages into caller-owned scratch. The engine
+// packages register their metrics at init, so any program importing them
+// can expose the registry (obs.Default.WritePrometheus); the serve layer
+// does this on GET /metrics next to its route metrics.
+//
+// The metric vocabulary follows the package structure:
+//
+//   - moma_live_*: online resolution. moma_live_resolve_seconds and
+//     moma_live_resolve_stage_seconds{stage=...} time each resolve and its
+//     stages — "block" (token lookup), "profile" (query profiling) and
+//     "score" (the fused candidate probe-and-score loop); candidate and
+//     match counters plus add/remove/compaction totals and a resident
+//     instances gauge ride along.
+//   - moma_match_*: the batch streaming pipeline — scored pairs, kept
+//     correspondences, batches, worker queue wait.
+//   - moma_store_*: repository persistence — put/delta/compaction
+//     latencies, WAL bytes/records, fsyncs, last snapshot size.
+//   - moma_blockcache_* / moma_profilecache_*: hits, misses and version
+//     invalidations of the cached token/norm/index and profile columns.
+//   - moma_sim_dict_terms / moma_model_dict_ids: sizes of the two
+//     process-global dictionaries — the runtime dial for the dictionary-
+//     ownership invariant that moma-vet's dictgrowth analyzer checks
+//     statically.
+//
+// Recording obeys invariant 5 below: every record path is //moma:noalloc
+// (an observation is a bucket scan plus a few atomic adds on
+// registration-time storage; labels are pre-rendered strings), so
+// instrumentation does not void the warm resolve path's zero-allocation
+// budget — TestResolveAppendZeroAllocs passes with tracing on. Slow-query
+// capture is threshold-gated (obs.SetSlowThreshold, moma-serve's
+// -slow-query flag): queries above the threshold deposit their stage
+// breakdown in a fixed ring readable as JSON via GET /debug/slow, while
+// queries below it pay one atomic load. moma-serve also mounts
+// /debug/pprof/* and /debug/vars; moma-load scrapes /metrics before and
+// after a run and prints the server-side per-stage latency shares.
+//
 // # Repo invariants
 //
 // Seven cross-cutting invariants hold everywhere in this tree, and
