@@ -14,7 +14,11 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/faultfs"
+	"repro/internal/mapping"
+	"repro/internal/model"
 	"repro/internal/sources"
+	"repro/internal/store"
 )
 
 var (
@@ -569,4 +573,44 @@ func BenchmarkDatasetGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sources.Generate(cfg)
 	}
+}
+
+// benchWALPutDelta measures the warm logged-delta path — lock, JSON append,
+// flush, AddMax — against a repository whose filesystem goes through fsys.
+func benchWALPutDelta(b *testing.B, fsys faultfs.FS) {
+	repo, err := store.OpenRepositoryFS(b.TempDir(), fsys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	repo.SetAutoCompact(0, 0) // pure WAL appends; no compaction inside the loop
+	dom := model.LDS{Source: "DBLP", Type: model.Publication}
+	rng := model.LDS{Source: "ACM", Type: model.Publication}
+	// Pre-interned IDs and a reused rows buffer: the measurement is the
+	// store's append path, not workload-side allocation.
+	ids := make([]model.ID, 256)
+	for i := range ids {
+		ids[i] = model.ID(fmt.Sprintf("obj-%03d", i))
+	}
+	rows := make([]mapping.Correspondence, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range rows {
+			k := (i*len(rows) + j) % len(ids)
+			rows[j] = mapping.Correspondence{Domain: ids[k], Range: ids[(k+1)%len(ids)], Sim: 0.5}
+		}
+		if err := repo.PutDelta("live.bench", dom, rng, model.SameMappingType, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALPutDelta pins the cost of the faultfs seam on the warm write
+// path: the direct OS passthrough and a disarmed injector must track each
+// other, and neither may allocate beyond the append itself (CI compares
+// both ns/op and allocs/op across commits).
+func BenchmarkWALPutDelta(b *testing.B) {
+	b.Run("fs=os", func(b *testing.B) { benchWALPutDelta(b, faultfs.OS{}) })
+	b.Run("fs=injector-idle", func(b *testing.B) { benchWALPutDelta(b, faultfs.NewInjector(nil)) })
 }

@@ -12,10 +12,19 @@
 // the engine-side resolve-stage histograms is printed next to the
 // client-side percentiles — where the time went, not just how long it took.
 //
+// The client is overload-aware: a server answering 429 (admission shed) or
+// 503 (draining, degraded store) is retried with capped exponential backoff
+// plus jitter, honoring Retry-After, up to -retries attempts; the report
+// counts the retries and sheds each phase absorbed. With -adds N the run
+// appends a write phase that feeds N new instances through the add
+// endpoint under the same retry policy — the client half of a chaos drill
+// against a fault-injected moma-serve.
+//
 // Usage:
 //
 //	moma-load [-url http://127.0.0.1:8080] [-set ACM.Publication] \
-//	          [-concurrency 8] [-duration 10s | -requests 5000] [flags]
+//	          [-concurrency 8] [-duration 10s | -requests 5000] \
+//	          [-adds 0] [-retries 3] [flags]
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -64,15 +74,81 @@ func main() {
 	requests := flag.Int("requests", 0, "total request budget (0 = run for -duration)")
 	limit := flag.Int("limit", 5, "match limit per request")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
+	retries := flag.Int("retries", 3, "retry attempts per request on 429/503/network errors")
+	backoff := flag.Duration("backoff", 25*time.Millisecond, "base retry backoff (doubles per attempt, with jitter)")
+	backoffMax := flag.Duration("backoff-max", time.Second, "retry backoff cap")
+	adds := flag.Int("adds", 0, "after the resolve phase, add this many new instances through the write path")
 	flag.Parse()
 
-	if err := run(*url, *set, *source, *scale, *seed, *queryAttr, *concurrency, *duration, *requests, *limit, *timeout); err != nil {
+	pol := retryPolicy{max: *retries, base: *backoff, cap: *backoffMax}
+	if err := run(*url, *set, *source, *scale, *seed, *queryAttr, *concurrency, *duration, *requests, *limit, *timeout, *adds, pol); err != nil {
 		fmt.Fprintf(os.Stderr, "moma-load: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(baseURL, set, source, scale string, seed int64, queryAttr string, concurrency int, duration time.Duration, requests, limit int, timeout time.Duration) error {
+// retryPolicy bounds the retry loop around one request: up to max retries
+// beyond the first attempt, base backoff doubling per attempt up to cap,
+// with equal jitter so a shed burst doesn't re-collide in lockstep.
+type retryPolicy struct {
+	max  int
+	base time.Duration
+	cap  time.Duration
+}
+
+// sendRetry posts body to target, retrying transport errors and the
+// overload answers — 429 (admission shed) and 503 (draining or degraded
+// store) — per the policy, honoring the server's Retry-After when it asks
+// for a longer pause than the backoff (still capped). It returns the final
+// status with the response body read and closed, plus the retry and shed
+// counts the request absorbed; err is non-nil only when the last attempt
+// failed at the transport.
+func sendRetry(client *http.Client, target string, body []byte, p retryPolicy, rng *rand.Rand) (status int, out []byte, retries, sheds int, err error) {
+	base := p.base
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		var resp *http.Response
+		resp, err = client.Post(target, "application/json", bytes.NewReader(body))
+		var retryAfter time.Duration
+		if err == nil {
+			status = resp.StatusCode
+			out, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+				return status, out, retries, sheds, nil
+			}
+			if status == http.StatusTooManyRequests {
+				sheds++
+			}
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if n, perr := strconv.Atoi(s); perr == nil && n >= 0 {
+					retryAfter = time.Duration(n) * time.Second
+				}
+			}
+		}
+		if attempt >= p.max {
+			return status, out, retries, sheds, err
+		}
+		retries++
+		wait := base << uint(attempt)
+		if wait > p.cap || wait <= 0 {
+			wait = p.cap
+		}
+		wait = wait/2 + time.Duration(rng.Int63n(int64(wait/2)+1))
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		if wait > p.cap {
+			wait = p.cap
+		}
+		time.Sleep(wait)
+	}
+}
+
+func run(baseURL, set, source, scale string, seed int64, queryAttr string, concurrency int, duration time.Duration, requests, limit int, timeout time.Duration, adds int, pol retryPolicy) error {
 	var cfg sources.Config
 	switch scale {
 	case "paper":
@@ -86,7 +162,7 @@ func run(baseURL, set, source, scale string, seed int64, queryAttr string, concu
 		cfg.Seed = seed
 	}
 	fmt.Printf("moma-load: generating %s-scale query world (seed %d)...\n", scale, cfg.Seed)
-	payloads, err := buildPayloads(cfg, source, queryAttr, limit)
+	payloads, values, err := buildPayloads(cfg, source, queryAttr, limit)
 	if err != nil {
 		return err
 	}
@@ -112,6 +188,8 @@ func run(baseURL, set, source, scale string, seed int64, queryAttr string, concu
 		sent     atomic.Int64
 		matched  atomic.Int64
 		errs     atomic.Int64
+		nRetries atomic.Int64
+		nSheds   atomic.Int64
 		deadline = time.Now().Add(duration)
 		lats     = make([][]time.Duration, concurrency)
 		wg       sync.WaitGroup
@@ -122,6 +200,7 @@ func run(baseURL, set, source, scale string, seed int64, queryAttr string, concu
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(0x9E3779B9*int64(w+1) + 1))
 			mine := make([]time.Duration, 0, 4096)
 			for {
 				n := sent.Add(1)
@@ -134,17 +213,16 @@ func run(baseURL, set, source, scale string, seed int64, queryAttr string, concu
 				}
 				body := payloads[int(n-1)%len(payloads)]
 				t0 := time.Now()
-				resp, err := client.Post(target, "application/json", bytes.NewReader(body))
+				status, rbody, r, sh, err := sendRetry(client, target, body, pol, rng)
 				took := time.Since(t0)
-				if err != nil {
+				nRetries.Add(int64(r))
+				nSheds.Add(int64(sh))
+				if err != nil || status != http.StatusOK {
 					errs.Add(1)
 					continue
 				}
 				var rr resolveResponse
-				decErr := json.NewDecoder(resp.Body).Decode(&rr)
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK || decErr != nil {
+				if json.Unmarshal(rbody, &rr) != nil {
 					errs.Add(1)
 					continue
 				}
@@ -184,9 +262,69 @@ func run(baseURL, set, source, scale string, seed int64, queryAttr string, concu
 		(sum / time.Duration(ok)).Round(time.Microsecond),
 		pct(50).Round(time.Microsecond), pct(95).Round(time.Microsecond),
 		pct(99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+	fmt.Printf("  resilience  %d retries, %d sheds (429) absorbed\n", nRetries.Load(), nSheds.Load())
 	printEngineReport(before, scrapeStages(client, baseURL))
+	if adds > 0 {
+		if err := runAdds(client, baseURL, set, values, adds, concurrency, pol); err != nil {
+			return err
+		}
+	}
 	if errs.Load() > 0 {
 		return fmt.Errorf("%d requests failed", errs.Load())
+	}
+	return nil
+}
+
+// runAdds is the write phase: n add-instance requests under the same retry
+// policy as the resolve phase. Each value is sent under both "title" and
+// "name" so it matches whichever attribute the served set's resolver reads
+// (DBLP/GS title records vs ACM name records).
+func runAdds(client *http.Client, baseURL, set string, values []string, n, concurrency int, pol retryPolicy) error {
+	target := strings.TrimRight(baseURL, "/") + "/sets/" + set + "/instances"
+	payloads := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		v := values[i%len(values)]
+		b, err := json.Marshal(struct {
+			ID    string            `json:"id"`
+			Attrs map[string]string `json:"attrs"`
+		}{ID: fmt.Sprintf("load-add-%d", i), Attrs: map[string]string{"title": v, "name": v}})
+		if err != nil {
+			return err
+		}
+		payloads[i] = b
+	}
+	var next, ok, errs, nRetries, nSheds atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(0x9E3779B9*int64(w+1) + 2))
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				status, body, r, sh, err := sendRetry(client, target, payloads[i], pol, rng)
+				nRetries.Add(int64(r))
+				nSheds.Add(int64(sh))
+				if err != nil || status != http.StatusOK {
+					if errs.Add(1) <= 3 { // sample the first few failures for the operator
+						fmt.Printf("moma-load: add %d failed: status %d, err %v, body %s\n",
+							i, status, err, strings.TrimSpace(string(body)))
+					}
+					continue
+				}
+				ok.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("\nmoma-load: add phase: %d ok, %d errors (%d retries, %d sheds absorbed) in %v\n",
+		ok.Load(), errs.Load(), nRetries.Load(), nSheds.Load(), time.Since(start).Round(time.Millisecond))
+	if errs.Load() > 0 {
+		return fmt.Errorf("add phase: %d requests failed", errs.Load())
 	}
 	return nil
 }
@@ -306,8 +444,9 @@ func printEngineReport(before, after map[string]stageAgg) {
 }
 
 // buildPayloads pre-serializes one resolve request per query record so the
-// hot loop does no JSON encoding.
-func buildPayloads(cfg sources.Config, source, queryAttr string, limit int) ([][]byte, error) {
+// hot loop does no JSON encoding, and returns the raw attribute values
+// alongside for the add phase to reuse.
+func buildPayloads(cfg sources.Config, source, queryAttr string, limit int) ([][]byte, []string, error) {
 	d := sources.Generate(cfg)
 	var src *sources.Source
 	switch strings.ToUpper(source) {
@@ -318,9 +457,10 @@ func buildPayloads(cfg sources.Config, source, queryAttr string, limit int) ([][
 	case "GS":
 		src = d.GS
 	default:
-		return nil, fmt.Errorf("unknown source %q (want DBLP, ACM or GS)", source)
+		return nil, nil, fmt.Errorf("unknown source %q (want DBLP, ACM or GS)", source)
 	}
 	var payloads [][]byte
+	var values []string
 	var err error
 	src.Pubs.Each(func(in *moma.Instance) bool {
 		// Source sets differ in their title attribute name; send the value
@@ -342,15 +482,16 @@ func buildPayloads(cfg sources.Config, source, queryAttr string, limit int) ([][
 			return false
 		}
 		payloads = append(payloads, b)
+		values = append(values, v)
 		return true
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(payloads) == 0 {
-		return nil, fmt.Errorf("source %s has no usable query records", source)
+		return nil, nil, fmt.Errorf("source %s has no usable query records", source)
 	}
-	return payloads, nil
+	return payloads, values, nil
 }
 
 // probe sends one request and demands a 2xx, surfacing server-side config

@@ -1,0 +1,97 @@
+// Package faultfs is the injectable filesystem seam under MOMA's
+// persistence layer. internal/store performs every WAL, snapshot and
+// compaction I/O operation through the FS interface; production code uses
+// the OS passthrough (a zero-overhead forwarding layer over the os
+// package), and tests and chaos harnesses substitute an Injector that
+// fails scripted operations deterministically — short writes, ENOSPC,
+// fsync errors, torn renames, fail-after-N-bytes — so every failure mode
+// of the write path is reachable from a test, not just from a dying disk.
+//
+// The seam is deliberately narrow: exactly the operations the store issues
+// (open, create-temp, write, sync, close, rename, remove, truncate,
+// mkdir), no more. A File is the subset of *os.File the store touches;
+// OS methods return *os.File values directly through the interface, so the
+// passthrough adds one interface indirection and no per-operation
+// allocations on the warm write path (BenchmarkWALPutDelta pins this).
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the store's persistence paths use.
+// *os.File satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync flushes file contents to stable storage (fsync).
+	Sync() error
+	// Close closes the file, surfacing deferred write-back errors.
+	Close() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem operations seam. Implementations must be safe for
+// concurrent use (the store serializes writes, but replay and compaction
+// may overlap reads in tests).
+type FS interface {
+	// MkdirAll creates a directory path (os.MkdirAll semantics).
+	MkdirAll(path string, perm os.FileMode) error
+	// Open opens a file for reading.
+	Open(name string) (File, error)
+	// OpenFile opens with the given flags (append-mode WAL handles,
+	// truncating reopens).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a temporary file in dir (os.CreateTemp semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate resizes a file in place (torn-tail repair).
+	Truncate(name string, size int64) error
+}
+
+// OS is the production FS: a direct passthrough to the os package.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }

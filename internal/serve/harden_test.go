@@ -1,0 +1,422 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	moma "repro"
+	"repro/internal/faultfs"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// gate installs a blocking test route behind the admission controller and
+// returns the release function plus a channel signalling each admitted
+// entry.
+func gate(s *Server) (release func(), started chan struct{}) {
+	ch := make(chan struct{})
+	started = make(chan struct{}, 1024)
+	s.api("GET /testblock", "testblock", func(w http.ResponseWriter, r *http.Request) (int, error) {
+		started <- struct{}{}
+		<-ch
+		writeJSON(w, http.StatusOK, map[string]string{"ok": "true"})
+		return http.StatusOK, nil
+	})
+	var once sync.Once
+	return func() { once.Do(func() { close(ch) }) }, started
+}
+
+// TestOverloadSheds drives more concurrent requests than the admission cap
+// and asserts the contract: at most MaxInFlight requests execute at once,
+// the excess is shed immediately with 429 + Retry-After (not queued), and
+// capacity freed by completions is reusable.
+func TestOverloadSheds(t *testing.T) {
+	const cap = 3
+	srv, _ := testServerWithOptions(t, Options{MaxInFlight: cap})
+	release, started := gate(srv)
+	defer release()
+
+	shedBefore := serveShed.Load()
+	var wg sync.WaitGroup
+	codes := make(chan int, 64)
+	for i := 0; i < cap; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/testblock", nil))
+			codes <- rec.Code
+		}()
+	}
+	for i := 0; i < cap; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("admitted requests did not start")
+		}
+	}
+	if got := srv.inflight.Load(); got != cap {
+		t.Fatalf("inflight = %d, want %d", got, cap)
+	}
+
+	// Every request beyond the cap is shed synchronously: 429, Retry-After,
+	// a JSON error body, and nothing enters the handler.
+	const extra = 20
+	for i := 0; i < extra; i++ {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/testblock", nil))
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("over-cap request %d: code %d, want 429", i, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Fatal("429 must carry Retry-After")
+		}
+		var body map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+			t.Fatalf("429 body = %q", rec.Body.String())
+		}
+	}
+	if got := srv.inflight.Load(); got != cap {
+		t.Fatalf("inflight after sheds = %d, want %d (sheds must not execute)", got, cap)
+	}
+	if len(started) != 0 {
+		t.Fatalf("%d shed requests entered the handler", len(started))
+	}
+	if got := serveShed.Load() - shedBefore; got != extra {
+		t.Fatalf("moma_serve_shed_total advanced by %d, want %d", got, extra)
+	}
+
+	// Completions free capacity: the blocked requests finish 200 and a new
+	// request is admitted again.
+	release()
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("admitted request finished %d", code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/testblock", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-drain request = %d, want 200", rec.Code)
+	}
+	if got := srv.inflight.Load(); got != 0 {
+		t.Fatalf("inflight at rest = %d, want 0", got)
+	}
+}
+
+// testServerWithOptions is testServer with explicit hardening options.
+func testServerWithOptions(t *testing.T, opts Options) (*Server, *moma.System) {
+	t.Helper()
+	_, sys := testServer(t)
+	return NewWithOptions(sys, opts), sys
+}
+
+// TestBodyTooLarge pins the 413 path on both body-accepting routes.
+func TestBodyTooLarge(t *testing.T) {
+	srv, _ := testServerWithOptions(t, Options{MaxBodyBytes: 128})
+	big := strings.Repeat("x", 512)
+	for _, path := range []string{
+		"/sets/ACM.Publication/resolve",
+		"/sets/ACM.Publication/instances",
+	} {
+		body := fmt.Sprintf(`{"id":"q","attrs":{"title":%q}}`, big)
+		req := httptest.NewRequest("POST", path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s with %d-byte body = %d, want 413", path, len(body), rec.Code)
+		}
+		var resp map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || !strings.Contains(resp["error"], "128") {
+			t.Fatalf("413 body = %q", rec.Body.String())
+		}
+	}
+	// Small bodies still pass.
+	var ok ResolveResponse
+	rec := doJSON(t, srv.Handler(), "POST", "/sets/ACM.Publication/resolve",
+		ResolveRequest{Attrs: map[string]string{"title": "cupid"}}, &ok)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("small body = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestPanicContained pins the recovery middleware: a panicking handler
+// answers 500, bumps moma_serve_panics_total, and the server keeps serving.
+func TestPanicContained(t *testing.T) {
+	srv, _ := testServer(t)
+	srv.api("GET /testpanic", "testpanic", func(w http.ResponseWriter, r *http.Request) (int, error) {
+		panic("boom")
+	})
+	before := servePanics.Load()
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/testpanic", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panic route = %d, want 500", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] != "internal error" {
+		t.Fatalf("panic body = %q (panic values must not leak)", rec.Body.String())
+	}
+	if servePanics.Load() != before+1 {
+		t.Fatal("moma_serve_panics_total must advance")
+	}
+	// The slot was released and the process survived: normal traffic flows.
+	var resp ResolveResponse
+	if rec := doJSON(t, srv.Handler(), "POST", "/sets/ACM.Publication/resolve",
+		ResolveRequest{Attrs: map[string]string{"title": "cupid schema matching"}}, &resp); rec.Code != http.StatusOK {
+		t.Fatalf("request after panic = %d", rec.Code)
+	}
+	if got := srv.inflight.Load(); got != 0 {
+		t.Fatalf("inflight after panic = %d, want 0 (slot leaked)", got)
+	}
+}
+
+// TestRequestDeadline pins the per-request deadline plumbing: a handler
+// outliving RequestTimeout observes the expired context and answers 503.
+func TestRequestDeadline(t *testing.T) {
+	srv, _ := testServerWithOptions(t, Options{RequestTimeout: time.Millisecond})
+	srv.api("GET /testslow", "testslow", func(w http.ResponseWriter, r *http.Request) (int, error) {
+		<-r.Context().Done() // the middleware deadline fires, not a test sleep
+		return deadlineStatus(r)
+	})
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/testslow", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("deadline-expired request = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "deadline") {
+		t.Fatalf("deadline body = %q", rec.Body.String())
+	}
+}
+
+// degradedSystem builds a system over an injector-backed repository and
+// drives it into degraded mode with a WAL write fault.
+func degradedSystem(t *testing.T) (*moma.System, *store.Store, *faultfs.Injector) {
+	t.Helper()
+	inj := faultfs.NewInjector(nil)
+	repo, err := store.OpenRepositoryFS(t.TempDir(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	inj.Inject(faultfs.Rule{Op: faultfs.OpWrite, Path: "wal.jsonl", Sticky: true})
+	err = repo.PutDelta("live.X",
+		model.LDS{Source: "A", Type: model.Publication},
+		model.LDS{Source: "B", Type: model.Publication},
+		model.SameMappingType,
+		[]mapping.Correspondence{{Domain: "a", Range: "b", Sim: 1}})
+	if err == nil || repo.Degraded() == nil {
+		t.Fatalf("fixture failed to degrade the repository: %v", err)
+	}
+	return moma.NewSystemWithRepository(repo), repo, inj
+}
+
+// TestReadyzReflectsDegradation: /readyz turns 503 while the repository is
+// degraded and recovers with it; /healthz (liveness) stays 200 throughout.
+func TestReadyzReflectsDegradation(t *testing.T) {
+	sys, repo, inj := degradedSystem(t)
+	srv := New(sys)
+
+	var ready ReadyResponse
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded readyz = %d, want 503", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ready); err != nil || ready.Ready || ready.Degraded == "" {
+		t.Fatalf("degraded readyz body = %q", rec.Body.String())
+	}
+	if rec := httptest.NewRecorder(); true {
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("healthz while degraded = %d, want 200 (liveness is not readiness)", rec.Code)
+		}
+	}
+
+	inj.ClearFaults()
+	if err := repo.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recovered readyz = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestDegradedStoreAnswers503 pins the client-facing contract of a
+// degraded repository: mutations answer 503 + Retry-After (not 500), reads
+// keep answering.
+func TestDegradedStoreAnswers503(t *testing.T) {
+	sys, _, _ := degradedSystem(t)
+	set := moma.NewObjectSet(moma.LDS{Source: "ACM", Type: moma.Publication})
+	set.AddNew("g0", map[string]string{"title": "mapping based object matching"})
+	set.AddNew("g1", map[string]string{"title": "mapping based entity matching"})
+	if err := sys.AddObjectSet("ACM.Publication", set); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterResolver("ACM.Publication", moma.LiveConfig{
+		MinShared: 2, Threshold: 0.5,
+		Columns: []moma.LiveColumn{{QueryAttr: "title", SetAttr: "title", Sim: moma.Trigram}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sys)
+
+	// The add resolves against live members and must persist the delta:
+	// with the store degraded that is a 503, and the client is told when to
+	// come back.
+	rec := doJSON(t, srv.Handler(), "POST", "/sets/ACM.Publication/instances", AddInstanceRequest{
+		ID: "new1", Attrs: map[string]string{"title": "mapping based object matching"},
+	}, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("add against degraded store = %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("degraded 503 must carry Retry-After")
+	}
+	// Reads still answer.
+	if rec := doJSON(t, srv.Handler(), "POST", "/sets/ACM.Publication/resolve", ResolveRequest{
+		Attrs: map[string]string{"title": "mapping based object matching"},
+	}, nil); rec.Code != http.StatusOK {
+		t.Fatalf("resolve against degraded store = %d, want 200", rec.Code)
+	}
+}
+
+// TestDrainFlipsReadinessFirst runs a real listener, parks a request in a
+// gated handler, cancels the run context, and asserts the drain order:
+// readiness flips (new work refused) while the in-flight request completes,
+// and the drained count is logged.
+func TestDrainFlipsReadinessFirst(t *testing.T) {
+	var logMu sync.Mutex
+	var logLines []string
+	logf := func(format string, args ...any) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		logLines = append(logLines, fmt.Sprintf(format, args...))
+	}
+	srv, _ := testServerWithOptions(t, Options{DrainTimeout: 5 * time.Second, Logf: logf})
+	release, started := gate(srv)
+	defer release()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.serve(ctx, ln) }()
+
+	var inflightCode atomic.Int64
+	reqDone := make(chan struct{})
+	go func() {
+		defer close(reqDone)
+		resp, err := http.Get(base + "/testblock")
+		if err == nil {
+			inflightCode.Store(int64(resp.StatusCode))
+			resp.Body.Close()
+		}
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never started")
+	}
+
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for !srv.draining.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("draining flag never flipped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Readiness answers unready the moment draining starts (checked via the
+	// handler — the listener is closing).
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), `"draining":true`) {
+		t.Fatalf("readyz during drain = %d %s", rec.Code, rec.Body.String())
+	}
+	// New API work is refused with 503 while draining.
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/testblock", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("API during drain = %d, want 503", rec.Code)
+	}
+
+	// The parked request still completes, and serve returns cleanly.
+	release()
+	select {
+	case <-reqDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request did not complete during drain")
+	}
+	if code := inflightCode.Load(); code != http.StatusOK {
+		t.Fatalf("in-flight request finished %d, want 200", code)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+
+	logMu.Lock()
+	defer logMu.Unlock()
+	joined := strings.Join(logLines, "\n")
+	if !strings.Contains(joined, "draining, 1 request(s) in flight") {
+		t.Fatalf("drain start not logged: %q", joined)
+	}
+	if !strings.Contains(joined, "drained 1 request(s)") {
+		t.Fatalf("drained count not logged: %q", joined)
+	}
+}
+
+// TestProbesBypassAdmission: /healthz, /readyz and /metrics answer even
+// with every admission slot taken.
+func TestProbesBypassAdmission(t *testing.T) {
+	srv, _ := testServerWithOptions(t, Options{MaxInFlight: 1})
+	release, started := gate(srv)
+	defer release()
+	go func() {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/testblock", nil))
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocking request never started")
+	}
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s while saturated = %d, want 200", path, rec.Code)
+		}
+		if path == "/metrics" {
+			body, _ := io.ReadAll(rec.Body)
+			for _, series := range []string{"moma_serve_inflight", "moma_serve_shed_total", "moma_serve_panics_total"} {
+				if !strings.Contains(string(body), series) {
+					t.Fatalf("metrics missing %s", series)
+				}
+			}
+		}
+	}
+}

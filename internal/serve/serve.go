@@ -12,6 +12,7 @@
 //	DELETE /sets/{set}/instances/{id} remove a record from the live view
 //	GET    /mappings/{name}           read a stored mapping
 //	GET    /healthz                   liveness, uptime and resolver sizes
+//	GET    /readyz                    readiness: not draining, repository healthy
 //	GET    /metrics                   Prometheus text: route metrics + engine metrics
 //	GET    /debug/slow                recent slow-query traces (threshold-gated)
 //	GET    /debug/vars                expvar JSON
@@ -22,6 +23,11 @@
 // the arrival's same-mapping delta; nothing already resolved is re-matched
 // (the incremental workflow style of rule-based matching processes).
 // Removing an instance drops its correspondences from that mapping.
+//
+// The API surface sits behind a hardening layer (harden.go): a
+// concurrency-cap admission controller (429 + Retry-After on overload),
+// per-request deadlines, body-size caps (413), panic containment, and a
+// graceful drain that flips /readyz before the listener closes.
 package serve
 
 import (
@@ -29,11 +35,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	moma "repro"
@@ -42,12 +50,23 @@ import (
 	"repro/internal/obs"
 )
 
-// Server wires a moma.System to the HTTP API. Create with New.
+// Server wires a moma.System to the HTTP API. Create with New or
+// NewWithOptions.
 type Server struct {
 	sys     *moma.System
 	mux     *http.ServeMux
 	metrics *metrics
 	start   time.Time
+	opts    Options
+
+	// Admission state (see harden.go): sem is the concurrency-cap
+	// semaphore — a slot per admitted API request, non-blocking acquire,
+	// excess shed with 429; draining flips when Run begins its graceful
+	// shutdown; inflight counts admitted requests for /readyz and the
+	// drain log.
+	sem      chan struct{}
+	draining atomic.Bool
+	inflight atomic.Int64
 
 	// State-changing requests are serialized per object set, not globally:
 	// an add touches the set's object set, resolver and delta mapping
@@ -58,18 +77,32 @@ type Server struct {
 	locks   map[string]*sync.Mutex // guarded by locksMu
 }
 
-// New returns a server over the system. Resolvers must already be
-// registered (System.RegisterResolver) for their sets to be resolvable.
+// New returns a server over the system with default hardening options.
+// Resolvers must already be registered (System.RegisterResolver) for their
+// sets to be resolvable.
 func New(sys *moma.System) *Server {
+	return NewWithOptions(sys, Options{})
+}
+
+// NewWithOptions returns a server with explicit admission, deadline and
+// drain settings (zero fields take the defaults).
+func NewWithOptions(sys *moma.System, opts Options) *Server {
+	opts = opts.withDefaults()
 	s := &Server{
 		sys: sys, mux: http.NewServeMux(), metrics: newMetrics(), start: time.Now(),
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxInFlight),
 		locks: make(map[string]*sync.Mutex),
 	}
+	// Probe routes answer outside admission: an overloaded or draining
+	// server must stay observable.
 	s.route("GET /healthz", "healthz", s.handleHealthz)
-	s.route("POST /sets/{set}/resolve", "resolve", s.handleResolve)
-	s.route("POST /sets/{set}/instances", "add_instance", s.handleAddInstance)
-	s.route("DELETE /sets/{set}/instances/{id}", "remove_instance", s.handleRemoveInstance)
-	s.route("GET /mappings/{name}", "get_mapping", s.handleGetMapping)
+	s.route("GET /readyz", "readyz", s.handleReadyz)
+	// API routes go through the admission controller (harden.go).
+	s.api("POST /sets/{set}/resolve", "resolve", s.handleResolve)
+	s.api("POST /sets/{set}/instances", "add_instance", s.handleAddInstance)
+	s.api("DELETE /sets/{set}/instances/{id}", "remove_instance", s.handleRemoveInstance)
+	s.api("GET /mappings/{name}", "get_mapping", s.handleGetMapping)
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.metrics.write(w)
@@ -84,21 +117,40 @@ func New(sys *moma.System) *Server {
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Run serves on addr until ctx is cancelled, then shuts down gracefully
-// (in-flight requests get up to five seconds to finish).
+// Run serves on addr until ctx is cancelled, then drains gracefully:
+// readiness flips first (new API requests answer 503, /readyz reports
+// unready) and in-flight requests get Options.DrainTimeout to finish.
 func (s *Server) Run(ctx context.Context, addr string) error {
-	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.serve(ctx, ln)
+}
+
+// serve runs the HTTP server over an existing listener — the seam the
+// drain tests use (an httptest listener stands in for the real socket).
+func (s *Server) serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Flip readiness before touching the listener: load balancers watching
+	// /readyz stop sending work, admission refuses what still arrives, and
+	// the requests already admitted finish normally.
+	s.draining.Store(true)
+	accepted := s.inflight.Load()
+	s.opts.Logf("moma-serve: draining, %d request(s) in flight, timeout %s", accepted, s.opts.DrainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		return err
+	shutdownErr := srv.Shutdown(shutdownCtx)
+	s.opts.Logf("moma-serve: drained %d request(s)", accepted-s.inflight.Load())
+	if shutdownErr != nil {
+		return fmt.Errorf("serve: drain timed out: %w", shutdownErr)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
@@ -253,11 +305,14 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) (int, err
 		return http.StatusNotFound, fmt.Errorf("no resolver for set %q", setName)
 	}
 	var req ResolveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	if code, err := decodeBody(r, &req); code != 0 {
+		return code, err
 	}
 	if len(req.Attrs) == 0 {
 		return http.StatusBadRequest, fmt.Errorf("attrs must not be empty")
+	}
+	if code, err := deadlineStatus(r); code != 0 {
+		return code, err
 	}
 	t0 := time.Now()
 	matches := res.Resolve(model.NewInstance(model.ID(req.ID), req.Attrs))
@@ -278,8 +333,8 @@ func (s *Server) handleAddInstance(w http.ResponseWriter, r *http.Request) (int,
 		return http.StatusNotFound, fmt.Errorf("no resolver for set %q", setName)
 	}
 	var req AddInstanceRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	if code, err := decodeBody(r, &req); code != 0 {
+		return code, err
 	}
 	if req.ID == "" {
 		return http.StatusBadRequest, fmt.Errorf("id must not be empty")
@@ -289,11 +344,16 @@ func (s *Server) handleAddInstance(w http.ResponseWriter, r *http.Request) (int,
 	mu := s.lockFor(setName)
 	mu.Lock()
 	defer mu.Unlock()
+	// The lock wait can consume the whole request budget under contention;
+	// don't start mutating for a caller that has already given up.
+	if code, err := deadlineStatus(r); code != 0 {
+		return code, err
+	}
 	// A re-add replaces the instance: its correspondences in the delta
 	// mapping describe the previous attribute values and must not survive.
 	if res.Has(in.ID) {
 		if err := s.dropFromDeltaLocked(setName, in.ID); err != nil {
-			return http.StatusInternalServerError, err
+			return storageStatus(w, err)
 		}
 	}
 	var matches []moma.LiveMatch
@@ -321,7 +381,9 @@ func (s *Server) handleAddInstance(w http.ResponseWriter, r *http.Request) (int,
 		if err != nil {
 			// The instance is live but its delta was not persisted; surface
 			// that instead of answering 200 with a silently-missing mapping.
-			return http.StatusInternalServerError, fmt.Errorf("recording delta: %w", err)
+			// A degraded repository answers 503 + Retry-After (storageStatus)
+			// so well-behaved clients back off until Recover lifts it.
+			return storageStatus(w, fmt.Errorf("recording delta: %w", err))
 		}
 		resp.Mapping = name
 	}
@@ -339,6 +401,9 @@ func (s *Server) handleRemoveInstance(w http.ResponseWriter, r *http.Request) (i
 	mu := s.lockFor(setName)
 	mu.Lock()
 	defer mu.Unlock()
+	if code, err := deadlineStatus(r); code != 0 {
+		return code, err
+	}
 	if !res.Remove(id) {
 		return http.StatusNotFound, fmt.Errorf("no live instance %q in %q", id, setName)
 	}
@@ -349,7 +414,7 @@ func (s *Server) handleRemoveInstance(w http.ResponseWriter, r *http.Request) (i
 	// matches over the raw set still see the instance until the set is
 	// rebuilt. The live resolver is the authority for online answers.
 	if err := s.dropFromDeltaLocked(setName, id); err != nil {
-		return http.StatusInternalServerError, err
+		return storageStatus(w, err)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"set": setName, "id": string(id), "removed": true})
 	return http.StatusOK, nil

@@ -1,0 +1,489 @@
+package store
+
+// The crash matrix: every faultfs failure mode at every persistence write
+// site. The invariants under test, for each (site × fault) cell:
+//
+//   - the mutation fails with a typed *StorageError (never a panic, never a
+//     silent success),
+//   - a WAL-append fault flips the store read-only (degraded) while reads
+//     keep answering, and Recover lifts the degradation after re-verifying
+//     the log,
+//   - a compaction fault never degrades the store, never publishes a
+//     partial snapshot, and never wedges later writes,
+//   - reopening the directory — a crash — recovers exactly the acknowledged
+//     (durable) state: nothing lost, nothing invented.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+// openInjected opens a repository in dir through a fresh fault injector
+// with an empty schedule.
+func openInjected(t testing.TB, dir string) (*Store, *faultfs.Injector) {
+	t.Helper()
+	inj := faultfs.NewInjector(nil)
+	s, err := OpenRepositoryFS(dir, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, inj
+}
+
+// fingerprint captures the observable store state: names in order plus the
+// total row count.
+func fingerprint(s *Store) (names []string, rows int) {
+	return s.Names(), storeRows(s)
+}
+
+func TestCrashMatrixWALAppend(t *testing.T) {
+	faults := []struct {
+		name string
+		rule faultfs.Rule
+	}{
+		{"enospc", faultfs.Rule{Op: faultfs.OpWrite, Path: "wal.jsonl", Err: syscall.ENOSPC, Sticky: true}},
+		{"short-write", faultfs.Rule{Op: faultfs.OpWrite, Path: "wal.jsonl", Kind: faultfs.KindShortWrite, N: 7, Sticky: true}},
+		{"fail-after-bytes", faultfs.Rule{Op: faultfs.OpWrite, Path: "wal.jsonl", Kind: faultfs.KindFailAfter, N: 10, Err: syscall.ENOSPC}},
+	}
+	sites := []struct {
+		name   string
+		mutate func(s *Store) error
+	}{
+		{"put", func(s *Store) error { return s.Put("victim", sampleMapping(4)) }},
+		{"delta", func(s *Store) error {
+			return s.PutDelta("live.x", dblpPub, acmPub, model.SameMappingType,
+				[]mapping.Correspondence{{Domain: "dx", Range: "rx", Sim: 0.5}})
+		}},
+		{"delete", func(s *Store) error { _, err := s.Delete("base"); return err }},
+		{"clear", func(s *Store) error { return s.Clear() }},
+	}
+	for _, fault := range faults {
+		for _, site := range sites {
+			t.Run(site.name+"/"+fault.name, func(t *testing.T) {
+				dir := t.TempDir()
+				s, inj := openInjected(t, dir)
+				defer s.Close()
+				// Acknowledged baseline the fault must not touch.
+				if err := s.Put("base", sampleMapping(3)); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.PutDelta("live.base", dblpPub, acmPub, model.SameMappingType,
+					[]mapping.Correspondence{{Domain: "a", Range: "b", Sim: 0.9}}); err != nil {
+					t.Fatal(err)
+				}
+				baseNames, baseRows := fingerprint(s)
+
+				inj.Inject(fault.rule)
+				err := site.mutate(s)
+				if err == nil {
+					t.Fatal("mutation over a faulted WAL must fail")
+				}
+				var serr *StorageError
+				if !errors.As(err, &serr) || serr.Op != "wal-append" {
+					t.Fatalf("want *StorageError{Op: wal-append}, got %T %v", err, err)
+				}
+				if !errors.Is(err, faultfs.ErrInjected) {
+					t.Fatalf("error chain must reach the injected fault: %v", err)
+				}
+
+				// The store is degraded: mutations fail fast with the cause,
+				// reads keep answering from memory.
+				if s.Degraded() == nil {
+					t.Fatal("WAL-append fault must degrade the store")
+				}
+				if err := s.Put("other", sampleMapping(1)); !errors.Is(err, ErrDegraded) {
+					t.Fatalf("degraded mutation: got %v, want ErrDegraded", err)
+				}
+				if !errors.Is(s.Degraded(), faultfs.ErrInjected) {
+					t.Fatalf("Degraded() must carry the cause: %v", s.Degraded())
+				}
+				if m, ok := s.Get("base"); !ok || m.Len() != 3 {
+					t.Fatal("reads must keep working while degraded")
+				}
+				if gotNames, gotRows := fingerprint(s); !equalStrings(gotNames, baseNames) || gotRows != baseRows {
+					t.Fatalf("failed mutation leaked into memory: %v/%d, want %v/%d",
+						gotNames, gotRows, baseNames, baseRows)
+				}
+
+				// Crash now: a reopen recovers exactly the acknowledged state,
+				// torn tail (if the fault left one) dropped.
+				re, err := OpenRepository(dir)
+				if err != nil {
+					t.Fatalf("reopen after %s/%s: %v", site.name, fault.name, err)
+				}
+				if gotNames, gotRows := fingerprint(re); !equalStrings(gotNames, baseNames) || gotRows != baseRows {
+					t.Fatalf("crash recovery diverged: %v/%d, want %v/%d", gotNames, gotRows, baseNames, baseRows)
+				}
+				re.Close()
+
+				// Recover on the live store: with the fault gone it truncates
+				// the torn tail, probes the log, and lifts the degradation.
+				inj.ClearFaults()
+				if err := s.Recover(); err != nil {
+					t.Fatalf("Recover with fault cleared: %v", err)
+				}
+				if s.Degraded() != nil {
+					t.Fatal("Recover must lift the degradation")
+				}
+				if err := s.Put("post-recover", sampleMapping(2)); err != nil {
+					t.Fatalf("write after Recover: %v", err)
+				}
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+				re2, err := OpenRepository(dir)
+				if err != nil {
+					t.Fatalf("reopen after recover: %v", err)
+				}
+				defer re2.Close()
+				if !re2.Has("post-recover") || !re2.Has("base") {
+					t.Fatal("post-recovery write or baseline lost across restart")
+				}
+			})
+		}
+	}
+}
+
+// TestCrashMatrixRecoverRetry pins Recover's own failure handling: while
+// the fault persists Recover fails (typed, store stays degraded) and may be
+// retried; each retry starts from the freshest handle state.
+func TestCrashMatrixRecoverRetry(t *testing.T) {
+	dir := t.TempDir()
+	s, inj := openInjected(t, dir)
+	defer s.Close()
+	if err := s.Put("base", sampleMapping(2)); err != nil {
+		t.Fatal(err)
+	}
+	inj.Inject(faultfs.Rule{Op: faultfs.OpWrite, Path: "wal.jsonl", Err: syscall.ENOSPC, Sticky: true})
+	if err := s.Put("fail", sampleMapping(1)); err == nil {
+		t.Fatal("faulted put must fail")
+	}
+	// The probe write hits the same sticky fault: Recover fails, degraded
+	// stays set.
+	if err := s.Recover(); err == nil {
+		t.Fatal("Recover under a persisting fault must fail")
+	}
+	var serr *StorageError
+	if err := s.Recover(); !errors.As(err, &serr) {
+		t.Fatalf("retried Recover: want *StorageError, got %T %v", err, err)
+	}
+	if s.Degraded() == nil {
+		t.Fatal("failed Recover must leave the store degraded")
+	}
+	inj.ClearFaults()
+	if err := s.Recover(); err != nil {
+		t.Fatalf("Recover after fault cleared: %v", err)
+	}
+	if err := s.Put("after", sampleMapping(1)); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+func TestCrashMatrixCompaction(t *testing.T) {
+	cases := []struct {
+		name   string
+		rule   faultfs.Rule
+		wantOp string
+	}{
+		{"create", faultfs.Rule{Op: faultfs.OpCreate, Path: "snapshot-", Err: syscall.ENOSPC}, "snapshot-create"},
+		{"write", faultfs.Rule{Op: faultfs.OpWrite, Path: "snapshot-", Err: syscall.ENOSPC}, "snapshot-write"},
+		{"short-write", faultfs.Rule{Op: faultfs.OpWrite, Path: "snapshot-", Kind: faultfs.KindShortWrite}, "snapshot-write"},
+		{"sync", faultfs.Rule{Op: faultfs.OpSync, Path: "snapshot-", Err: syscall.EIO}, "snapshot-sync"},
+		{"close", faultfs.Rule{Op: faultfs.OpClose, Path: "snapshot-", Err: syscall.EIO}, "snapshot-close"},
+		{"rename", faultfs.Rule{Op: faultfs.OpRename, Path: "snapshot.jsonl", Err: syscall.EIO}, "snapshot-rename"},
+		{"torn-rename", faultfs.Rule{Op: faultfs.OpRename, Path: "snapshot.jsonl", Kind: faultfs.KindTornRename}, "snapshot-rename"},
+		// The rule is armed after the repository is open, so the first
+		// wal.jsonl open it sees is compaction's truncating reopen: this
+		// cell is the "crash after the snapshot rename, before the log
+		// truncate" schedule — the snapshot IS published and the
+		// untruncated log replays on top of it.
+		{"wal-truncate", faultfs.Rule{Op: faultfs.OpOpen, Path: "wal.jsonl", Err: syscall.EIO}, "wal-truncate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, inj := openInjected(t, dir)
+			defer s.Close()
+			for i := 0; i < 4; i++ {
+				if err := s.Put(fmt.Sprintf("m%d", i), sampleMapping(i+1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			baseNames, baseRows := fingerprint(s)
+
+			inj.Inject(tc.rule)
+			err := s.Compact()
+			if err == nil {
+				t.Fatal("faulted compaction must fail")
+			}
+			var serr *StorageError
+			if !errors.As(err, &serr) || serr.Op != tc.wantOp {
+				t.Fatalf("want *StorageError{Op: %s}, got %T %v", tc.wantOp, err, err)
+			}
+
+			// Compaction faults never degrade: the log holding every
+			// acknowledged write is intact, so writes keep working.
+			if s.Degraded() != nil {
+				t.Fatalf("compaction fault must not degrade the store: %v", s.Degraded())
+			}
+			if err := s.Put("after-fault", sampleMapping(2)); err != nil {
+				t.Fatalf("write after failed compaction: %v", err)
+			}
+
+			// No partial snapshot may be published or left behind: the tmp
+			// file is rolled back on every failure path.
+			tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+			if tc.wantOp != "wal-truncate" && len(tmps) != 0 {
+				t.Fatalf("failed compaction left tmp files: %v", tmps)
+			}
+
+			// Crash now: recovery must see the pre-compaction state plus the
+			// post-fault write — whether the snapshot was published (the
+			// wal-truncate cell) or not.
+			re, err := OpenRepository(dir)
+			if err != nil {
+				t.Fatalf("reopen after failed compaction: %v", err)
+			}
+			wantNames := append(append([]string{}, baseNames...), "after-fault")
+			if gotNames, gotRows := fingerprint(re); !equalStrings(gotNames, wantNames) || gotRows != baseRows+2 {
+				t.Fatalf("recovery diverged: %v/%d, want %v/%d", gotNames, gotRows, wantNames, baseRows+2)
+			}
+			re.Close()
+
+			// The fault gone, compaction succeeds and the state survives it.
+			inj.ClearFaults()
+			if err := s.Compact(); err != nil {
+				t.Fatalf("compaction after fault cleared: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re2, err := OpenRepository(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re2.Close()
+			if gotNames, gotRows := fingerprint(re2); !equalStrings(gotNames, wantNames) || gotRows != baseRows+2 {
+				t.Fatalf("post-compaction recovery diverged: %v/%d", gotNames, gotRows)
+			}
+		})
+	}
+}
+
+// TestWALTailRepairedOnOpen pins the torn-tail repair: opening a repository
+// whose log ends in a torn record truncates the torn bytes away, so a later
+// append starts on a record boundary instead of merging into the garbage —
+// which a subsequent replay would have had to reject as mid-file
+// corruption (real data loss from a mere crash artifact).
+func TestWALTailRepairedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("keep", sampleMapping(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walFile)
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"put","name":"torn","domain":"Pub`)
+	f.Close()
+
+	re, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatalf("open over a torn tail: %v", err)
+	}
+	if re.Has("torn") {
+		t.Fatal("torn record must not be applied")
+	}
+	// The repair must be physical: the torn bytes are gone from the file.
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "torn") {
+		t.Fatalf("torn bytes survived the open: %q", data)
+	}
+	// Append after the repair, then replay a third time: under tail-merge
+	// this reopen failed with mid-file corruption.
+	if err := re.Put("after", sampleMapping(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatalf("replay after post-repair append: %v", err)
+	}
+	defer re2.Close()
+	if !re2.Has("keep") || !re2.Has("after") || re2.Has("torn") {
+		t.Fatalf("recovered names = %v", re2.Names())
+	}
+}
+
+// TestRecoverTruncatesTornTail drives the same repair through the live
+// Recover path: a short write tears the log mid-record, Recover drops the
+// torn bytes and re-verifies, and the next replay sees a clean file.
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, inj := openInjected(t, dir)
+	defer s.Close()
+	if err := s.PutDelta("live.m", dblpPub, acmPub, model.SameMappingType,
+		[]mapping.Correspondence{{Domain: "a", Range: "b", Sim: 0.8}}); err != nil {
+		t.Fatal(err)
+	}
+	inj.Inject(faultfs.Rule{Op: faultfs.OpWrite, Path: "wal.jsonl", Kind: faultfs.KindShortWrite, N: 9})
+	if err := s.PutDelta("live.m", dblpPub, acmPub, model.SameMappingType,
+		[]mapping.Correspondence{{Domain: "c", Range: "d", Sim: 0.7}}); err == nil {
+		t.Fatal("short write must fail the delta")
+	}
+	walPath := filepath.Join(dir, walFile)
+	info, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := info.Size()
+	if err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// Recover truncated the 9 torn bytes and appended its no-op probe; the
+	// file must again end on a record boundary.
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) >= torn+1 {
+		// 9 torn bytes out, ~15-byte probe in; the point is the torn prefix
+		// is gone, checked structurally below.
+		t.Logf("wal grew from %d to %d bytes across Recover", torn, len(data))
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Fatal("recovered wal must end on a record boundary")
+	}
+	if err := s.PutDelta("live.m", dblpPub, acmPub, model.SameMappingType,
+		[]mapping.Correspondence{{Domain: "e", Range: "f", Sim: 0.6}}); err != nil {
+		t.Fatalf("delta after recovery: %v", err)
+	}
+	re, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	m, ok := re.Get("live.m")
+	if !ok || m.Len() != 2 {
+		t.Fatalf("recovered rows = %v, want the 2 acknowledged deltas", m)
+	}
+	if m.DomainCount("c") != 0 {
+		t.Fatal("unacknowledged (torn) delta resurrected by replay")
+	}
+}
+
+func TestRecoverOnHealthyStores(t *testing.T) {
+	if err := NewRepository().Recover(); err != nil {
+		t.Errorf("Recover on a healthy in-memory store: %v", err)
+	}
+	dir := t.TempDir()
+	s, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Recover(); err != nil {
+		t.Errorf("Recover on a healthy repository: %v", err)
+	}
+}
+
+// FuzzCrashSchedule is the chaos half of the matrix: a seeded pseudo-random
+// fault schedule over a seeded delta workload with aggressive
+// auto-compaction, interleaved Recover attempts and manual compactions.
+// The properties: the store never panics or silently drops an acknowledged
+// write; once the chaos stops, Recover always succeeds; and a crash-reopen
+// recovers exactly the acknowledged rows (AddMax of every delta whose
+// PutDelta returned nil) — nothing lost, nothing invented.
+func FuzzCrashSchedule(f *testing.F) {
+	f.Add(int64(1), uint8(3))
+	f.Add(int64(42), uint8(2))
+	f.Add(int64(7), uint8(5))
+	f.Add(int64(-9000), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, every uint8) {
+		dir := t.TempDir()
+		s, inj := openInjected(t, dir)
+		defer s.Close()
+		s.SetAutoCompact(2, 8) // compact constantly, so chaos hits that path too
+		inj.SeedSchedule(seed, 2+int(every%6))
+
+		shadow := map[[2]string]float64{} // acknowledged AddMax state
+		rnd := rand.New(rand.NewSource(seed))
+		for i := 0; i < 120; i++ {
+			d := fmt.Sprintf("d%d", rnd.Intn(20))
+			r := fmt.Sprintf("r%d", rnd.Intn(20))
+			sim := float64(1+rnd.Intn(99)) / 100
+			err := s.PutDelta("live.chaos", dblpPub, acmPub, model.SameMappingType,
+				[]mapping.Correspondence{{Domain: model.ID(d), Range: model.ID(r), Sim: sim}})
+			if err == nil {
+				k := [2]string{d, r}
+				if sim > shadow[k] {
+					shadow[k] = sim
+				}
+			} else {
+				if s.Degraded() == nil {
+					t.Fatalf("failed delta without degradation: %v", err)
+				}
+				_ = s.Recover() // may fail under chaos; retried on a later round
+			}
+			if i%17 == 16 {
+				_ = s.Compact() // may fail under chaos (or while degraded); must not wedge
+			}
+		}
+
+		// Chaos off: recovery must now succeed and the store must be
+		// writable again.
+		inj.ClearFaults()
+		if s.Degraded() != nil {
+			if err := s.Recover(); err != nil {
+				t.Fatalf("Recover with chaos stopped: %v", err)
+			}
+		}
+		if err := s.PutDelta("live.chaos", dblpPub, acmPub, model.SameMappingType,
+			[]mapping.Correspondence{{Domain: "final", Range: "row", Sim: 1}}); err != nil {
+			t.Fatalf("write after chaos: %v", err)
+		}
+		shadow[[2]string{"final", "row"}] = 1
+
+		// Crash: reopen the directory without closing the writer.
+		re, err := OpenRepository(dir)
+		if err != nil {
+			t.Fatalf("crash recovery failed: %v", err)
+		}
+		defer re.Close()
+		m, ok := re.Get("live.chaos")
+		if !ok {
+			t.Fatal("chaos mapping lost")
+		}
+		if m.Len() != len(shadow) {
+			t.Fatalf("recovered %d rows, acknowledged %d", m.Len(), len(shadow))
+		}
+		for k, want := range shadow {
+			if got, ok := m.Sim(model.ID(k[0]), model.ID(k[1])); !ok || got != want {
+				t.Fatalf("row (%s,%s): recovered %v (ok=%v), acknowledged %v", k[0], k[1], got, ok, want)
+			}
+		}
+	})
+}

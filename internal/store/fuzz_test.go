@@ -66,6 +66,8 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add([]byte(`{"op":"put","name":"m","domain":"publication@A","range":"publication@B","type":"same","rows":[{"d":"x","r":"y","s":0.5}]}` + "\n"))
 	f.Add([]byte(`{"op":"add","name":"m","domain":"publication@A","range":"publication@B","type":"same","rows":[{"d":"x","r":"y","s":1}]}` + "\n"))
 	f.Add([]byte(`{"op":"del","name":"m"}` + "\n"))
+	f.Add([]byte(`{"op":"noop"}` + "\n")) // Recover's write-path probe
+	f.Add([]byte(`{"op":"noop"}` + "\n" + `{"op":"put","name":"m","domain":"publication@A","range":"publication@B","type":"same","rows":[{"d":"x","r":"y","s":0.5}]}` + "\n"))
 	f.Add([]byte(`{"op":"frobnicate","name":"m"}` + "\n"))                                               // unknown op
 	f.Add([]byte(`{"op":"put","name":"m","domain":"not-an-lds"}` + "\n"))                                // bad LDS
 	f.Add([]byte(`{"op":"put","na`))                                                                     // torn first line

@@ -23,4 +23,8 @@ var (
 		"File syncs issued (snapshot commit points).")
 	storeSnapshotBytes = obs.Default.Gauge("moma_store_snapshot_bytes",
 		"Size in bytes of the last snapshot written by compaction.")
+	storeDegraded = obs.Default.Gauge("moma_store_degraded",
+		"1 while the store is in read-only degraded mode, 0 while healthy.")
+	storeDegradations = obs.Default.Counter("moma_store_degradations_total",
+		"Transitions into read-only degraded mode (write-path I/O faults).")
 )

@@ -15,11 +15,13 @@ package store
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/mapping"
 	"repro/internal/model"
 )
@@ -38,9 +40,16 @@ type Store struct {
 	// reference keep whatever dictionary they were built with.
 	dict *model.IDDict
 
-	// wal and dir are set for persistent stores.
-	wal *walWriter
-	dir string
+	// wal, dir and fsys are set for persistent stores; fsys is the
+	// filesystem seam every WAL/snapshot/compaction operation goes through
+	// (faultfs.OS in production, an injector under test).
+	wal  *walWriter
+	dir  string
+	fsys faultfs.FS
+
+	// degraded is the *StorageError that flipped the store read-only, nil
+	// while healthy. See fault.go (Degraded, Recover).
+	degraded error // guarded by mu
 
 	// Auto-compaction state (persistent stores): walRows counts the
 	// correspondence rows appended to the log since open/compact, snapRows
@@ -158,6 +167,18 @@ func (s *Store) Put(name string, m *mapping.Mapping) error {
 	defer func() { storePutSeconds.Observe(time.Since(t0).Seconds()) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		return err
+	}
+	// Log before mutating: a failed append leaves neither memory nor disk
+	// with the mapping, so the error truly means "not recorded" — and the
+	// append failure flips the store read-only (the log can no longer make
+	// acknowledgements durable) until Recover re-verifies it.
+	if s.wal != nil {
+		if err := s.wal.logPut(name, m); err != nil {
+			return s.degradeLocked("wal-append", filepath.Join(s.dir, walFile), err)
+		}
+	}
 	if _, exists := s.maps[name]; !exists {
 		s.order = append(s.order, name)
 	} else {
@@ -165,9 +186,6 @@ func (s *Store) Put(name string, m *mapping.Mapping) error {
 	}
 	s.maps[name] = m
 	if s.wal != nil {
-		if err := s.wal.logPut(name, m); err != nil {
-			return fmt.Errorf("store: wal append: %w", err)
-		}
 		s.noteWALRowsLocked(m.Len())
 	}
 	s.evictLocked()
@@ -208,13 +226,18 @@ func (s *Store) PutDelta(name string, dom, rng model.LDS, mtype model.MappingTyp
 	defer func() { storeDeltaSeconds.Observe(time.Since(t0).Seconds()) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		return err
+	}
 	m, exists := s.maps[name]
 	if exists {
 		dom, rng, mtype = m.Domain(), m.Range(), m.Type()
 	}
 	// Log before mutating: a failed append then leaves neither memory nor
 	// disk with the rows, so the caller's error truly means "not recorded"
-	// and a later crash replay cannot disagree with what was served.
+	// and a later crash replay cannot disagree with what was served. The
+	// failure also degrades the store: acknowledged writes can no longer be
+	// made durable until Recover re-verifies the log.
 	if s.wal != nil {
 		rec := walRecord{
 			Op:     "add",
@@ -227,7 +250,7 @@ func (s *Store) PutDelta(name string, dom, rng model.LDS, mtype model.MappingTyp
 			rec.Rows = append(rec.Rows, corrRecord{D: string(c.Domain), R: string(c.Range), S: c.Sim})
 		}
 		if err := s.wal.append(rec); err != nil {
-			return fmt.Errorf("store: wal append: %w", err)
+			return s.degradeLocked("wal-append", filepath.Join(s.dir, walFile), err)
 		}
 	}
 	if !exists {
@@ -260,8 +283,12 @@ func (s *Store) evictLocked() {
 		s.order = s.order[1:]
 		delete(s.maps, victim)
 		if s.wal != nil {
-			// Best-effort: cache stores are normally not persistent.
-			_ = s.wal.logDelete(victim)
+			// Eviction must proceed regardless (it bounds memory), but a
+			// failed delete record means replay would resurrect the victim —
+			// that is a durability fault, so the store degrades.
+			if err := s.wal.logDelete(victim); err != nil {
+				_ = s.degradeLocked("wal-append", filepath.Join(s.dir, walFile), err)
+			}
 		}
 	}
 }
@@ -293,12 +320,22 @@ func (s *Store) MustGet(name string) (*mapping.Mapping, error) {
 	return nil, fmt.Errorf("store: no mapping %q among %d stored mappings", name, len(names))
 }
 
-// Delete removes the named mapping; it reports whether it existed.
-func (s *Store) Delete(name string) bool {
+// Delete removes the named mapping; it reports whether it existed. Like
+// every mutation it logs before touching memory, degrades the store on an
+// append failure, and is rejected while degraded.
+func (s *Store) Delete(name string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		return false, err
+	}
 	if _, ok := s.maps[name]; !ok {
-		return false
+		return false, nil
+	}
+	if s.wal != nil {
+		if err := s.wal.logDelete(name); err != nil {
+			return false, s.degradeLocked("wal-append", filepath.Join(s.dir, walFile), err)
+		}
 	}
 	delete(s.maps, name)
 	for i, n := range s.order {
@@ -308,10 +345,9 @@ func (s *Store) Delete(name string) bool {
 		}
 	}
 	if s.wal != nil {
-		_ = s.wal.logDelete(name)
 		s.noteWALRowsLocked(1)
 	}
-	return true
+	return true, nil
 }
 
 // Has reports whether a mapping is stored under name.
@@ -356,17 +392,28 @@ func (s *Store) SameMappingsBetween(a, b model.LDS) []string {
 	return out
 }
 
-// Clear removes all mappings.
-func (s *Store) Clear() {
+// Clear removes all mappings. On a persistent store each removal is logged
+// first; an append failure degrades the store and stops the clear with the
+// already-logged prefix removed (memory and log stay in agreement).
+func (s *Store) Clear() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		return err
+	}
+	cleared := 0
 	for _, n := range s.order {
 		if s.wal != nil {
-			_ = s.wal.logDelete(n)
+			if err := s.wal.logDelete(n); err != nil {
+				s.order = s.order[cleared:]
+				return s.degradeLocked("wal-append", filepath.Join(s.dir, walFile), err)
+			}
 		}
 		delete(s.maps, n)
+		cleared++
 	}
 	s.order = s.order[:0]
+	return nil
 }
 
 // Stats summarizes the store for reports.

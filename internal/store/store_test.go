@@ -39,11 +39,11 @@ func TestPutGetDelete(t *testing.T) {
 	if s.Len() != 1 {
 		t.Errorf("Len = %d", s.Len())
 	}
-	if !s.Delete("pubs") {
-		t.Error("Delete should report true")
+	if ok, err := s.Delete("pubs"); err != nil || !ok {
+		t.Errorf("Delete = %v, %v; should report true", ok, err)
 	}
-	if s.Delete("pubs") {
-		t.Error("second Delete should report false")
+	if ok, err := s.Delete("pubs"); err != nil || ok {
+		t.Errorf("second Delete = %v, %v; should report false", ok, err)
 	}
 	if s.Len() != 0 {
 		t.Error("store should be empty")

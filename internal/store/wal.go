@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/mapping"
 	"repro/internal/model"
 )
@@ -18,6 +19,13 @@ import (
 // snapshot is loaded and the log replayed; Compact folds the log into a
 // fresh snapshot. JSON-lines records keep the log append-safe across
 // process restarts (unlike a single gob stream).
+//
+// All filesystem access goes through a faultfs.FS seam: production stores
+// use the OS passthrough, tests and chaos harnesses inject scripted
+// failures (OpenRepositoryFS). A record is durable if and only if it is
+// newline-terminated and parseable on disk — replay drops a torn tail, and
+// open repairs the log file to that durable prefix before appending, so a
+// crash mid-append can never merge the next record into torn garbage.
 
 const (
 	snapshotFile = "snapshot.jsonl"
@@ -26,10 +34,10 @@ const (
 
 // walRecord is one persisted operation. "put" replaces a whole mapping,
 // "add" merges delta rows (AddMax) into an existing or fresh mapping, "del"
-// removes one.
+// removes one, "noop" does nothing (Recover's write-path probe).
 type walRecord struct {
-	Op     string       `json:"op"` // "put", "add" or "del"
-	Name   string       `json:"name"`
+	Op     string       `json:"op"` // "put", "add", "del" or "noop"
+	Name   string       `json:"name,omitempty"`
 	Domain string       `json:"domain,omitempty"`
 	Range  string       `json:"range,omitempty"`
 	Type   string       `json:"type,omitempty"`
@@ -44,8 +52,12 @@ type corrRecord struct {
 }
 
 type walWriter struct {
-	f *os.File
+	f faultfs.File
 	w *bufio.Writer
+	// durable is the byte offset of the end of the last fully flushed
+	// record: everything at or past it is the torn tail of a failed append,
+	// and Recover truncates the file back to it.
+	durable int64
 }
 
 func (w *walWriter) append(rec walRecord) error {
@@ -62,6 +74,7 @@ func (w *walWriter) append(rec walRecord) error {
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
+	w.durable += int64(len(data)) + 1
 	storeWALBytes.Add(uint64(len(data)) + 1)
 	storeWALRecords.Inc()
 	return nil
@@ -80,6 +93,11 @@ func (w *walWriter) logDelete(name string) error {
 // and a close failure can surface a deferred write-back error — the flush
 // error wins when both fail, but neither is dropped.
 func (w *walWriter) close() error {
+	if w.f == nil {
+		// A degraded store whose Recover got as far as dropping the wounded
+		// fd: nothing left to flush or close.
+		return nil
+	}
 	flushErr := w.w.Flush()
 	closeErr := w.f.Close()
 	if flushErr != nil {
@@ -134,115 +152,182 @@ func (s *Store) mappingFromRecord(rec walRecord) (*mapping.Mapping, error) {
 // vocabulary instead of growing the process-global model.IDs with every
 // mapping ever persisted. Auto-compaction is on at the documented defaults
 // (SetAutoCompact).
-//
-//moma:guardedby-ok construct-then-publish: the store is not shared until OpenRepository returns
 func OpenRepository(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenRepositoryFS(dir, faultfs.OS{})
+}
+
+// OpenRepositoryFS is OpenRepository with every filesystem operation routed
+// through fsys — the injection seam the crash matrix and chaos harness use
+// (faultfs.Injector); nil means the OS passthrough. Before the log is
+// opened for appending, any torn tail (unterminated or unparseable final
+// record — the residue of a crash mid-append) is truncated away so later
+// appends can never merge into it.
+//
+//moma:guardedby-ok construct-then-publish: the store is not shared until OpenRepositoryFS returns
+func OpenRepositoryFS(dir string, fsys faultfs.FS) (*Store, error) {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
 	s := NewRepository()
 	s.dict = model.NewIDDict()
+	s.fsys = fsys
 	s.acRatio = DefaultAutoCompactRatio
 	s.acMinRows = DefaultAutoCompactMinRows
-	snapRows, err := s.replayFile(filepath.Join(dir, snapshotFile))
+	snap, err := s.replayFile(filepath.Join(dir, snapshotFile))
 	if err != nil {
 		return nil, err
 	}
-	walRows, err := s.replayFile(filepath.Join(dir, walFile))
+	walPath := filepath.Join(dir, walFile)
+	wal, err := s.replayFile(walPath)
 	if err != nil {
 		return nil, err
 	}
-	s.snapRows, s.walRows = snapRows, walRows
-	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	s.snapRows, s.walRows = snap.rows, wal.rows
+	if wal.durable < wal.size {
+		// Torn tail repair: drop the bytes of the record(s) that never
+		// became durable, so the next append starts on a record boundary.
+		if err := fsys.Truncate(walPath, wal.durable); err != nil {
+			return nil, &StorageError{Op: "wal-truncate", Path: walPath, Err: err}
+		}
+	}
+	f, err := fsys.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open wal: %w", err)
 	}
-	s.wal = &walWriter{f: f, w: bufio.NewWriter(f)}
+	s.wal = &walWriter{f: f, w: bufio.NewWriter(f), durable: wal.durable}
 	s.dir = dir
 	return s, nil
 }
 
-// replayFile applies all records of a snapshot or log file, returning the
-// number of correspondence rows replayed; a missing file is fine. A
-// trailing partial line (torn write) is tolerated on the last record only.
+// replayState reports one replayed file: applied correspondence rows, the
+// byte offset just past the last durable (newline-terminated, parseable,
+// applied) record, and the file size scanned.
+type replayState struct {
+	rows    int
+	durable int64
+	size    int64
+}
+
+// replayFile applies all records of a snapshot or log file; a missing file
+// is fine. A corrupt or unterminated trailing record (torn write) is
+// tolerated — dropped without being applied — but corruption followed by
+// further data is an error: that is real damage, not a crash artifact.
 //
-//moma:guardedby-ok called only from OpenRepository, before the store is published to any other goroutine
-func (s *Store) replayFile(path string) (int, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return 0, nil
-	}
+//moma:guardedby-ok called only from OpenRepositoryFS, before the store is published to any other goroutine
+func (s *Store) replayFile(path string) (replayState, error) {
+	var st replayState
+	f, err := s.fsys.Open(path)
 	if err != nil {
-		return 0, fmt.Errorf("store: open %s: %w", path, err)
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return st, fmt.Errorf("store: open %s: %w", path, err)
 	}
 	defer f.Close() //moma:errsink-ok read-only replay fd, nothing buffered to lose
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	r := bufio.NewReaderSize(f, 1<<20)
 	lineNo := 0
-	rows := 0
 	var pendingErr error
-	for sc.Scan() {
-		lineNo++
-		if pendingErr != nil {
-			// A corrupt record followed by valid data is real corruption.
-			return rows, pendingErr
+	for {
+		line, readErr := r.ReadBytes('\n')
+		if readErr != nil && readErr != io.EOF {
+			return st, fmt.Errorf("store: scan %s: %w", path, readErr)
 		}
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var rec walRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			pendingErr = fmt.Errorf("store: %s line %d: %w", path, lineNo, err)
-			continue
-		}
-		switch rec.Op {
-		case "put":
-			m, err := s.mappingFromRecord(rec)
-			if err != nil {
-				return rows, err
+		terminated := len(line) > 0 && line[len(line)-1] == '\n'
+		st.size += int64(len(line))
+		if len(line) > 0 {
+			lineNo++
+			if pendingErr != nil {
+				// A corrupt record followed by more data is real corruption.
+				return st, pendingErr
 			}
-			if _, exists := s.maps[rec.Name]; !exists {
-				s.order = append(s.order, rec.Name)
+			body := line
+			if terminated {
+				body = line[:len(line)-1]
+			}
+			switch {
+			case len(body) == 0:
+				// Blank line: tolerated, and safe to append after.
+				st.durable = st.size
+			case !terminated:
+				// An unterminated final record never finished its append —
+				// the flush that would have acknowledged it includes the
+				// newline — so it is torn even if it happens to parse.
+				pendingErr = fmt.Errorf("store: %s line %d: torn unterminated record", path, lineNo)
+			default:
+				if rows, err := s.applyRecord(path, lineNo, body); err != nil {
+					pendingErr = err
+				} else {
+					st.rows += rows
+					st.durable = st.size
+				}
+			}
+		}
+		if readErr == io.EOF {
+			// pendingErr on the very last line is a torn write: dropped, the
+			// durable prefix before it intact.
+			return st, nil
+		}
+	}
+}
+
+// applyRecord parses and applies one replayed line, returning the number
+// of correspondence rows it contributed (what auto-compaction accounting
+// counts). Unparseable lines and unknown ops return an error the caller
+// treats as torn-if-final.
+//
+//moma:guardedby-ok called only during OpenRepositoryFS replay, before the store is published
+func (s *Store) applyRecord(path string, lineNo int, body []byte) (int, error) {
+	var rec walRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return 0, fmt.Errorf("store: %s line %d: %w", path, lineNo, err)
+	}
+	switch rec.Op {
+	case "put":
+		m, err := s.mappingFromRecord(rec)
+		if err != nil {
+			return 0, err
+		}
+		if _, exists := s.maps[rec.Name]; !exists {
+			s.order = append(s.order, rec.Name)
+		}
+		s.maps[rec.Name] = m
+		return len(rec.Rows), nil
+	case "add":
+		m, exists := s.maps[rec.Name]
+		if !exists {
+			empty := rec
+			empty.Rows = nil
+			var err error
+			if m, err = s.mappingFromRecord(empty); err != nil {
+				return 0, err
 			}
 			s.maps[rec.Name] = m
-			rows += len(rec.Rows)
-		case "add":
-			m, exists := s.maps[rec.Name]
-			if !exists {
-				empty := rec
-				empty.Rows = nil
-				if m, err = s.mappingFromRecord(empty); err != nil {
-					return rows, err
-				}
-				s.maps[rec.Name] = m
-				s.order = append(s.order, rec.Name)
-			}
-			for _, row := range rec.Rows {
-				m.AddMax(model.ID(row.D), model.ID(row.R), row.S)
-			}
-			rows += len(rec.Rows)
-		case "del":
-			if _, ok := s.maps[rec.Name]; ok {
-				delete(s.maps, rec.Name)
-				for i, n := range s.order {
-					if n == rec.Name {
-						s.order = append(s.order[:i], s.order[i+1:]...)
-						break
-					}
-				}
-			}
-			rows++
-		default:
-			pendingErr = fmt.Errorf("store: %s line %d: unknown op %q", path, lineNo, rec.Op)
+			s.order = append(s.order, rec.Name)
 		}
+		for _, row := range rec.Rows {
+			m.AddMax(model.ID(row.D), model.ID(row.R), row.S)
+		}
+		return len(rec.Rows), nil
+	case "del":
+		if _, ok := s.maps[rec.Name]; ok {
+			delete(s.maps, rec.Name)
+			for i, n := range s.order {
+				if n == rec.Name {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
+			}
+		}
+		return 1, nil
+	case "noop":
+		// Recover's write-path probe: durable, applies nothing.
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("store: %s line %d: unknown op %q", path, lineNo, rec.Op)
 	}
-	if err := sc.Err(); err != nil {
-		return rows, fmt.Errorf("store: scan %s: %w", path, err)
-	}
-	// pendingErr on the very last line is treated as a torn write and
-	// dropped silently; the data before it is intact.
-	return rows, nil
 }
 
 // Compact folds the current state into a fresh snapshot and truncates the
@@ -250,11 +335,18 @@ func (s *Store) replayFile(path string) (int, error) {
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		// A degraded store's log handle is wounded; Recover first.
+		return err
+	}
 	return s.compactLocked()
 }
 
 // compactLocked is Compact under a held write lock — auto-compaction calls
-// it from inside logged writes.
+// it from inside logged writes. Every failure path removes the tmp file
+// and leaves the current snapshot, log and writer untouched: a partial
+// snapshot is never published (the tmp is fsynced before the atomic
+// rename), and a failed compaction never wedges subsequent writes.
 //
 //moma:locked mu
 func (s *Store) compactLocked() error {
@@ -262,41 +354,42 @@ func (s *Store) compactLocked() error {
 		return fmt.Errorf("store: Compact requires a persistent repository")
 	}
 	t0 := time.Now()
-	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	snapPath := filepath.Join(s.dir, snapshotFile)
+	tmp, err := s.fsys.CreateTemp(s.dir, "snapshot-*.tmp")
 	if err != nil {
-		return err
+		return &StorageError{Op: "snapshot-create", Path: snapPath, Err: err}
 	}
 	cw := &countingWriter{w: tmp}
 	w := bufio.NewWriter(cw)
 	enc := json.NewEncoder(w)
 	for _, name := range s.order {
 		if err := enc.Encode(putRecord(name, s.maps[name])); err != nil {
-			tmp.Close() //moma:errsink-ok error path; the encode error wins and the tmp file is removed
-			os.Remove(tmp.Name())
-			return err
+			tmp.Close()               //moma:errsink-ok error path; the encode error wins and the tmp file is removed
+			s.fsys.Remove(tmp.Name()) //moma:errsink-ok best-effort rollback of an unpublished tmp file
+			return &StorageError{Op: "snapshot-write", Path: tmp.Name(), Err: err}
 		}
 	}
 	if err := w.Flush(); err != nil {
-		tmp.Close() //moma:errsink-ok error path; the flush error wins and the tmp file is removed
-		os.Remove(tmp.Name())
-		return err
+		tmp.Close()               //moma:errsink-ok error path; the flush error wins and the tmp file is removed
+		s.fsys.Remove(tmp.Name()) //moma:errsink-ok best-effort rollback of an unpublished tmp file
+		return &StorageError{Op: "snapshot-write", Path: tmp.Name(), Err: err}
 	}
 	// Sync before the rename: the rename is the commit point, and a crash
 	// between rename and write-back would otherwise publish a snapshot whose
 	// bytes never reached the disk.
 	if err := tmp.Sync(); err != nil {
-		tmp.Close() //moma:errsink-ok error path; the sync error wins and the tmp file is removed
-		os.Remove(tmp.Name())
-		return err
+		tmp.Close()               //moma:errsink-ok error path; the sync error wins and the tmp file is removed
+		s.fsys.Remove(tmp.Name()) //moma:errsink-ok best-effort rollback of an unpublished tmp file
+		return &StorageError{Op: "snapshot-sync", Path: tmp.Name(), Err: err}
 	}
 	storeFsyncs.Inc()
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
+		s.fsys.Remove(tmp.Name()) //moma:errsink-ok best-effort rollback of an unpublished tmp file
+		return &StorageError{Op: "snapshot-close", Path: tmp.Name(), Err: err}
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapshotFile)); err != nil {
-		os.Remove(tmp.Name())
-		return err
+	if err := s.fsys.Rename(tmp.Name(), snapPath); err != nil {
+		s.fsys.Remove(tmp.Name()) //moma:errsink-ok best-effort rollback of an unpublished tmp file
+		return &StorageError{Op: "snapshot-rename", Path: snapPath, Err: err}
 	}
 	// Swap in a truncated log: flush the old writer, open the new one, and
 	// only then drop the old fd. Every failure path before the swap leaves
@@ -304,12 +397,13 @@ func (s *Store) compactLocked() error {
 	// on any logged write — never wedges subsequent writes; the snapshot
 	// just renamed is a superset of the surviving log, and replaying both
 	// in order converges to the same state.
+	walPath := filepath.Join(s.dir, walFile)
 	if err := s.wal.w.Flush(); err != nil {
-		return err
+		return &StorageError{Op: "wal-flush", Path: walPath, Err: err}
 	}
-	f, err := os.OpenFile(filepath.Join(s.dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := s.fsys.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return &StorageError{Op: "wal-truncate", Path: walPath, Err: err}
 	}
 	_ = s.wal.f.Close() //moma:errsink-ok old fd already flushed above; the truncated file replaces it
 	s.wal = &walWriter{f: f, w: bufio.NewWriter(f)}

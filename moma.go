@@ -160,6 +160,40 @@
 // /debug/pprof/* and /debug/vars; moma-load scrapes /metrics before and
 // after a run and prints the server-side per-stage latency shares.
 //
+// # Robustness
+//
+// The persistence and serving layers are built to a failure taxonomy, and
+// internal/faultfs exists to exercise every branch of it: the repository
+// store talks to disk through a tiny filesystem seam (faultfs.FS, with
+// faultfs.OS the zero-cost passthrough), and faultfs.Injector scripts
+// failures through that seam — error-after-N, short writes that really
+// leave the prefix on disk, byte-budget exhaustion (the disk-full drama in
+// miniature), torn renames, and seeded pseudo-random chaos schedules.
+//
+// Storage failures are typed (store.StorageError names the op and path)
+// and divide by what they threaten. A failed WAL append means new writes
+// cannot be made durable: the store enters degraded mode — acknowledged
+// state stays readable, mutations are rejected with store.ErrDegraded —
+// until Recover truncates the log to its durable prefix and verifies the
+// disk accepts appends again. A failed compaction threatens nothing (the
+// triggering write is already in the log), so it never degrades: every
+// exit path leaves the store on a consistent snapshot+log pair whose
+// replay converges to the same state. Crash recovery tolerates exactly one
+// torn final record and repairs it on open — physically truncating the
+// tail so a later append can never merge acknowledged bytes with garbage.
+// The crash matrix (internal/store/crash_test.go) walks fault × site
+// cells and a seeded-chaos fuzzer asserting one property throughout:
+// state after crash-and-reopen equals acknowledged state, exactly.
+//
+// The serving layer assumes overload and handler bugs are normal weather:
+// admission is capped (excess shed with 429 + Retry-After, never queued),
+// requests carry deadlines and body caps, panics are contained to a 500,
+// and /readyz — distinct from /healthz — reports draining and degraded
+// states so load balancers stop sending traffic the process would reject.
+// moma-load mirrors the contract with capped-exponential-backoff retries.
+// Defaults live in serve.Options; cmd/moma-serve exposes them as flags,
+// plus -fault-script to run chaos drills against a live server.
+//
 // # Repo invariants
 //
 // Seven cross-cutting invariants hold everywhere in this tree, and

@@ -44,6 +44,18 @@ func NewSystem() *System {
 	return newSystem(store.NewRepository())
 }
 
+// NewSystemWithRepository returns a system over a caller-built repository —
+// one opened through store.OpenRepositoryFS with a fault injector
+// (cmd/moma-serve's -fault-script), custom auto-compaction settings, or any
+// other non-default store configuration. A nil repo falls back to a fresh
+// in-memory repository.
+func NewSystemWithRepository(repo *Store) *System {
+	if repo == nil {
+		repo = store.NewRepository()
+	}
+	return newSystem(repo)
+}
+
 // OpenSystem returns a system whose repository persists under dir (write-
 // ahead log plus snapshot; see Store.Compact).
 func OpenSystem(dir string) (*System, error) {
