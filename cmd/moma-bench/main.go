@@ -10,9 +10,12 @@
 // At paper scale the dataset matches Table 1 exactly (DBLP 2616
 // publications, ACM 2294, GS 64263); the full run takes a couple of
 // minutes. -only restricts the run to a comma-separated list of experiment
-// IDs. -workers caps the scoring parallelism of the streaming match
-// pipeline (matchers default their worker count to GOMAXPROCS), which is
-// useful for comparing sequential and parallel runs on the same hardware.
+// IDs. -workers caps GOMAXPROCS and thereby both the scoring parallelism
+// of the streaming match pipeline and the worker teams of the parallel
+// mapping operators (matchers and operators default their worker count to
+// GOMAXPROCS), which is useful for comparing sequential and parallel runs
+// on the same hardware — operator outputs are bit-identical at every
+// worker count, so the tables must not change with -workers.
 package main
 
 import (
@@ -31,7 +34,7 @@ func main() {
 	scale := flag.String("scale", "paper", "dataset scale: paper or small")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. \"Table 2,Figure 9\")")
 	seed := flag.Int64("seed", 0, "override the dataset seed (0 keeps the default)")
-	workers := flag.Int("workers", 0, "cap GOMAXPROCS and thereby the default scoring parallelism (0 = all cores, clamped to the core count)")
+	workers := flag.Int("workers", 0, "cap GOMAXPROCS and thereby the default parallelism of matchers and mapping operators (0 = all cores, clamped to the core count)")
 	flag.Parse()
 
 	if *workers > 0 {

@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	moma-benchcmp -old base.txt -new pr.txt [-threshold 0.20] [-alloc-floor 0]
+//	moma-benchcmp -old base.txt -new pr.txt [-threshold 0.20] [-alloc-floor 0] [-split-cpu]
 //
 // Both files may contain multiple runs of each benchmark (-count N); the
-// per-benchmark median is compared. The exit status is 1 when any
+// per-benchmark median is compared. By default the trailing -N GOMAXPROCS
+// marker is stripped, so runs recorded at different (single) core counts
+// still line up; -split-cpu keeps the marker, so a `-cpu 1,8` run gates
+// each core count as its own column — the single-core variant catching
+// parallelization overhead and the multi-core variant catching lost
+// speedup. The exit status is 1 when any
 // benchmark present in both files regressed past the threshold on ns/op —
 // or, when both files carry -benchmem columns, on B/op or allocs/op.
 // Each metric gates on the same rule: the increase must exceed both the
@@ -38,20 +43,22 @@ type sample struct {
 	hasAllocs   bool
 }
 
-// parseFile extracts benchmark samples keyed by benchmark name (CPU suffix
-// stripped, so Benchmark/sub-8 and Benchmark/sub-4 compare).
-func parseFile(path string) (map[string][]sample, []string, error) {
+// parseFile extracts benchmark samples keyed by benchmark name. The CPU
+// suffix is stripped unless splitCPU is set, so by default
+// Benchmark/sub-8 and Benchmark/sub-4 compare; with splitCPU each
+// GOMAXPROCS variant keys separately.
+func parseFile(path string, splitCPU bool) (map[string][]sample, []string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer f.Close() //moma:errsink-ok read-only fd, contents already parsed
-	return parse(f)
+	return parse(f, splitCPU)
 }
 
 // parse reads `go test -bench` output: lines that don't look like benchmark
 // results (headers, PASS/ok trailers, garbage) are skipped silently.
-func parse(r io.Reader) (map[string][]sample, []string, error) {
+func parse(r io.Reader, splitCPU bool) (map[string][]sample, []string, error) {
 	out := make(map[string][]sample)
 	var order []string
 	sc := bufio.NewScanner(r)
@@ -61,7 +68,10 @@ func parse(r io.Reader) (map[string][]sample, []string, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		name := stripCPUSuffix(fields[0])
+		name := fields[0]
+		if !splitCPU {
+			name = stripCPUSuffix(name)
+		}
 		var s sample
 		ok := false
 		for i := 2; i+1 < len(fields); i += 2 {
@@ -207,17 +217,18 @@ func main() {
 	newPath := flag.String("new", "", "candidate benchmark output")
 	threshold := flag.Float64("threshold", 0.20, "relative regression on ns/op, B/op or allocs/op that fails the compare")
 	allocFloor := flag.Float64("alloc-floor", 0, "absolute allocs/op increase always tolerated (0 fails a zero-alloc benchmark gaining its first alloc)")
+	splitCPU := flag.Bool("split-cpu", false, "keep the -N GOMAXPROCS suffix so each -cpu variant gates separately")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: moma-benchcmp -old base.txt -new pr.txt [-threshold 0.20] [-alloc-floor 0]")
+		fmt.Fprintln(os.Stderr, "usage: moma-benchcmp -old base.txt -new pr.txt [-threshold 0.20] [-alloc-floor 0] [-split-cpu]")
 		os.Exit(2)
 	}
-	oldRuns, oldOrder, err := parseFile(*oldPath)
+	oldRuns, oldOrder, err := parseFile(*oldPath, *splitCPU)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "moma-benchcmp: %v\n", err)
 		os.Exit(2)
 	}
-	newRuns, newOrder, err := parseFile(*newPath)
+	newRuns, newOrder, err := parseFile(*newPath, *splitCPU)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "moma-benchcmp: %v\n", err)
 		os.Exit(2)

@@ -20,7 +20,7 @@ func TestParseSkipsMalformedLines(t *testing.T) {
 		"",
 		"garbage line with words only",
 	}, "\n")
-	runs, order, err := parse(strings.NewReader(input))
+	runs, order, err := parse(strings.NewReader(input), false)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -39,7 +39,7 @@ func TestParseSkipsMalformedLines(t *testing.T) {
 
 func TestParseMergesCPUSuffixes(t *testing.T) {
 	input := "BenchmarkX-8 10 100 ns/op\nBenchmarkX-4 10 200 ns/op\nBenchmarkX 10 300 ns/op\n"
-	runs, order, err := parse(strings.NewReader(input))
+	runs, order, err := parse(strings.NewReader(input), false)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -49,6 +49,50 @@ func TestParseMergesCPUSuffixes(t *testing.T) {
 	if got := len(runs["BenchmarkX"]); got != 3 {
 		t.Fatalf("got %d samples under BenchmarkX, want 3", got)
 	}
+}
+
+func TestParseSplitCPUKeepsSuffixes(t *testing.T) {
+	input := "BenchmarkX-8 10 100 ns/op\nBenchmarkX-1 10 200 ns/op\nBenchmarkX-8 10 110 ns/op\n"
+	runs, order, err := parse(strings.NewReader(input), true)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(order) != 2 || order[0] != "BenchmarkX-8" || order[1] != "BenchmarkX-1" {
+		t.Fatalf("order = %v, want [BenchmarkX-8 BenchmarkX-1]", order)
+	}
+	if len(runs["BenchmarkX-8"]) != 2 || len(runs["BenchmarkX-1"]) != 1 {
+		t.Fatalf("runs split wrong: %d under -8, %d under -1", len(runs["BenchmarkX-8"]), len(runs["BenchmarkX-1"]))
+	}
+}
+
+func TestCompareSplitCPUGatesOneVariant(t *testing.T) {
+	// A change that speeds up the 8-core variant but slows the single-core
+	// one must still gate: merged names would average the regression away.
+	oldRuns, oldOrder := mustParse(t, "BenchmarkA-1 10 100 ns/op\nBenchmarkA-8 10 40 ns/op\n")
+	newRuns, newOrder := mustParse(t, "BenchmarkA-1 10 130 ns/op\nBenchmarkA-8 10 10 ns/op\n")
+	var out strings.Builder
+	if compare(&out, oldRuns, oldOrder, newRuns, newOrder, gates{threshold: 0.20}, "base.txt") {
+		t.Fatalf("merged names hide the single-core regression, must pass; output:\n%s", out.String())
+	}
+	oldRuns, oldOrder = mustParseSplit(t, "BenchmarkA-1 10 100 ns/op\nBenchmarkA-8 10 40 ns/op\n")
+	newRuns, newOrder = mustParseSplit(t, "BenchmarkA-1 10 130 ns/op\nBenchmarkA-8 10 10 ns/op\n")
+	out.Reset()
+	if !compare(&out, oldRuns, oldOrder, newRuns, newOrder, gates{threshold: 0.20}, "base.txt") {
+		t.Fatalf("-split-cpu must flag the single-core regression; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkA-1") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("split-cpu output lacks the per-variant regression:\n%s", out.String())
+	}
+}
+
+// mustParseSplit is mustParse with -split-cpu semantics.
+func mustParseSplit(t *testing.T, s string) (map[string][]sample, []string) {
+	t.Helper()
+	runs, order, err := parse(strings.NewReader(s), true)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return runs, order
 }
 
 func TestStripCPUSuffix(t *testing.T) {
@@ -82,7 +126,7 @@ func TestMedianOddEvenEmpty(t *testing.T) {
 // mustParse is a test helper over parse.
 func mustParse(t *testing.T, s string) (map[string][]sample, []string) {
 	t.Helper()
-	runs, order, err := parse(strings.NewReader(s))
+	runs, order, err := parse(strings.NewReader(s), false)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}

@@ -1,10 +1,13 @@
 package mapping
 
 import (
+	"cmp"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/par"
 )
 
 // PathAgg enumerates the aggregation functions g of §3.2 that fold the
@@ -152,80 +155,158 @@ func pathCombine(f Combiner, s1, s2 float64) float64 {
 // lists, path aggregates accumulate under packed uint64 pair keys, and no
 // ID string is touched unless the inputs use different dictionaries (the
 // middle ordinals are then translated once per distinct middle object).
+//
+// Compose runs the join on a GOMAXPROCS-sized worker team; ComposeWorkers
+// pins the count. The output is bit-identical at every team size (see the
+// parallel-operator section of moma.go).
 func Compose(map1, map2 *Mapping, f Combiner, g PathAgg) (*Mapping, error) {
+	return ComposeWorkers(map1, map2, f, g, 0)
+}
+
+// composeAgg accumulates one output pair: sum, min, max and count of its
+// compose-path similarities.
+type composeAgg struct {
+	sum, min, max float64
+	paths         int
+}
+
+// composeEntry is one output pair after the join: its aggregate plus the
+// (row, posting-position) sequence of its first compose path, which orders
+// the output exactly as the sequential first-seen scan would.
+type composeEntry struct {
+	first uint64
+	key   uint64
+	agg   composeAgg
+}
+
+// ComposeWorkers is Compose with an explicit worker count (<= 0 means
+// GOMAXPROCS). The join hash-partitions map1's rows by domain ordinal:
+// every compose path of an output pair (a, b) starts at a map1 row with
+// domain a, so each pair's aggregate folds on exactly one worker, in
+// global row order — order-sensitive float sums come out bit-identical to
+// the one-worker fold. Workers keep private slot arenas; the merge-back
+// orders the per-worker results by first-path sequence.
+func ComposeWorkers(map1, map2 *Mapping, f Combiner, g PathAgg, workers int) (out *Mapping, err error) {
+	defer func(start time.Time) {
+		rows := -1
+		if err == nil {
+			rows = out.Len()
+		}
+		observeOp("compose", par.Workers(workers), start, rows)
+	}(time.Now())
 	if map1.Range() != map2.Domain() {
 		return nil, fmt.Errorf("mapping: Compose middle sources differ: %s vs %s", map1.Range(), map2.Domain())
+	}
+	switch g {
+	case AggAvg, AggMin, AggMax, AggRelativeLeft, AggRelativeRight, AggRelative:
+	default:
+		return nil, fmt.Errorf("mapping: unknown path aggregation %d", int(g))
 	}
 	outType := map1.Type()
 	if !(map1.IsSame() && map2.IsSame()) {
 		outType = map1.Type() + "." + map2.Type()
 	}
-	out := NewWithDict(map1.Domain(), map2.Range(), outType, map1.dict)
 
 	sameDict := map1.dict == map2.dict
 	by2, _ := map2.postings()
-	// xlat caches middle-ordinal translation (map1 dict -> map2 dict) when
-	// the dictionaries differ; -1 marks a middle id map2 never interned.
-	var xlat map[uint32]int64
 	var ids1 []model.ID
 	if !sameDict {
-		xlat = make(map[uint32]int64)
 		ids1 = map1.dict.All()
 	}
 
-	// Accumulate per output pair: sum, min, max and count of path sims.
-	// Keys pack map1's domain ordinal with map2's range ordinal; the
-	// aggregates live in one flat slice indexed through the map, so the
-	// join allocates per distinct output pair only on slice growth, never
-	// per path.
-	type agg struct {
-		sum, min, max float64
-		paths         int
+	// Per-worker join arenas. The aggregates live in one flat slice indexed
+	// through the slot map, so the join allocates per distinct output pair
+	// only on slice growth, never per path. Sized for the common near-1:1
+	// shape (output pairs ≈ input rows); worst cases just grow.
+	type composeScratch struct {
+		slot  map[uint64]int32
+		keys  []uint64
+		first []uint64
+		aggs  []composeAgg
 	}
-	// Sized for the common near-1:1 shape (output pairs ≈ input rows);
-	// worst cases just grow.
-	slot := make(map[uint64]int32, len(map1.sim))
-	order := make([]uint64, 0, len(map1.sim))
-	aggs := make([]agg, 0, len(map1.sim))
-	for i := range map1.sim {
-		mid := map1.rng[i]
+	team := par.Team(len(map1.sim), workers)
+	scratch := make([]composeScratch, team)
+	par.RunTeam(team, func(w int) {
+		sc := &scratch[w]
+		hint := len(map1.sim)/team + 1
+		sc.slot = make(map[uint64]int32, hint)
+		sc.keys = make([]uint64, 0, hint)
+		sc.first = make([]uint64, 0, hint)
+		sc.aggs = make([]composeAgg, 0, hint)
+		// xlat caches middle-ordinal translation (map1 dict -> map2 dict)
+		// when the dictionaries differ; -1 marks a middle id map2 never
+		// interned. Lookup is read-only, so workers translate independently.
+		var xlat map[uint32]int64
 		if !sameDict {
-			t, ok := xlat[mid]
-			if !ok {
-				if o2, ok2 := map2.dict.Lookup(ids1[mid]); ok2 {
-					t = int64(o2)
-				} else {
-					t = -1
-				}
-				xlat[mid] = t
-			}
-			if t < 0 {
+			xlat = make(map[uint32]int64)
+		}
+		for i := range map1.sim {
+			d := map1.dom[i]
+			if team > 1 && par.Partition(d, team) != w {
 				continue
 			}
-			mid = uint32(t)
-		}
-		for _, i2 := range by2[mid] {
-			ps := pathCombine(f, map1.sim[i], map2.sim[i2])
-			key := ordKey(map1.dom[i], map2.rng[i2])
-			k, ok := slot[key]
-			if !ok {
-				k = int32(len(aggs))
-				slot[key] = k
-				order = append(order, key)
-				aggs = append(aggs, agg{min: ps, max: ps})
-			}
-			a := &aggs[k]
-			if ok {
-				if ps < a.min {
-					a.min = ps
-				} else if ps > a.max {
-					a.max = ps
+			mid := map1.rng[i]
+			if !sameDict {
+				t, ok := xlat[mid]
+				if !ok {
+					if o2, ok2 := map2.dict.Lookup(ids1[mid]); ok2 {
+						t = int64(o2)
+					} else {
+						t = -1
+					}
+					xlat[mid] = t
 				}
+				if t < 0 {
+					continue
+				}
+				mid = uint32(t)
 			}
-			a.sum += ps
-			a.paths++
+			for j, i2 := range by2[mid] {
+				ps := pathCombine(f, map1.sim[i], map2.sim[i2])
+				key := ordKey(d, map2.rng[i2])
+				k, ok := sc.slot[key]
+				if !ok {
+					k = int32(len(sc.aggs))
+					sc.slot[key] = k
+					sc.keys = append(sc.keys, key)
+					sc.first = append(sc.first, uint64(i)<<32|uint64(j))
+					sc.aggs = append(sc.aggs, composeAgg{min: ps, max: ps})
+				}
+				a := &sc.aggs[k]
+				if ok {
+					if ps < a.min {
+						a.min = ps
+					} else if ps > a.max {
+						a.max = ps
+					}
+				}
+				a.sum += ps
+				a.paths++
+			}
 		}
+	})
+
+	// Merge-back: concatenate the per-worker arenas and restore the global
+	// first-seen order by sorting on first-path sequence (unique per pair —
+	// one path discovers one pair). A team of one is already in order.
+	offs := make([]int, team+1)
+	for w := range scratch {
+		offs[w+1] = offs[w] + len(scratch[w].keys)
 	}
+	entries := make([]composeEntry, offs[team])
+	par.RunTeam(team, func(w int) {
+		sc := &scratch[w]
+		base := offs[w]
+		for k := range sc.keys {
+			entries[base+k] = composeEntry{first: sc.first[k], key: sc.keys[k], agg: sc.aggs[k]}
+		}
+	})
+	if team > 1 {
+		par.SortFunc(entries, workers, func(a, b composeEntry) int {
+			return cmp.Compare(a.first, b.first)
+		})
+	}
+
 	// Only the Relative family reads the per-side fan-out counts; skip the
 	// posting-list builds otherwise. (map2's lists already exist: the join
 	// built them for by2.)
@@ -236,51 +317,79 @@ func Compose(map1, map2 *Mapping, f Combiner, g PathAgg) (*Mapping, error) {
 	if g == AggRelativeRight || g == AggRelative {
 		_, rng2 = map2.postings()
 	}
-	ids2 := map2.dict.All()
-	for j, key := range order {
-		a := &aggs[j]
-		d, r := uint32(key>>32), uint32(key)
-		var s float64
+
+	final := func(e *composeEntry) float64 {
+		a := &e.agg
+		d, r := uint32(e.key>>32), uint32(e.key)
 		switch g {
 		case AggAvg:
-			s = a.sum / float64(a.paths)
+			return a.sum / float64(a.paths)
 		case AggMin:
-			s = a.min
+			return a.min
 		case AggMax:
-			s = a.max
+			return a.max
 		case AggRelativeLeft:
-			s = a.sum / float64(len(by1[d]))
+			return a.sum / float64(len(by1[d]))
 		case AggRelativeRight:
-			s = a.sum / float64(len(rng2[r]))
-		case AggRelative:
-			s = 2 * a.sum / float64(len(by1[d])+len(rng2[r]))
-		default:
-			return nil, fmt.Errorf("mapping: unknown path aggregation %d", int(g))
-		}
-		if s > 0 {
-			if sameDict {
-				out.AddOrd(d, r, s)
-			} else {
-				// The range ordinal belongs to map2's dictionary; intern its
-				// id into the output's (= map1's) dictionary.
-				out.AddOrd(d, out.dict.Ord(ids2[r]), s)
-			}
+			return a.sum / float64(len(rng2[r]))
+		default: // AggRelative; g was validated up front
+			return 2 * a.sum / float64(len(by1[d])+len(rng2[r]))
 		}
 	}
-	return out, nil
+
+	if !sameDict {
+		// The range ordinals belong to map2's dictionary; interning their
+		// ids into the output's (= map1's) dictionary mutates it, so the
+		// mixed-dictionary finalize stays sequential.
+		out := NewWithDict(map1.Domain(), map2.Range(), outType, map1.dict)
+		ids2 := map2.dict.All()
+		for j := range entries {
+			if s := final(&entries[j]); s > 0 {
+				out.AddOrd(uint32(entries[j].key>>32), out.dict.Ord(ids2[uint32(entries[j].key)]), s)
+			}
+		}
+		return out, nil
+	}
+
+	// Shared-dictionary finalize: score entries per chunk into private
+	// column buffers (the s > 0 filter makes chunk sizes data-dependent),
+	// concatenate in chunk order, and bulk-load the output.
+	plan := par.Split(len(entries), workers)
+	bufs := make([]colBuf, plan.Chunks())
+	plan.Run(func(c, lo, hi int) {
+		b := &bufs[c]
+		b.dom = make([]uint32, 0, hi-lo)
+		b.rng = make([]uint32, 0, hi-lo)
+		b.sim = make([]float64, 0, hi-lo)
+		for j := lo; j < hi; j++ {
+			if s := final(&entries[j]); s > 0 {
+				b.dom = append(b.dom, uint32(entries[j].key>>32))
+				b.rng = append(b.rng, uint32(entries[j].key))
+				b.sim = append(b.sim, clampSim(s))
+			}
+		}
+	})
+	dom, rng, sim := concatColumns(bufs)
+	return newFromColumns(map1.Domain(), map2.Range(), outType, map1.dict, dom, rng, sim), nil
 }
 
 // ComposeChain composes a sequence of mappings left to right with the same
 // f and g at every step, e.g. for multi-hop compose paths via a hub source
 // (Figure 8).
 func ComposeChain(f Combiner, g PathAgg, maps ...*Mapping) (*Mapping, error) {
+	return ComposeChainWorkers(f, g, 0, maps...)
+}
+
+// ComposeChainWorkers is ComposeChain with an explicit worker count per
+// composition step (<= 0 means GOMAXPROCS).
+func ComposeChainWorkers(f Combiner, g PathAgg, workers int, maps ...*Mapping) (*Mapping, error) {
 	if len(maps) == 0 {
 		return nil, fmt.Errorf("mapping: ComposeChain needs at least one mapping")
 	}
 	cur := maps[0]
 	for _, next := range maps[1:] {
 		var err error
-		cur, err = Compose(cur, next, f, g)
+		cur, err = ComposeWorkers(cur, next, f, g, workers)
 		if err != nil {
 			return nil, err
 		}

@@ -41,6 +41,7 @@ package mapping
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -78,7 +79,12 @@ type Mapping struct {
 	sim []float64
 
 	// index maps ordKey(dom, rng) to its row for dedup and point lookups.
-	index map[uint64]int32
+	// Like the posting lists it is built lazily (pairIndex): bulk-loaded
+	// mappings (newFromColumns) carry pre-deduped columns, so operator
+	// outputs only pay for the map when somebody actually probes pairs.
+	// New/NewWithDict arm it eagerly because Add needs it from row one.
+	idxOnce sync.Once
+	index   map[uint64]int32
 
 	// byDom/byRng are the lazy posting lists: ordinal -> row indices in
 	// insertion (= ascending) order. Nil until first use (postings);
@@ -105,12 +111,35 @@ func NewWithDict(domain, rng model.LDS, mtype model.MappingType, dict *model.IDD
 	if dict == nil {
 		dict = model.IDs
 	}
+	m := &Mapping{
+		domLDS: domain,
+		rngLDS: rng,
+		mtype:  mtype,
+		dict:   dict,
+	}
+	m.idxOnce.Do(func() { m.index = make(map[uint64]int32) })
+	return m
+}
+
+// newFromColumns bulk-loads a mapping from pre-deduped parallel columns,
+// taking ownership of the slices. This is the constructor operator cores
+// use for their outputs: no per-row Add, no map insert per row — the pair
+// index and the posting lists stay lazy and are each built in one
+// pre-sized pass on first use. The caller guarantees the (dom, rng) pairs
+// are distinct and sims are already clamped; feeding duplicates here
+// corrupts the dedup invariant that Add maintains.
+func newFromColumns(domain, rng model.LDS, mtype model.MappingType, dict *model.IDDict, dom, rngCol []uint32, sim []float64) *Mapping {
+	if dict == nil {
+		dict = model.IDs
+	}
 	return &Mapping{
 		domLDS: domain,
 		rngLDS: rng,
 		mtype:  mtype,
 		dict:   dict,
-		index:  make(map[uint64]int32),
+		dom:    dom,
+		rng:    rngCol,
+		sim:    sim,
 	}
 }
 
@@ -167,11 +196,12 @@ func (m *Mapping) Add(a, b model.ID, s float64) {
 func (m *Mapping) AddOrd(d, r uint32, s float64) {
 	s = clampSim(s)
 	key := ordKey(d, r)
-	if i, ok := m.index[key]; ok {
+	idx := m.pairIndex()
+	if i, ok := idx[key]; ok {
 		m.sim[i] = s
 		return
 	}
-	m.appendRow(key, d, r, s)
+	m.appendRow(idx, key, d, r, s)
 }
 
 // AddMax inserts (a, b, s) keeping the maximum similarity if the pair
@@ -184,26 +214,43 @@ func (m *Mapping) AddMax(a, b model.ID, s float64) {
 func (m *Mapping) AddMaxOrd(d, r uint32, s float64) {
 	s = clampSim(s)
 	key := ordKey(d, r)
-	if i, ok := m.index[key]; ok {
+	idx := m.pairIndex()
+	if i, ok := idx[key]; ok {
 		if s > m.sim[i] {
 			m.sim[i] = s
 		}
 		return
 	}
-	m.appendRow(key, d, r, s)
+	m.appendRow(idx, key, d, r, s)
 }
 
 // appendRow appends a row known to be absent from the index.
-func (m *Mapping) appendRow(key uint64, d, r uint32, s float64) {
+func (m *Mapping) appendRow(idx map[uint64]int32, key uint64, d, r uint32, s float64) {
 	i := int32(len(m.sim))
 	m.dom = append(m.dom, d)
 	m.rng = append(m.rng, r)
 	m.sim = append(m.sim, s)
-	m.index[key] = i
+	idx[key] = i
 	if m.byDom != nil {
 		m.byDom[d] = append(m.byDom[d], i)
 		m.byRng[r] = append(m.byRng[r], i)
 	}
+}
+
+// pairIndex builds (once) and returns the pair dedup index. Bulk-loaded
+// mappings defer it until the first point lookup or Add; the build is a
+// single pre-sized pass over the columns. Safe under concurrent readers
+// for the same reason postings is.
+func (m *Mapping) pairIndex() map[uint64]int32 {
+	//moma:cold one-time lazy build; every later call only loads the map header
+	m.idxOnce.Do(func() {
+		idx := make(map[uint64]int32, len(m.sim))
+		for i := range m.sim {
+			idx[ordKey(m.dom[i], m.rng[i])] = int32(i)
+		}
+		m.index = idx
+	})
+	return m.index
 }
 
 // postings builds (once) and returns the byDomain/byRange posting lists.
@@ -249,7 +296,7 @@ func (m *Mapping) Sim(a, b model.ID) (float64, bool) {
 //
 //moma:noalloc
 func (m *Mapping) SimOrd(d, r uint32) (float64, bool) {
-	if i, ok := m.index[ordKey(d, r)]; ok {
+	if i, ok := m.pairIndex()[ordKey(d, r)]; ok {
 		return m.sim[i], true
 	}
 	return 0, false
@@ -267,7 +314,7 @@ func (m *Mapping) Has(a, b model.ID) bool {
 //
 //moma:noalloc
 func (m *Mapping) HasOrd(d, r uint32) bool {
-	_, ok := m.index[ordKey(d, r)]
+	_, ok := m.pairIndex()[ordKey(d, r)]
 	return ok
 }
 
@@ -424,24 +471,19 @@ func distinctIDs(col []uint32, dict *model.IDDict) []model.ID {
 // type is preserved; callers give the inverse its own name in the
 // repository (e.g. VenuePub vs PubVenue).
 func (m *Mapping) Inverse() *Mapping {
-	inv := NewWithDict(m.rngLDS, m.domLDS, m.mtype, m.dict)
-	for i := range m.sim {
-		inv.AddOrd(m.rng[i], m.dom[i], m.sim[i])
-	}
-	return inv
+	return newFromColumns(m.rngLDS, m.domLDS, m.mtype, m.dict,
+		append([]uint32(nil), m.rng...),
+		append([]uint32(nil), m.dom...),
+		append([]float64(nil), m.sim...))
 }
 
-// Clone returns a deep copy sharing the dictionary.
+// Clone returns a deep copy sharing the dictionary. The copy keeps the
+// pair index and posting lists lazy regardless of the source's state.
 func (m *Mapping) Clone() *Mapping {
-	cp := NewWithDict(m.domLDS, m.rngLDS, m.mtype, m.dict)
-	cp.dom = append([]uint32(nil), m.dom...)
-	cp.rng = append([]uint32(nil), m.rng...)
-	cp.sim = append([]float64(nil), m.sim...)
-	cp.index = make(map[uint64]int32, len(m.index))
-	for k, v := range m.index {
-		cp.index[k] = v
-	}
-	return cp
+	return newFromColumns(m.domLDS, m.rngLDS, m.mtype, m.dict,
+		append([]uint32(nil), m.dom...),
+		append([]uint32(nil), m.rng...),
+		append([]float64(nil), m.sim...))
 }
 
 // Filter returns a new mapping keeping only correspondences for which keep
@@ -454,15 +496,19 @@ func (m *Mapping) Filter(keep func(Correspondence) bool) *Mapping {
 }
 
 // filterRows is Filter over row indices: no Correspondence materialization
-// for predicates that only need the columns.
+// for predicates that only need the columns. Surviving rows are distinct
+// pairs already, so the output bulk-loads without per-row index inserts.
 func (m *Mapping) filterRows(keep func(row int) bool) *Mapping {
-	out := NewWithDict(m.domLDS, m.rngLDS, m.mtype, m.dict)
+	var dom, rng []uint32
+	var sim []float64
 	for i := range m.sim {
 		if keep(i) {
-			out.AddOrd(m.dom[i], m.rng[i], m.sim[i])
+			dom = append(dom, m.dom[i])
+			rng = append(rng, m.rng[i])
+			sim = append(sim, m.sim[i])
 		}
 	}
-	return out
+	return newFromColumns(m.domLDS, m.rngLDS, m.mtype, m.dict, dom, rng, sim)
 }
 
 // WithoutDiagonal drops correspondences whose domain and range ids are
@@ -471,6 +517,76 @@ func (m *Mapping) filterRows(keep func(row int) bool) *Mapping {
 // injective, so ordinal equality is id equality.
 func (m *Mapping) WithoutDiagonal() *Mapping {
 	return m.filterRows(func(i int) bool { return m.dom[i] != m.rng[i] })
+}
+
+// RemoveTouching deletes, in place, every correspondence whose domain or
+// range object is id, and reports how many rows went. The posting lists
+// locate exactly the touched rows and each one is swap-removed (the
+// current last row moves into the vacated slot), so the cost is
+// O(postings of id + log table) rather than the O(table) a Filter rewrite
+// pays — the difference serve's per-instance delta removal rides on. Row
+// order is permuted deterministically by the swaps; the pair index and
+// posting lists are repaired incrementally and stay consistent.
+func (m *Mapping) RemoveTouching(id model.ID) int {
+	ord, ok := m.dict.Lookup(id)
+	if !ok {
+		return 0
+	}
+	byDom, byRng := m.postings()
+	if len(byDom[ord]) == 0 && len(byRng[ord]) == 0 {
+		return 0
+	}
+	// Union of both posting lists, ascending and deduped: a self-loop row
+	// (dom == rng == ord) appears in both lists but dies once.
+	rows := make([]int32, 0, len(byDom[ord])+len(byRng[ord]))
+	rows = append(rows, byDom[ord]...)
+	rows = append(rows, byRng[ord]...)
+	slices.Sort(rows)
+	rows = slices.Compact(rows)
+	idx := m.pairIndex()
+	// Walk the doomed rows descending so the row swapped in from the end
+	// is never itself doomed: every doomed row above i is already gone.
+	for k := len(rows) - 1; k >= 0; k-- {
+		i := rows[k]
+		last := int32(len(m.sim) - 1)
+		d, r := m.dom[i], m.rng[i]
+		delete(idx, ordKey(d, r))
+		m.byDom[d] = cutPosting(m.byDom[d], i)
+		m.byRng[r] = cutPosting(m.byRng[r], i)
+		if len(m.byDom[d]) == 0 {
+			delete(m.byDom, d)
+		}
+		if len(m.byRng[r]) == 0 {
+			delete(m.byRng, r)
+		}
+		if i != last {
+			ld, lr := m.dom[last], m.rng[last]
+			m.dom[i], m.rng[i], m.sim[i] = ld, lr, m.sim[last]
+			idx[ordKey(ld, lr)] = i
+			m.byDom[ld] = reslotPosting(m.byDom[ld], i)
+			m.byRng[lr] = reslotPosting(m.byRng[lr], i)
+		}
+		m.dom = m.dom[:last]
+		m.rng = m.rng[:last]
+		m.sim = m.sim[:last]
+	}
+	return len(rows)
+}
+
+// cutPosting removes row from an ascending posting list.
+func cutPosting(list []int32, row int32) []int32 {
+	p, _ := slices.BinarySearch(list, row)
+	return append(list[:p], list[p+1:]...)
+}
+
+// reslotPosting rewrites a posting list's final entry — which indexes the
+// table's current last row, necessarily the list's largest — as row,
+// keeping the list ascending.
+func reslotPosting(list []int32, row int32) []int32 {
+	p, _ := slices.BinarySearch(list[:len(list)-1], row)
+	copy(list[p+1:], list[p:len(list)-1])
+	list[p] = row
+	return list
 }
 
 // Sorted returns the correspondences sorted canonically: domain ascending,

@@ -1,6 +1,12 @@
 package mapping
 
-import "fmt"
+import (
+	"cmp"
+	"fmt"
+	"time"
+
+	"repro/internal/par"
+)
 
 // CombinerKind enumerates the similarity combination functions of §3.1.
 type CombinerKind int
@@ -191,7 +197,31 @@ func (c Combiner) validateForMerge(n int) error {
 // paper: the preferred mapping contributes all of its correspondences, and
 // the other mappings contribute only correspondences for domain objects the
 // preferred mapping does not cover.
+//
+// Merge runs the union fold on a GOMAXPROCS-sized worker team;
+// MergeWorkers pins the count. The output is bit-identical at every team
+// size (see the parallel-operator section of moma.go).
 func Merge(f Combiner, maps ...*Mapping) (*Mapping, error) {
+	return MergeWorkers(f, 0, maps...)
+}
+
+// MergeWorkers is Merge with an explicit worker count (<= 0 means
+// GOMAXPROCS). Above mergeSortMin rows the union fold is sort-based: the
+// packed pair keys of all inputs concatenate into one record array,
+// par.SortFunc groups equal keys (records carry their (input, row)
+// sequence, so the sort order is total and the equal-key runs line up in
+// input order), and workers fold disjoint run ranges. Small merges keep
+// the map accumulator, which wins while everything fits in cache; both
+// folds combine the same per-input similarity vectors, so the output is
+// identical either way.
+func MergeWorkers(f Combiner, workers int, maps ...*Mapping) (out *Mapping, err error) {
+	defer func(start time.Time) {
+		rows := -1
+		if err == nil {
+			rows = out.Len()
+		}
+		observeOp("merge", par.Workers(workers), start, rows)
+	}(time.Now())
 	if len(maps) == 0 {
 		return nil, fmt.Errorf("mapping: Merge needs at least one input mapping")
 	}
@@ -210,7 +240,7 @@ func Merge(f Combiner, maps ...*Mapping) (*Mapping, error) {
 		return nil, err
 	}
 
-	out := NewWithDict(first.Domain(), first.Range(), first.Type(), first.dict)
+	out = NewWithDict(first.Domain(), first.Range(), first.Type(), first.dict)
 
 	// Every input's rows are keyed by ordinals of the OUTPUT dictionary
 	// (= the first input's). Inputs sharing it — the common case — stream
@@ -249,45 +279,168 @@ func Merge(f Combiner, maps ...*Mapping) (*Mapping, error) {
 		return out, nil
 	}
 
-	// Collect the union of pairs, then fold each pair across the inputs.
-	// Per-pair fold state lives in two flat arrays (n values per pair)
-	// indexed through the map, so collection allocates on slice growth
-	// only, never per pair.
-	// Sized for the common high-overlap shape (union ≈ largest input);
-	// low-overlap inputs just grow.
-	hint := 0
+	total := 0
 	for _, m := range maps {
-		if m.Len() > hint {
-			hint = m.Len()
-		}
+		total += m.Len()
 	}
-	n := len(maps)
-	acc := make(map[uint64]int32, hint)
-	order := make([]uint64, 0, hint)
-	sims := make([]float64, 0, hint*n)
-	present := make([]bool, 0, hint*n)
-	for i, m := range maps {
-		eachOut(m, func(d, r uint32, sim float64) {
-			key := ordKey(d, r)
-			k, ok := acc[key]
-			if !ok {
-				k = int32(len(order))
-				acc[key] = k
-				order = append(order, key)
-				for t := 0; t < n; t++ {
-					sims = append(sims, 0)
-					present = append(present, false)
-				}
+	team := par.Team(total, workers)
+	if team == 1 && total < mergeSortMin {
+		// Collect the union of pairs, then fold each pair across the
+		// inputs. Per-pair fold state lives in two flat arrays (n values
+		// per pair) indexed through the map, so collection allocates on
+		// slice growth only, never per pair.
+		// Sized for the common high-overlap shape (union ≈ largest input);
+		// low-overlap inputs just grow.
+		hint := 0
+		for _, m := range maps {
+			if m.Len() > hint {
+				hint = m.Len()
 			}
-			sims[int(k)*n+i] = sim
-			present[int(k)*n+i] = true
-		})
-	}
-	for j, key := range order {
-		v, keep := f.combine(sims[j*n:(j+1)*n], present[j*n:(j+1)*n])
-		if keep && v > 0 {
-			out.AddOrd(uint32(key>>32), uint32(key), v)
 		}
+		n := len(maps)
+		acc := make(map[uint64]int32, hint)
+		order := make([]uint64, 0, hint)
+		sims := make([]float64, 0, hint*n)
+		present := make([]bool, 0, hint*n)
+		for i, m := range maps {
+			eachOut(m, func(d, r uint32, sim float64) {
+				key := ordKey(d, r)
+				k, ok := acc[key]
+				if !ok {
+					k = int32(len(order))
+					acc[key] = k
+					order = append(order, key)
+					for t := 0; t < n; t++ {
+						sims = append(sims, 0)
+						present = append(present, false)
+					}
+				}
+				sims[int(k)*n+i] = sim
+				present[int(k)*n+i] = true
+			})
+		}
+		for j, key := range order {
+			v, keep := f.combine(sims[j*n:(j+1)*n], present[j*n:(j+1)*n])
+			if keep && v > 0 {
+				out.AddOrd(uint32(key>>32), uint32(key), v)
+			}
+		}
+		return out, nil
 	}
-	return out, nil
+	return mergeSorted(f, out, maps, total, workers), nil
+}
+
+// mergeSortMin is the row count above which the sort-based union fold
+// beats the map accumulator even on one worker: the map walk is a cache
+// miss per row at these sizes, the sort is sequential scans.
+const mergeSortMin = 1 << 17
+
+// mergeRec is one input correspondence in the sort-based fold. seq packs
+// (input index, row index); sorting by (key, seq) groups equal pairs with
+// their per-input similarities in input order, and the first record of a
+// run carries the pair's global first-seen sequence.
+type mergeRec struct {
+	key uint64
+	seq uint64
+	sim float64
+}
+
+// mergeOut is one surviving output pair and the sequence that positions it
+// in first-seen order.
+type mergeOut struct {
+	seq uint64
+	key uint64
+	sim float64
+}
+
+// mergeSorted is the sort-based grouped union fold behind MergeWorkers.
+// out is the (empty) result mapping, used for its dictionary and type.
+func mergeSorted(f Combiner, out *Mapping, maps []*Mapping, total, workers int) *Mapping {
+	n := len(maps)
+	recs := make([]mergeRec, total)
+	base := 0
+	for i, m := range maps {
+		if m.dict == out.dict {
+			b, in := base, m
+			par.Split(in.Len(), workers).Run(func(c, lo, hi int) {
+				for r := lo; r < hi; r++ {
+					recs[b+r] = mergeRec{ordKey(in.dom[r], in.rng[r]), uint64(i)<<32 | uint64(r), in.sim[r]}
+				}
+			})
+		} else {
+			// Foreign dictionary: interning mutates the output dictionary,
+			// so this input translates sequentially.
+			ids := m.dict.All()
+			for r := range m.sim {
+				recs[base+r] = mergeRec{ordKey(out.dict.Ord(ids[m.dom[r]]), out.dict.Ord(ids[m.rng[r]])), uint64(i)<<32 | uint64(r), m.sim[r]}
+			}
+		}
+		base += m.Len()
+	}
+	par.SortFunc(recs, workers, func(a, b mergeRec) int {
+		if c := cmp.Compare(a.key, b.key); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.seq, b.seq)
+	})
+
+	// Fold equal-key runs in parallel: each chunk owns the runs that START
+	// inside it (a chunk's first partial run belongs to its predecessor,
+	// and its last run may read past the boundary). Runs are at most n
+	// records, one per input.
+	plan := par.Split(len(recs), workers)
+	outs := make([][]mergeOut, plan.Chunks())
+	plan.Run(func(c, lo, hi int) {
+		start := lo
+		for start > 0 && start < hi && recs[start].key == recs[start-1].key {
+			start++
+		}
+		sims := make([]float64, n)
+		present := make([]bool, n)
+		buf := make([]mergeOut, 0, hi-start)
+		for t := start; t < hi; {
+			e := t + 1
+			for e < len(recs) && recs[e].key == recs[t].key {
+				e++
+			}
+			for x := t; x < e; x++ {
+				in := int(recs[x].seq >> 32)
+				sims[in] = recs[x].sim
+				present[in] = true
+			}
+			v, keep := f.combine(sims, present)
+			if keep && v > 0 {
+				buf = append(buf, mergeOut{seq: recs[t].seq, key: recs[t].key, sim: clampSim(v)})
+			}
+			for x := t; x < e; x++ {
+				present[int(recs[x].seq>>32)] = false
+			}
+			t = e
+		}
+		outs[c] = buf
+	})
+
+	kept := 0
+	for _, b := range outs {
+		kept += len(b)
+	}
+	es := make([]mergeOut, 0, kept)
+	for _, b := range outs {
+		es = append(es, b...)
+	}
+	// Restore insertion order: pairs appear in the order their first
+	// record arrived, exactly the first-seen order of the sequential scan.
+	par.SortFunc(es, workers, func(a, b mergeOut) int { return cmp.Compare(a.seq, b.seq) })
+
+	dom := make([]uint32, len(es))
+	rng := make([]uint32, len(es))
+	sim := make([]float64, len(es))
+	par.Split(len(es), workers).Run(func(c, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			dom[t] = uint32(es[t].key >> 32)
+			rng[t] = uint32(es[t].key)
+			sim[t] = es[t].sim
+		}
+	})
+	return newFromColumns(out.Domain(), out.Range(), out.Type(), out.dict, dom, rng, sim)
 }

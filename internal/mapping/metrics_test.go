@@ -1,0 +1,39 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+func TestOperatorMetricsRecorded(t *testing.T) {
+	m1 := NewSame(dblpPub, acmPub)
+	m2 := NewSame(acmPub, gsPub)
+	for _, id := range []string{"x", "y", "z"} {
+		m1.Add(model.ID("a"+id), model.ID("b"+id), 0.9)
+		m2.Add(model.ID("b"+id), model.ID("c"+id), 0.8)
+	}
+	if _, err := ComposeWorkers(m1, m2, AvgCombiner, AggAvg, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeWorkers(AvgCombiner, 3, m1); err != nil {
+		t.Fatal(err)
+	}
+	BestN{N: 1, Side: DomainSide, Workers: 3}.Apply(m1)
+
+	var b strings.Builder
+	obs.Default.WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		`moma_mapping_op_seconds_count{op="compose",workers="3"}`,
+		`moma_mapping_op_seconds_count{op="merge",workers="3"}`,
+		`moma_mapping_op_seconds_count{op="select",workers="3"}`,
+		`moma_mapping_op_rows_total{op="compose",workers="3"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %s", want)
+		}
+	}
+}

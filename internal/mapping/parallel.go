@@ -1,0 +1,37 @@
+// Parallel-operator plumbing shared by Compose, Merge and the selections:
+// per-chunk output column buffers and their deterministic chunk-order
+// concatenation. The operator cores themselves live next to their
+// sequential ancestors in compose.go, merge.go and select.go; the worker
+// idiom they all build on is internal/par (see the parallel-operator
+// section of moma.go).
+
+package mapping
+
+// colBuf holds one chunk's output columns while the chunk sizes are still
+// data-dependent (filters drop rows, so they cannot be pre-sized).
+type colBuf struct {
+	dom, rng []uint32
+	sim      []float64
+}
+
+// concatColumns concatenates per-chunk column buffers in chunk order —
+// the merge-back that restores sequential row order. A single buffer
+// passes through without copying.
+func concatColumns(parts []colBuf) (dom, rng []uint32, sim []float64) {
+	if len(parts) == 1 {
+		return parts[0].dom, parts[0].rng, parts[0].sim
+	}
+	total := 0
+	for i := range parts {
+		total += len(parts[i].sim)
+	}
+	dom = make([]uint32, 0, total)
+	rng = make([]uint32, 0, total)
+	sim = make([]float64, 0, total)
+	for i := range parts {
+		dom = append(dom, parts[i].dom...)
+		rng = append(rng, parts[i].rng...)
+		sim = append(sim, parts[i].sim...)
+	}
+	return dom, rng, sim
+}

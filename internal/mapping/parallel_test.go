@@ -1,0 +1,323 @@
+package mapping
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// parallelWorkerCounts are the team sizes the differential tests pin:
+// sequential, an odd count that leaves ragged chunks, and the CI core
+// count. Inputs are sized well above par's chunk floor so the counts
+// above 1 really fan out instead of collapsing.
+var parallelWorkerCounts = []int{1, 3, 8}
+
+// TestDifferentialComposeWorkers pins ComposeWorkers to the map-based
+// oracle at eps 0 — exact similarities AND insertion order — for every
+// worker count. The random workload is large enough (several chunks of
+// fan-out-heavy rows) that the hash-partitioned join, the first-seen sort
+// and the chunked finalize all run multi-worker.
+func TestDifferentialComposeWorkers(t *testing.T) {
+	combiners := []Combiner{MinCombiner, MaxCombiner, AvgCombiner, WeightedCombiner(2, 1)}
+	aggs := []PathAgg{AggAvg, AggMin, AggMax, AggRelativeLeft, AggRelativeRight, AggRelative}
+	rnd := rand.New(rand.NewSource(21))
+	m1 := NewSame(ldsA, ldsC)
+	r1 := newRef(ldsA, ldsC, model.SameMappingType)
+	applyOps(m1, r1, randomOps(rnd, 9000, 700, 500, "a", "c"))
+	m2 := NewSame(ldsC, ldsB)
+	r2 := newRef(ldsC, ldsB, model.SameMappingType)
+	applyOps(m2, r2, randomOps(rnd, 9000, 500, 700, "c", "b"))
+	for _, f := range combiners {
+		for _, g := range aggs {
+			want, err := refCompose(r1, r2, f, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range parallelWorkerCounts {
+				got, err := ComposeWorkers(m1, m2, f, g, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, fmt.Sprintf("compose f=%s g=%s workers=%d", f.Kind, g, w), got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialMergeWorkers pins MergeWorkers the same way. At one
+// worker the small-merge map accumulator runs; above it the sort-based
+// grouped fold runs — the oracle comparison proves the two folds and
+// every team size produce bit-identical mappings.
+func TestDifferentialMergeWorkers(t *testing.T) {
+	combiners := []Combiner{
+		AvgCombiner, Avg0Combiner, MinCombiner, Min0Combiner, MaxCombiner,
+		WeightedCombiner(1, 2, 3), {Kind: Weighted, Weights: []float64{1, 2, 3}, MissingAsZero: true},
+	}
+	rnd := rand.New(rand.NewSource(22))
+	var ms []*Mapping
+	var rs []*refMapping
+	for k := 0; k < 3; k++ {
+		m := NewSame(ldsA, ldsB)
+		r := newRef(ldsA, ldsB, model.SameMappingType)
+		applyOps(m, r, randomOps(rnd, 4000, 600, 600, "a", "b"))
+		ms = append(ms, m)
+		rs = append(rs, r)
+	}
+	for _, f := range combiners {
+		want, err := refMerge(f, rs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range parallelWorkerCounts {
+			got, err := MergeWorkers(f, w, ms...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, fmt.Sprintf("merge f=%s miss0=%v workers=%d", f.Kind, f.MissingAsZero, w), got, want)
+		}
+	}
+}
+
+// TestDifferentialSelectionWorkers pins the hash-partitioned per-group
+// selections, including the BothSides intersection, at every worker count.
+func TestDifferentialSelectionWorkers(t *testing.T) {
+	rnd := rand.New(rand.NewSource(23))
+	m := NewSame(ldsA, ldsB)
+	r := newRef(ldsA, ldsB, model.SameMappingType)
+	applyOps(m, r, randomOps(rnd, 9000, 900, 900, "a", "b"))
+	for _, side := range []Side{DomainSide, RangeSide, BothSides} {
+		for _, n := range []int{1, 3} {
+			want := refBestN(r, n, side)
+			for _, w := range parallelWorkerCounts {
+				got := BestN{N: n, Side: side, Workers: w}.Apply(m)
+				requireIdentical(t, fmt.Sprintf("best-%d(%s) workers=%d", n, side, w), got, want)
+			}
+		}
+		for _, rel := range []bool{false, true} {
+			want := refBest1Delta(r, 0.1, rel, side)
+			for _, w := range parallelWorkerCounts {
+				got := Best1Delta{D: 0.1, Relative: rel, Side: side, Workers: w}.Apply(m)
+				requireIdentical(t, fmt.Sprintf("best1delta(rel=%v,%s) workers=%d", rel, side, w), got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialMixedDictWorkers repeats the mixed-dictionary operator
+// checks multi-worker: the translation caches are per-worker, the
+// finalize that interns into the output dictionary is sequential, and the
+// result must still match the oracle exactly.
+func TestDifferentialMixedDictWorkers(t *testing.T) {
+	rnd := rand.New(rand.NewSource(24))
+	ops1 := randomOps(rnd, 6000, 500, 400, "a", "c")
+	ops2 := randomOps(rnd, 6000, 400, 500, "c", "b")
+
+	priv1, priv2 := model.NewIDDict(), model.NewIDDict()
+	m1p := NewWithDict(ldsA, ldsC, model.SameMappingType, priv1)
+	m2p := NewWithDict(ldsC, ldsB, model.SameMappingType, priv2)
+	r1 := newRef(ldsA, ldsC, model.SameMappingType)
+	r2 := newRef(ldsC, ldsB, model.SameMappingType)
+	applyOps(m1p, r1, ops1)
+	applyOps(m2p, r2, ops2)
+
+	want, err := refCompose(r1, r2, MinCombiner, AggRelative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range parallelWorkerCounts {
+		got, err := ComposeWorkers(m1p, m2p, MinCombiner, AggRelative, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, fmt.Sprintf("mixed-dict compose workers=%d", w), got, want)
+	}
+
+	mShared := NewSame(ldsA, ldsC)
+	rShared := newRef(ldsA, ldsC, model.SameMappingType)
+	applyOps(mShared, rShared, randomOps(rnd, 6000, 500, 400, "a", "c"))
+	wantM, err := refMerge(Avg0Combiner, rShared, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range parallelWorkerCounts {
+		gotM, err := MergeWorkers(Avg0Combiner, w, mShared, m1p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, fmt.Sprintf("mixed-dict merge workers=%d", w), gotM, wantM)
+	}
+}
+
+// TestOperatorsShareInputsConcurrently runs all three operators over the
+// SAME input mappings from many goroutines at once — the serving pattern
+// where one immutable mapping feeds concurrent pipelines. Under -race this
+// pins that operator reads (including the lazy posting-list and pair-index
+// builds) are safe to share.
+func TestOperatorsShareInputsConcurrently(t *testing.T) {
+	rnd := rand.New(rand.NewSource(25))
+	m1 := NewSame(ldsA, ldsC)
+	r1 := newRef(ldsA, ldsC, model.SameMappingType)
+	applyOps(m1, r1, randomOps(rnd, 6000, 500, 400, "a", "c"))
+	m2 := NewSame(ldsC, ldsB)
+	r2 := newRef(ldsC, ldsB, model.SameMappingType)
+	applyOps(m2, r2, randomOps(rnd, 6000, 400, 500, "c", "b"))
+
+	wantCompose, err := refCompose(r1, r2, MinCombiner, AggRelative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMerge, err := refMerge(AvgCombiner, r1, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSel := refBestN(r1, 2, DomainSide)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 12)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := parallelWorkerCounts[g%len(parallelWorkerCounts)]
+			switch g % 3 {
+			case 0:
+				got, err := ComposeWorkers(m1, m2, MinCombiner, AggRelative, w)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				errs[g] = diffAgainstRef(got, wantCompose)
+			case 1:
+				got, err := MergeWorkers(AvgCombiner, w, m1, m1)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				errs[g] = diffAgainstRef(got, wantMerge)
+			default:
+				errs[g] = diffAgainstRef(BestN{N: 2, Side: DomainSide, Workers: w}.Apply(m1), wantSel)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+// diffAgainstRef is requireIdentical as an error, usable off the test
+// goroutine.
+func diffAgainstRef(got *Mapping, want *refMapping) error {
+	if got.Domain() != want.domLDS || got.Range() != want.rngLDS || got.Type() != want.mtype {
+		return fmt.Errorf("endpoints differ: %s->%s (%s) vs %s->%s (%s)",
+			got.Domain(), got.Range(), got.Type(), want.domLDS, want.rngLDS, want.mtype)
+	}
+	gc := got.Correspondences()
+	if len(gc) != len(want.corrs) {
+		return fmt.Errorf("%d rows, reference has %d", len(gc), len(want.corrs))
+	}
+	for i := range gc {
+		if gc[i] != want.corrs[i] {
+			return fmt.Errorf("row %d = %+v, reference %+v", i, gc[i], want.corrs[i])
+		}
+	}
+	return nil
+}
+
+// TestRemoveTouching pins the swap-remove fast path against the Filter
+// rewrite it replaces: same surviving correspondence set (order is
+// permuted by the swaps), consistent index and posting lists afterwards,
+// and a mapping that keeps accepting writes.
+func TestRemoveTouching(t *testing.T) {
+	rnd := rand.New(rand.NewSource(26))
+	m := NewSame(ldsA, ldsB)
+	r := newRef(ldsA, ldsB, model.SameMappingType)
+	// Small cardinalities: most ids appear on both sides of several rows,
+	// and self-loop rows (a == b ids never collide here, but shared-range
+	// rows do) stress the posting repair.
+	applyOps(m, r, randomOps(rnd, 2000, 40, 40, "x", "x"))
+
+	for _, victim := range []model.ID{"x7", "x23", "x7", "never-present"} {
+		want := m.Filter(func(c Correspondence) bool { return c.Domain != victim && c.Range != victim })
+		wantGone := m.Len() - want.Len()
+		if gone := m.RemoveTouching(victim); gone != wantGone {
+			t.Fatalf("RemoveTouching(%s) removed %d rows, Filter dropped %d", victim, gone, wantGone)
+		}
+		if m.Len() != want.Len() {
+			t.Fatalf("after RemoveTouching(%s): %d rows, want %d", victim, m.Len(), want.Len())
+		}
+		if !m.Equal(want, 0) {
+			t.Fatalf("after RemoveTouching(%s): surviving set differs from Filter result", victim)
+		}
+		if m.Touches(victim) {
+			t.Fatalf("after RemoveTouching(%s): Touches still true", victim)
+		}
+		// Index and posting lists must agree with the columns row by row.
+		for i := 0; i < m.Len(); i++ {
+			c := m.At(i)
+			if s, ok := m.Sim(c.Domain, c.Range); !ok || s != c.Sim {
+				t.Fatalf("after RemoveTouching(%s): index lost row %d (%+v)", victim, i, c)
+			}
+		}
+		seen := 0
+		for _, id := range m.DomainIDs() {
+			seen += m.DomainCount(id)
+		}
+		if seen != m.Len() {
+			t.Fatalf("after RemoveTouching(%s): domain postings cover %d rows, want %d", victim, seen, m.Len())
+		}
+		seen = 0
+		for _, id := range m.RangeIDs() {
+			seen += m.RangeCount(id)
+		}
+		if seen != m.Len() {
+			t.Fatalf("after RemoveTouching(%s): range postings cover %d rows, want %d", victim, seen, m.Len())
+		}
+	}
+
+	// The mapping still accepts writes and keeps them consistent.
+	m.Add("x7", "x23", 0.75)
+	if s, ok := m.Sim("x7", "x23"); !ok || s != 0.75 {
+		t.Fatalf("Add after RemoveTouching lost the row: %v %v", s, ok)
+	}
+	if got := m.DomainCount("x7"); got != 1 {
+		t.Fatalf("DomainCount after re-add = %d, want 1", got)
+	}
+}
+
+// TestBulkLoadedMappingBehavesLikeAdded pins that a bulk-loaded mapping
+// (lazy index, lazy postings) is indistinguishable from one built row by
+// row: point lookups, views, and subsequent writes.
+func TestBulkLoadedMappingBehavesLikeAdded(t *testing.T) {
+	rnd := rand.New(rand.NewSource(27))
+	m := NewSame(ldsA, ldsB)
+	r := newRef(ldsA, ldsB, model.SameMappingType)
+	applyOps(m, r, randomOps(rnd, 3000, 200, 200, "a", "b"))
+
+	// Clone bulk-loads; Inverse and filterRows bulk-load too.
+	cp := m.Clone()
+	requireIdentical(t, "bulk clone", cp, r)
+	for i := 0; i < cp.Len(); i += 17 {
+		c := cp.At(i)
+		if s, ok := cp.Sim(c.Domain, c.Range); !ok || s != c.Sim {
+			t.Fatalf("bulk clone: lazy index lost row %d (%+v)", i, c)
+		}
+	}
+	// Dedup against the lazily built index: re-adding an existing pair
+	// must replace, not append.
+	c0 := cp.At(0)
+	n := cp.Len()
+	cp.Add(c0.Domain, c0.Range, 0.123)
+	if cp.Len() != n {
+		t.Fatalf("Add of existing pair grew bulk-loaded mapping to %d rows (was %d)", cp.Len(), n)
+	}
+	if s, _ := cp.Sim(c0.Domain, c0.Range); s != 0.123 {
+		t.Fatalf("Add of existing pair: sim = %v, want 0.123", s)
+	}
+	requireIdentical(t, "inverse of inverse", m.Inverse().Inverse(), r)
+}

@@ -1,10 +1,13 @@
 package mapping
 
 import (
+	"cmp"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/par"
 )
 
 // Selection filters the correspondences of a mapping to the most likely
@@ -14,6 +17,15 @@ type Selection interface {
 	Apply(m *Mapping) *Mapping
 	// String describes the selection for logs and workflow listings.
 	String() string
+}
+
+// WorkerTunable marks selections whose Apply parallelizes. WithWorkers
+// returns a copy configured for the worker count (0 = GOMAXPROCS);
+// worker counts change wall-clock time only, never the selected rows or
+// their order.
+type WorkerTunable interface {
+	Selection
+	WithWorkers(workers int) Selection
 }
 
 // Side selects which end of the mapping a per-instance selection (Best-n,
@@ -54,10 +66,13 @@ func (t Threshold) String() string { return fmt.Sprintf("Threshold(%.2f)", t.T) 
 
 // BestN keeps, for each instance of the configured side, the N
 // correspondences with the highest similarity. Ties at the cut-off are
-// broken deterministically by the other end's id.
+// broken deterministically by the other end's id. Workers sizes the
+// per-group worker team (0 = GOMAXPROCS); the result is identical at
+// every count.
 type BestN struct {
-	N    int
-	Side Side
+	N       int
+	Side    Side
+	Workers int
 }
 
 // Apply implements Selection.
@@ -73,16 +88,22 @@ func (b BestN) Apply(m *Mapping) *Mapping {
 	}
 	switch b.Side {
 	case DomainSide:
-		return selectPerGroup(m, true, cut)
+		return selectPerGroup(m, true, cut, b.Workers)
 	case RangeSide:
-		return selectPerGroup(m, false, cut)
+		return selectPerGroup(m, false, cut, b.Workers)
 	case BothSides:
-		dom := BestN{N: b.N, Side: DomainSide}.Apply(m)
-		rng := BestN{N: b.N, Side: RangeSide}.Apply(m)
+		dom := BestN{N: b.N, Side: DomainSide, Workers: b.Workers}.Apply(m)
+		rng := BestN{N: b.N, Side: RangeSide, Workers: b.Workers}.Apply(m)
 		return dom.intersectRows(rng)
 	default:
 		return m.Clone()
 	}
+}
+
+// WithWorkers implements WorkerTunable.
+func (b BestN) WithWorkers(workers int) Selection {
+	b.Workers = workers
+	return b
 }
 
 func (b BestN) String() string { return fmt.Sprintf("Best-%d(%s)", b.N, b.Side) }
@@ -95,6 +116,9 @@ type Best1Delta struct {
 	D        float64
 	Relative bool
 	Side     Side
+	// Workers sizes the per-group worker team (0 = GOMAXPROCS); the
+	// result is identical at every count.
+	Workers int
 }
 
 // Apply implements Selection.
@@ -120,16 +144,22 @@ func (b Best1Delta) Apply(m *Mapping) *Mapping {
 	}
 	switch b.Side {
 	case DomainSide:
-		return selectPerGroup(m, true, cut)
+		return selectPerGroup(m, true, cut, b.Workers)
 	case RangeSide:
-		return selectPerGroup(m, false, cut)
+		return selectPerGroup(m, false, cut, b.Workers)
 	case BothSides:
-		dom := Best1Delta{D: b.D, Relative: b.Relative, Side: DomainSide}.Apply(m)
-		rng := Best1Delta{D: b.D, Relative: b.Relative, Side: RangeSide}.Apply(m)
+		dom := Best1Delta{D: b.D, Relative: b.Relative, Side: DomainSide, Workers: b.Workers}.Apply(m)
+		rng := Best1Delta{D: b.D, Relative: b.Relative, Side: RangeSide, Workers: b.Workers}.Apply(m)
 		return dom.intersectRows(rng)
 	default:
 		return m.Clone()
 	}
+}
+
+// WithWorkers implements WorkerTunable.
+func (b Best1Delta) WithWorkers(workers int) Selection {
+	b.Workers = workers
+	return b
 }
 
 func (b Best1Delta) String() string {
@@ -142,45 +172,115 @@ func (b Best1Delta) String() string {
 
 // selectPerGroup groups rows by domain (or range) ordinal, sorts each
 // group's row indices by similarity descending (ties by the other id
-// ascending), and keeps the prefix of cut(sims) survivors per group. Groups
-// form in first-seen order over the mapping's columns — the grouping keys,
-// the sort and the output insertion order are exactly those of the previous
-// struct-based implementation.
-func selectPerGroup(m *Mapping, byDomain bool, cut func(sims []float64) int) *Mapping {
+// ascending), and keeps the prefix of cut(sims) survivors per group.
+// Groups form in first-seen order over the mapping's columns — the
+// grouping keys, the sort and the output insertion order are exactly those
+// of the previous struct-based implementation.
+//
+// The work hash-partitions by group key: every worker scans the key column
+// but owns only the groups that hash to its partition, collecting, sorting
+// and cutting them in private scratch. Since a group's rows all share its
+// key, no group straddles workers; the merge-back orders the surviving
+// groups by their first row — the first-seen order the sequential scan
+// produces — and bulk-loads the output columns.
+func selectPerGroup(m *Mapping, byDomain bool, cut func(sims []float64) int, workers int) (out *Mapping) {
+	defer func(start time.Time) {
+		observeOp("select", par.Workers(workers), start, out.Len())
+	}(time.Now())
 	keyCol, otherCol := m.dom, m.rng
 	if !byDomain {
 		keyCol, otherCol = m.rng, m.dom
 	}
-	groups := make(map[uint32][]int32)
-	var order []uint32
-	for i := range m.sim {
-		key := keyCol[i]
-		if _, ok := groups[key]; !ok {
-			order = append(order, key)
-		}
-		groups[key] = append(groups[key], int32(i))
-	}
-	out := NewWithDict(m.Domain(), m.Range(), m.Type(), m.dict)
 	ids := m.dict.All()
-	var sims []float64
-	for _, key := range order {
-		rows := groups[key]
-		sort.Slice(rows, func(i, j int) bool {
-			ri, rj := rows[i], rows[j]
-			if m.sim[ri] != m.sim[rj] {
-				return m.sim[ri] > m.sim[rj]
+
+	// groupRun is one group's survivors in a worker's kept arena.
+	type groupRun struct {
+		firstRow int32
+		off, cnt int32
+	}
+	type selScratch struct {
+		runs []groupRun
+		kept []int32
+	}
+	team := par.Team(len(m.sim), workers)
+	scratch := make([]selScratch, team)
+	par.RunTeam(team, func(w int) {
+		sc := &scratch[w]
+		groups := make(map[uint32][]int32)
+		var order []uint32
+		for i := range m.sim {
+			key := keyCol[i]
+			if team > 1 && par.Partition(key, team) != w {
+				continue
 			}
-			return ids[otherCol[ri]] < ids[otherCol[rj]]
-		})
-		sims = sims[:0]
-		for _, r := range rows {
-			sims = append(sims, m.sim[r])
+			if _, ok := groups[key]; !ok {
+				order = append(order, key)
+			}
+			groups[key] = append(groups[key], int32(i))
 		}
-		for _, r := range rows[:cut(sims)] {
-			out.AddOrd(m.dom[r], m.rng[r], m.sim[r])
+		sc.runs = make([]groupRun, 0, len(order))
+		var sims []float64
+		for _, key := range order {
+			rows := groups[key]
+			first := rows[0] // scan order is ascending, so rows[0] is the group's first row
+			sort.Slice(rows, func(i, j int) bool {
+				ri, rj := rows[i], rows[j]
+				if m.sim[ri] != m.sim[rj] {
+					return m.sim[ri] > m.sim[rj]
+				}
+				return ids[otherCol[ri]] < ids[otherCol[rj]]
+			})
+			sims = sims[:0]
+			for _, r := range rows {
+				sims = append(sims, m.sim[r])
+			}
+			keep := rows[:cut(sims)]
+			sc.runs = append(sc.runs, groupRun{firstRow: first, off: int32(len(sc.kept)), cnt: int32(len(keep))})
+			sc.kept = append(sc.kept, keep...)
+		}
+	})
+
+	// Merge-back: order all surviving groups by first row (unique — a row
+	// belongs to one group), then scatter the kept rows into the output
+	// columns at prefix-summed offsets.
+	type groupRef struct {
+		firstRow int32
+		w        int32
+		off, cnt int32
+	}
+	nRefs := 0
+	for w := range scratch {
+		nRefs += len(scratch[w].runs)
+	}
+	refs := make([]groupRef, 0, nRefs)
+	for w := range scratch {
+		for _, run := range scratch[w].runs {
+			refs = append(refs, groupRef{firstRow: run.firstRow, w: int32(w), off: run.off, cnt: run.cnt})
 		}
 	}
-	return out
+	if team > 1 {
+		par.SortFunc(refs, workers, func(a, b groupRef) int { return cmp.Compare(a.firstRow, b.firstRow) })
+	}
+	offs := make([]int, len(refs)+1)
+	for g := range refs {
+		offs[g+1] = offs[g] + int(refs[g].cnt)
+	}
+	dom := make([]uint32, offs[len(refs)])
+	rng := make([]uint32, offs[len(refs)])
+	sim := make([]float64, offs[len(refs)])
+	par.Split(len(refs), workers).Run(func(c, lo, hi int) {
+		for g := lo; g < hi; g++ {
+			ref := refs[g]
+			pos := offs[g]
+			for _, r := range scratch[ref.w].kept[ref.off : ref.off+ref.cnt] {
+				dom[pos] = m.dom[r]
+				rng[pos] = m.rng[r]
+				sim[pos] = m.sim[r]
+				pos++
+			}
+		}
+	})
+	return newFromColumns(m.Domain(), m.Range(), m.Type(), m.dict, dom, rng, sim)
 }
 
 // intersectRows keeps the correspondences of m whose (domain, range) pair
@@ -278,6 +378,20 @@ func (ch Chain) Apply(m *Mapping) *Mapping {
 		cur = s.Apply(cur)
 	}
 	return cur
+}
+
+// WithWorkers implements WorkerTunable: it configures every tunable
+// element of the chain.
+func (ch Chain) WithWorkers(workers int) Selection {
+	out := make(Chain, len(ch))
+	for i, s := range ch {
+		if t, ok := s.(WorkerTunable); ok {
+			out[i] = t.WithWorkers(workers)
+		} else {
+			out[i] = s
+		}
+	}
+	return out
 }
 
 func (ch Chain) String() string {

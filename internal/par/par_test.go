@@ -1,0 +1,136 @@
+package par
+
+import (
+	"cmp"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestSplitCoversEveryRow(t *testing.T) {
+	for _, n := range []int{0, 1, 7, minChunkRows - 1, minChunkRows, 2*minChunkRows - 1, 2 * minChunkRows, 100001} {
+		for _, w := range []int{0, 1, 2, 3, 8, 64} {
+			p := Split(n, w)
+			chunks := p.Chunks()
+			if chunks < 1 {
+				t.Fatalf("Split(%d,%d): %d chunks", n, w, chunks)
+			}
+			prev := 0
+			for c := 0; c < chunks; c++ {
+				lo, hi := p.Bounds(c)
+				if lo != prev || hi < lo {
+					t.Fatalf("Split(%d,%d): chunk %d = [%d,%d), want lo %d", n, w, c, lo, hi, prev)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("Split(%d,%d): chunks end at %d, want %d", n, w, prev, n)
+			}
+		}
+	}
+}
+
+func TestSplitSmallInputStaysSequential(t *testing.T) {
+	if got := Split(minChunkRows, 8).Chunks(); got != 1 {
+		t.Fatalf("small input split into %d chunks, want 1", got)
+	}
+	if got := Split(0, 8).Chunks(); got != 1 {
+		t.Fatalf("empty input split into %d chunks, want 1", got)
+	}
+}
+
+func TestRunVisitsEveryRowOnce(t *testing.T) {
+	n := 3*minChunkRows + 17
+	for _, w := range []int{1, 2, 3, 8} {
+		seen := make([]int32, n)
+		p := Split(n, w)
+		p.Run(func(chunk, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: row %d visited %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+	}()
+	Split(4*minChunkRows, 4).Run(func(chunk, lo, hi int) {
+		if chunk == 2 {
+			panic("boom")
+		}
+	})
+}
+
+// TestSortFuncMatchesSequential pins the contract the operators rely on:
+// under a total order the sorted result is identical at every worker count.
+func TestSortFuncMatchesSequential(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 100, 2*minChunkRows + 3, 6*minChunkRows + 1} {
+		base := make([]uint64, n)
+		for i := range base {
+			// Duplicate-heavy keys; the low bits make the order total, the
+			// way operator sort keys append a sequence number.
+			base[i] = uint64(rnd.Intn(50))<<32 | uint64(i)
+		}
+		want := append([]uint64(nil), base...)
+		slices.Sort(want)
+		for _, w := range []int{1, 2, 3, 5, 8} {
+			got := append([]uint64(nil), base...)
+			SortFunc(got, w, func(a, b uint64) int { return cmp.Compare(a, b) })
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d workers=%d: parallel sort diverged from sequential", n, w)
+			}
+		}
+	}
+}
+
+func TestRunTeamAndPartitionCoverEveryKey(t *testing.T) {
+	for _, team := range []int{1, 2, 3, 8} {
+		owned := make([]int32, 1000)
+		RunTeam(team, func(w int) {
+			for x := range owned {
+				if Partition(uint32(x), team) == w {
+					owned[x]++
+				}
+			}
+		})
+		for x, c := range owned {
+			if c != 1 {
+				t.Fatalf("team=%d: key %d owned by %d workers", team, x, c)
+			}
+		}
+	}
+}
+
+func TestWorkersResolvesDefault(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("default worker count must be at least 1")
+	}
+}
+
+func BenchmarkSortFunc(b *testing.B) {
+	rnd := rand.New(rand.NewSource(1))
+	base := make([]uint64, 1<<20)
+	for i := range base {
+		base[i] = uint64(rnd.Intn(1 << 19))<<32 | uint64(i)
+	}
+	buf := make([]uint64, len(base))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, base)
+		SortFunc(buf, 0, func(a, b uint64) int { return cmp.Compare(a, b) })
+	}
+}

@@ -421,20 +421,16 @@ func (s *Server) handleRemoveInstance(w http.ResponseWriter, r *http.Request) (i
 }
 
 // dropFromDeltaLocked removes every correspondence touching id from the
-// set's delta mapping. The mapping's byDomain/byRange posting lists answer
-// "does this id appear at all" first, so the common case — removing an
-// instance that never matched anything — costs two posting probes instead
-// of a full filter pass over the delta table. Callers hold the set's lock.
+// set's delta mapping. Store.DropTouching answers "does this id appear at
+// all" from the mapping's posting lists first, so the common case —
+// removing an instance that never matched anything — costs two posting
+// probes; when rows do exist, removal walks only that id's postings
+// (O(postings) swap-removes) instead of filtering and re-Put-ing the whole
+// delta table, and a persistent repository logs a compact "drop" record
+// rather than rewriting the full mapping. Callers hold the set's lock.
 func (s *Server) dropFromDeltaLocked(setName string, id model.ID) error {
-	name := deltaMappingName(setName)
-	m, ok := s.sys.Repo.Get(name)
-	if !ok || !m.Touches(id) {
-		return nil
-	}
-	filtered := m.Filter(func(c mapping.Correspondence) bool {
-		return c.Domain != id && c.Range != id
-	})
-	return s.sys.Repo.Put(name, filtered)
+	_, err := s.sys.Repo.DropTouching(deltaMappingName(setName), id)
+	return err
 }
 
 // handleGetMapping serves a stored mapping page.

@@ -271,6 +271,35 @@ func (s *Store) PutDelta(name string, dom, rng model.LDS, mtype model.MappingTyp
 	return nil
 }
 
+// DropTouching removes every correspondence touching id from the named
+// mapping in place, reporting how many rows went away. A missing mapping or
+// an id with no correspondences is a no-op — nothing is logged, so the
+// common serve-path case (removing an instance that never matched) costs
+// two posting probes and zero log growth. Persistent stores log a compact
+// "drop" record — O(1) bytes instead of Put's full-table rewrite — before
+// mutating, and degrade on an append failure like every other mutation.
+func (s *Store) DropTouching(name string, id model.ID) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writableLocked(); err != nil {
+		return 0, err
+	}
+	m, ok := s.maps[name]
+	if !ok || !m.Touches(id) {
+		return 0, nil
+	}
+	if s.wal != nil {
+		if err := s.wal.logDrop(name, id); err != nil {
+			return 0, s.degradeLocked("wal-append", filepath.Join(s.dir, walFile), err)
+		}
+	}
+	removed := m.RemoveTouching(id)
+	if s.wal != nil {
+		s.noteWALRowsLocked(1)
+	}
+	return removed, nil
+}
+
 // evictLocked drops oldest entries beyond the limit. Callers hold mu.
 //
 //moma:locked mu

@@ -33,11 +33,13 @@ const (
 )
 
 // walRecord is one persisted operation. "put" replaces a whole mapping,
-// "add" merges delta rows (AddMax) into an existing or fresh mapping, "del"
-// removes one, "noop" does nothing (Recover's write-path probe).
+// "add" merges delta rows (AddMax) into an existing or fresh mapping, "drop"
+// removes every correspondence touching one instance id, "del" removes a
+// whole mapping, "noop" does nothing (Recover's write-path probe).
 type walRecord struct {
-	Op     string       `json:"op"` // "put", "add", "del" or "noop"
+	Op     string       `json:"op"` // "put", "add", "drop", "del" or "noop"
 	Name   string       `json:"name,omitempty"`
+	ID     string       `json:"id,omitempty"` // "drop": the touched instance
 	Domain string       `json:"domain,omitempty"`
 	Range  string       `json:"range,omitempty"`
 	Type   string       `json:"type,omitempty"`
@@ -86,6 +88,10 @@ func (w *walWriter) logPut(name string, m *mapping.Mapping) error {
 
 func (w *walWriter) logDelete(name string) error {
 	return w.append(walRecord{Op: "del", Name: name})
+}
+
+func (w *walWriter) logDrop(name string, id model.ID) error {
+	return w.append(walRecord{Op: "drop", Name: name, ID: string(id)})
 }
 
 // close flushes and closes the log file. Both errors are durability
@@ -311,6 +317,11 @@ func (s *Store) applyRecord(path string, lineNo int, body []byte) (int, error) {
 			m.AddMax(model.ID(row.D), model.ID(row.R), row.S)
 		}
 		return len(rec.Rows), nil
+	case "drop":
+		if m, ok := s.maps[rec.Name]; ok {
+			m.RemoveTouching(model.ID(rec.ID))
+		}
+		return 1, nil
 	case "del":
 		if _, ok := s.maps[rec.Name]; ok {
 			delete(s.maps, rec.Name)

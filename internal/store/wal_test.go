@@ -44,6 +44,55 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDropTouchingPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a" appears as a domain id and "B" as a range id; "a"->"A" plus
+	// "a"->"B" plus "b"->"B" means dropping "a" removes two rows and
+	// dropping "B" afterwards removes the one survivor touching it.
+	m := mapping.NewSame(dblpPub, acmPub)
+	m.Add("a", "A", 0.9)
+	m.Add("a", "B", 0.8)
+	m.Add("b", "B", 0.7)
+	m.Add("c", "C", 0.6)
+	if err := s.Put("live", m); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.DropTouching("live", "a"); err != nil || n != 2 {
+		t.Fatalf("DropTouching(a) = %d, %v; want 2, nil", n, err)
+	}
+	if n, err := s.DropTouching("live", "a"); err != nil || n != 0 {
+		t.Fatalf("second DropTouching(a) = %d, %v; want 0, nil", n, err)
+	}
+	if n, err := s.DropTouching("live", "B"); err != nil || n != 1 {
+		t.Fatalf("DropTouching(B) = %d, %v; want 1, nil", n, err)
+	}
+	if n, err := s.DropTouching("absent", "a"); err != nil || n != 0 {
+		t.Fatalf("DropTouching on absent mapping = %d, %v; want 0, nil", n, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, ok := re.Get("live")
+	if !ok {
+		t.Fatal("live not recovered")
+	}
+	want := mapping.NewSame(dblpPub, acmPub)
+	want.Add("c", "C", 0.6)
+	if !got.Equal(want, 0) {
+		t.Errorf("recovered mapping after drops:\n%v\nwant:\n%v", got, want)
+	}
+}
+
 func TestCompact(t *testing.T) {
 	dir := t.TempDir()
 	s, err := OpenRepository(dir)

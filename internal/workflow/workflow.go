@@ -115,9 +115,13 @@ type Engine struct {
 	Repo  *store.Store
 	Cache *store.Store
 	// Workers, when > 0, sets the scoring parallelism of every matcher that
-	// supports external configuration (match.ConfigurableWorkers) for the
-	// duration of a run; 0 keeps each matcher's own setting. Matchers are
-	// never mutated — the engine runs a configured copy.
+	// supports external configuration (match.ConfigurableWorkers) and the
+	// worker-team size of every mapping operator (merge, compose, and
+	// worker-tunable selections) for the duration of a run; 0 keeps each
+	// matcher's own setting and lets operators default to GOMAXPROCS.
+	// Matchers and selections are never mutated — the engine runs
+	// configured copies. Operator outputs are bit-identical at every
+	// worker count, so Workers tunes wall-clock time only.
 	Workers int
 	// Trace receives progress lines when non-nil.
 	Trace func(string)
@@ -187,12 +191,12 @@ func (e *Engine) Run(w *Workflow, a, b *model.ObjectSet) (*mapping.Mapping, erro
 		var err error
 		switch s.Op {
 		case OpMerge:
-			combined, err = mapping.Merge(s.F, inputs...)
+			combined, err = mapping.MergeWorkers(s.F, e.Workers, inputs...)
 		case OpCompose:
 			if len(inputs) < 2 {
 				err = fmt.Errorf("compose needs at least two mappings, got %d", len(inputs))
 			} else {
-				combined, err = mapping.ComposeChain(s.F, s.G, inputs...)
+				combined, err = mapping.ComposeChainWorkers(s.F, s.G, e.Workers, inputs...)
 			}
 		default:
 			err = fmt.Errorf("unknown operator %d", int(s.Op))
@@ -201,7 +205,13 @@ func (e *Engine) Run(w *Workflow, a, b *model.ObjectSet) (*mapping.Mapping, erro
 			return nil, fmt.Errorf("workflow: %s/%s: %w", w.Name, name, err)
 		}
 		if s.Selection != nil {
-			combined = s.Selection.Apply(combined)
+			sel := s.Selection
+			if e.Workers > 0 {
+				if t, ok := sel.(mapping.WorkerTunable); ok {
+					sel = t.WithWorkers(e.Workers)
+				}
+			}
+			combined = sel.Apply(combined)
 		}
 		if e.Trace != nil {
 			e.Trace(fmt.Sprintf("%s/%s: %s -> %d corrs", w.Name, name, s.Op, combined.Len()))

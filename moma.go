@@ -118,6 +118,44 @@
 // fold themselves into fresh snapshots automatically once the log outgrows
 // the snapshot (Store.SetAutoCompact configures or disables the ratio).
 //
+// # Parallel mapping operators
+//
+// The three columnar operators run on a fixed-size worker team
+// (internal/par) with one non-negotiable contract: the output is
+// bit-identical at every worker count — same rows, same float64
+// similarities, same first-seen insertion order. Compose, Merge and the
+// per-group selections default to GOMAXPROCS workers; ComposeWorkers /
+// MergeWorkers / the selections' Workers field pin the count, and
+// workflow.Engine.Workers threads one knob through a whole run.
+// Differential tests (internal/mapping/ref_test.go, parallel_test.go) hold
+// the operators to eps-0 equality against sequential reference
+// implementations at workers 1, 3 and 8.
+//
+// Determinism comes from partitioning by the fold's OWNER, not by input
+// row ranges. Float addition is not associative, so an order-sensitive
+// aggregate must fold on one worker in global scan order: compose
+// hash-partitions map1's rows by domain ordinal (every compose path of an
+// output pair starts at a row with that domain, so each pair's aggregate
+// accumulates on exactly one worker), and selections partition rows by
+// group key. Merge instead concatenates all inputs' packed pair keys with
+// their (input, row) sequence numbers, par.SortFunc orders them totally,
+// and workers fold disjoint equal-key runs — each run fills the same
+// per-input similarity vector the sequential map fold would, so the
+// combined value is bit-for-bit the same. Small inputs collapse to a team
+// of one (par.Split's chunk floor) and skip the order-restoring sorts
+// entirely, keeping the single-core cost flat.
+//
+// Worker-private scratch plus a deterministic merge-back is the whole
+// concurrency story: workers never share mutable state, results land in
+// per-worker arenas, and the merge-back orders entries by their first-seen
+// sequence (par.SortFunc over packed uint64 sequence keys). The launch
+// machinery is centralized in internal/par — partition-by-index
+// goroutines, panic capture per chunk, one wg.Wait — so operator code
+// contains no `go` statements and invariant 6 below holds by
+// construction. Bulk results enter a Mapping through the pre-deduped
+// column constructor (newFromColumns), which takes slice ownership and
+// leaves the pair index and posting lists lazy.
+//
 // # Observability
 //
 // internal/obs is the dependency-free observability core: counters, gauges
@@ -139,6 +177,11 @@
 //     instances gauge ride along.
 //   - moma_match_*: the batch streaming pipeline — scored pairs, kept
 //     correspondences, batches, worker queue wait.
+//   - moma_mapping_*: the mapping operators —
+//     moma_mapping_op_seconds{op=,workers=} times whole compose/merge/
+//     select invocations per configured worker cap, and
+//     moma_mapping_op_rows_total counts their output correspondences.
+//     Recorded once per operator call, never inside the row loops.
 //   - moma_store_*: repository persistence — put/delta/compaction
 //     latencies, WAL bytes/records, fsyncs, last snapshot size.
 //   - moma_blockcache_* / moma_profilecache_*: hits, misses and version
